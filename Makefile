@@ -1,0 +1,37 @@
+# Convenience targets for the LaSAGNA reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench cover examples evaluation clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bacterial
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/sweep
+	$(GO) run ./examples/errortolerance
+
+# Regenerate every table and figure of the paper's evaluation.
+evaluation:
+	$(GO) run ./cmd/lasagna-bench -exp all -scale 1.0
+
+clean:
+	rm -f test_output.txt bench_output.txt

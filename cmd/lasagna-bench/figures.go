@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dna"
+	"repro/internal/extsort"
+	"repro/internal/fastq"
+	"repro/internal/gpu"
+	"repro/internal/kvio"
+	"repro/internal/stats"
+)
+
+func writeFastq(path string, rs *dna.ReadSet) error {
+	return fastq.WriteFastqFile(path, rs)
+}
+
+// partitionFile materializes one H.Genome-like partition's tuple file:
+// the workload of the paper's sorting studies ("data generated from
+// H.Genome, about 2.5 billion pairs per partition", scaled down). It maps
+// the dataset once, keeps the largest suffix partition, and caches it.
+func (h *harness) partitionFile() (string, int64, error) {
+	path := filepath.Join(h.workspace, "hgenome_partition.kv")
+	if n, err := kvio.CountFile(path); err == nil && n > 0 {
+		return path, n, nil
+	}
+	p := h.profiles[3] // H.Genome-like
+	rs := h.reads(p)
+	dir := filepath.Join(h.workspace, "partgen")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	dev := gpu.NewDevice(gpu.K40, nil)
+	sfxW := kvio.NewPartitionWriters(dir, kvio.Suffix, nil)
+	pfxW := kvio.NewPartitionWriters(dir, kvio.Prefix, nil)
+	mapper := core.NewMapper(dev, nil, p.MinOverlap, 4096, rs.MaxLen())
+	fmt.Fprintf(os.Stderr, "[fig] generating H.Genome-like partition data ...\n")
+	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
+		return "", 0, err
+	}
+	counts := sfxW.Counts()
+	if err := sfxW.Close(); err != nil {
+		return "", 0, err
+	}
+	if err := pfxW.Close(); err != nil {
+		return "", 0, err
+	}
+	// Keep the largest partition, drop the rest.
+	bestL, bestN := -1, int64(-1)
+	for l, n := range counts {
+		if n > bestN {
+			bestL, bestN = l, n
+		}
+	}
+	src := kvio.PartitionPath(dir, kvio.Suffix, bestL)
+	if err := os.Rename(src, path); err != nil {
+		return "", 0, err
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return "", 0, err
+	}
+	return path, bestN, nil
+}
+
+// sortOnce sorts the partition file under the given block sizes and GPU,
+// returning the modeled time under the given disk bandwidths.
+func (h *harness) sortOnce(partPath string, mh, md int, card gpu.Spec,
+	diskRead, diskWrite float64) (float64, extsort.Stats, error) {
+	meter := costmodel.NewMeter()
+	dev := gpu.NewDevice(card, meter)
+	dir, err := os.MkdirTemp(h.workspace, "sort-*")
+	if err != nil {
+		return 0, extsort.Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := extsort.Config{
+		Device:           dev,
+		Meter:            meter,
+		HostBlockPairs:   mh,
+		DeviceBlockPairs: md,
+		TempDir:          dir,
+	}
+	out := filepath.Join(dir, "sorted.kv")
+	st, err := extsort.SortFile(cfg, partPath, out)
+	if err != nil {
+		return 0, st, err
+	}
+	prof := card.CostProfile(diskRead, diskWrite)
+	return meter.Snapshot().Time(prof).Seconds(), st, nil
+}
+
+// fig8 sweeps host and device block-sizes on a K40 (Fig. 8: the host
+// block-size dominates because it sets the disk pass count).
+func (h *harness) fig8() error {
+	partPath, n, err := h.partitionFile()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig. 8: sort time per partition (%s pairs) vs block sizes on K40\n",
+		stats.FormatCount(n))
+	hostFracs := []int{16, 8, 4, 2, 1} // m_h = n/frac
+	devFracs := []int{256, 128, 64, 32}
+	fmt.Printf("%-14s", "dev \\ host")
+	for _, hf := range hostFracs {
+		fmt.Printf(" %11s", fmt.Sprintf("n/%d", hf))
+	}
+	fmt.Println()
+	for _, df := range devFracs {
+		md := int(n) / df
+		if md < 2 {
+			md = 2
+		}
+		fmt.Printf("%-14s", fmt.Sprintf("m_d=n/%d", df))
+		for _, hf := range hostFracs {
+			mh := int(n) / hf
+			if mh < md {
+				mh = md
+			}
+			secs, st, err := h.sortOnce(partPath, mh, md, gpu.K40,
+				costmodel.DefaultDisk.ReadBps, costmodel.DefaultDisk.WriteBps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %8.3fs/%d", secs, st.DiskPasses)
+			_ = st
+		}
+		fmt.Println()
+	}
+	fmt.Println("(modeled seconds / disk passes; larger host blocks cut passes, device blocks are secondary)")
+	return nil
+}
+
+// fig9 fixes the device block and sweeps host block-sizes per GPU card
+// (Fig. 9: ranking follows memory bandwidth and converges as the sort
+// becomes I/O bound).
+func (h *harness) fig9() error {
+	partPath, n, err := h.partitionFile()
+	if err != nil {
+		return err
+	}
+	md := int(n) / 128 // mirrors the paper's fixed 20M of 2.56B pairs
+	if md < 2 {
+		md = 2
+	}
+	fmt.Printf("\nFig. 9: sort time per partition (%s pairs) vs GPU, fixed m_d=n/128, SSD scratch (PSG)\n",
+		stats.FormatCount(n))
+	cards := []gpu.Spec{gpu.K40, gpu.P40, gpu.P100, gpu.V100}
+	hostFracs := []int{16, 8, 4, 2, 1}
+	fmt.Printf("%-8s", "GPU")
+	for _, hf := range hostFracs {
+		fmt.Printf(" %11s", fmt.Sprintf("n/%d", hf))
+	}
+	fmt.Println()
+	for _, card := range cards {
+		fmt.Printf("%-8s", card.Name)
+		for _, hf := range hostFracs {
+			mh := int(n) / hf
+			if mh < md {
+				mh = md
+			}
+			secs, _, err := h.sortOnce(partPath, mh, md, card,
+				costmodel.SSDDisk.ReadBps, costmodel.SSDDisk.WriteBps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %10.3fs", secs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(modeled seconds; V100 < P100 < P40 < K40 at large host blocks, converging when I/O bound)")
+	return nil
+}
+
+// fig10 runs the H.Genome-like dataset on 1-8 simulated SuperMic nodes
+// (Fig. 10: map/sort scale with nodes, shuffle appears beyond one node,
+// reduce is limited by the serialized graph building).
+func (h *harness) fig10() error {
+	p := h.profiles[3]
+	rs := h.reads(p)
+	fmt.Printf("\nFig. 10: distributed execution of %s on SuperMic-like nodes (modeled)\n", p.Name)
+	phases := []core.PhaseName{core.PhaseMap, cluster.PhaseShuffle, core.PhaseSort,
+		core.PhaseReduce, core.PhaseCompress}
+	fmt.Printf("%-6s", "Nodes")
+	for _, ph := range phases {
+		fmt.Printf(" %10s", ph)
+	}
+	fmt.Printf(" %10s\n", "Total")
+	for _, nodes := range []int{1, 2, 4, 8} {
+		dir := filepath.Join(h.workspace, fmt.Sprintf("fig10_n%d", nodes))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		cfg := cluster.DefaultConfig(dir, nodes)
+		cfg.MinOverlap = p.MinOverlap
+		cfg.HostBlockPairs = scaleBlock(supermic.hostBlockPairs, h.scale)
+		cfg.DeviceBlockPairs = scaleBlock(supermic.devBlockPairs, h.scale)
+		cfg.GPU = supermic.gpu
+		fmt.Fprintf(os.Stderr, "[fig10] %d nodes ...\n", nodes)
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := cl.Assemble(rs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d", nodes)
+		for _, ph := range phases {
+			ps, _ := res.PhaseByName(ph)
+			fmt.Printf(" %9.3fs", ps.Modeled.Seconds())
+		}
+		fmt.Printf(" %9.3fs", res.TotalModeled.Seconds())
+		if nodes == 1 && res.ReduceSerialModeled > 0 {
+			fmt.Printf("   [t_o=%.3fs t_g=%.3fs -> n_max=t_o/t_g=%.0f]",
+				res.ReduceOverlapModeled.Seconds(), res.ReduceSerialModeled.Seconds(),
+				res.ReduceOverlapModeled.Seconds()/res.ReduceSerialModeled.Seconds())
+		}
+		fmt.Println()
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	fmt.Println("(shuffle cost appears when scaling beyond one node; reduce scalability is bounded by n_max = t_o/t_g)")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command lasagna-bench regenerates every table and figure of the paper's
+// evaluation (Section IV) on scaled synthetic datasets:
+//
+//	Table I    dataset inventory
+//	Table II   phase times on the QB2-like machine (128GB+K40)
+//	Table III  phase times on the SuperMic-like machine (64GB+K20)
+//	Table IV   peak host/device memory per phase (QB2)
+//	Table V    peak host/device memory per phase (SuperMic)
+//	Table VI   SGA baseline vs LaSAGNA
+//	Fig. 8     sort time vs host and device block-sizes
+//	Fig. 9     sort time vs GPU model and host block-size
+//	Fig. 10    distributed execution times for 1-8 nodes
+//
+// Usage:
+//
+//	lasagna-bench -exp all -scale 1.0 [-workspace dir]
+//	lasagna-bench -exp table2,fig9 -scale 0.25
+//
+// Modeled times come from the analytic hardware model (bytes moved per
+// tier divided by tier bandwidth); wall times are the CPU simulation's
+// real clock. Shapes — which phase dominates, who wins, where crossovers
+// fall — are the reproduction target, not absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1..table6, fig8, fig9, fig10, or all")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled profiles)")
+		workspace = flag.String("workspace", "", "scratch directory (default: a temp dir)")
+	)
+	flag.Parse()
+
+	ws := *workspace
+	if ws == "" {
+		dir, err := os.MkdirTemp("", "lasagna-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		ws = dir
+	} else if err := os.MkdirAll(ws, 0o755); err != nil {
+		fatal(err)
+	}
+
+	h := newHarness(ws, *scale)
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	type experiment struct {
+		key string
+		fn  func() error
+	}
+	experiments := []experiment{
+		{"table1", h.table1},
+		{"table2", h.table2},
+		{"table3", h.table3},
+		{"table4", h.table4},
+		{"table5", h.table5},
+		{"table6", h.table6},
+		{"fig8", h.fig8},
+		{"fig9", h.fig9},
+		{"fig10", h.fig10},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !all && !want[e.key] {
+			continue
+		}
+		ran++
+		if err := e.fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.key, err))
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lasagna-bench: %v\n", err)
+	os.Exit(1)
+}

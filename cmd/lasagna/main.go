@@ -1,0 +1,152 @@
+// Command lasagna assembles a FASTQ/FASTA short-read dataset into contigs
+// using the LaSAGNA pipeline (map -> sort -> reduce -> compress) on a
+// simulated GPU, or on a simulated multi-node GPU cluster with -nodes.
+//
+// Usage:
+//
+//	lasagna -in reads.fastq -workspace ./work -lmin 63
+//	lasagna -in reads.fastq -workspace ./work -lmin 63 -nodes 8 -gpu K20X
+//	lasagna -in a.fastq.gz,b.fastq.gz -workspace ./work -dedupe -fullgraph -reference genome.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/fastq"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "comma-separated input FASTQ/FASTA files, .gz accepted (required)")
+		workspace  = flag.String("workspace", "", "scratch/output directory (required)")
+		lmin       = flag.Int("lmin", 63, "minimum overlap length")
+		gpuName    = flag.String("gpu", "K40", "modeled GPU (K20X, K40, P40, P100, V100)")
+		hostBlock  = flag.Int("host-block", 1<<20, "host block size m_h in pairs")
+		devBlock   = flag.Int("device-block", 1<<16, "device block size m_d in pairs")
+		nodes      = flag.Int("nodes", 1, "simulated cluster nodes (1 = single-node pipeline)")
+		singletons = flag.Bool("singletons", false, "emit single-read contigs for unassembled reads")
+		verify     = flag.Bool("verify", false, "verify candidate overlaps against sequences")
+		keepFiles  = flag.Bool("keep-intermediate", false, "retain partition/sort files")
+		dedupe     = flag.Bool("dedupe", false, "remove duplicate reads before assembly")
+		packed     = flag.Bool("packed", false, "store bulk reads 2-bit packed in host memory")
+		fullGraph  = flag.Bool("fullgraph", false, "full string graph with transitive reduction instead of greedy")
+		bsp        = flag.Bool("parallel-traversal", false, "BSP pointer-jumping path traversal")
+		byFp       = flag.Bool("partition-by-fingerprint", false, "distributed shuffle by fingerprint range (with -nodes)")
+		reference  = flag.String("reference", "", "optional reference FASTA for a quality report")
+	)
+	flag.Parse()
+	if *in == "" || *workspace == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, ok := findGPU(*gpuName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lasagna: unknown GPU %q\n", *gpuName)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*workspace, 0o755); err != nil {
+		fatal(err)
+	}
+
+	inputs := strings.Split(*in, ",")
+	reads, err := fastq.ReadFiles(inputs...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *nodes > 1 {
+		cfg := lasagna.DefaultClusterConfig(*workspace, *nodes)
+		cfg.MinOverlap = *lmin
+		cfg.GPU = spec
+		cfg.HostBlockPairs = *hostBlock
+		cfg.DeviceBlockPairs = *devBlock
+		cfg.IncludeSingletons = *singletons
+		cfg.PartitionByFingerprint = *byFp
+		res, err := lasagna.AssembleDistributed(cfg, reads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("distributed assembly on %d simulated %s nodes\n", *nodes, spec.Name)
+		for _, ps := range res.Phases {
+			fmt.Println("  " + ps.String())
+		}
+		fmt.Printf("edges: %d candidates, %d accepted\n", res.CandidateEdges, res.AcceptedEdges)
+		fmt.Printf("assembly: %s\n", res.ContigStats)
+		fmt.Printf("contigs written to %s\n", res.ContigPath)
+		fmt.Printf("total: wall %s, modeled %s\n",
+			stats.FormatDuration(res.TotalWall), stats.FormatDuration(res.TotalModeled))
+		reportQuality(*reference, res.Contigs)
+		return
+	}
+
+	cfg := lasagna.DefaultConfig(*workspace)
+	cfg.MinOverlap = *lmin
+	cfg.GPU = spec
+	cfg.HostBlockPairs = *hostBlock
+	cfg.DeviceBlockPairs = *devBlock
+	cfg.IncludeSingletons = *singletons
+	cfg.VerifyOverlaps = *verify
+	cfg.KeepIntermediate = *keepFiles
+	cfg.DedupeReads = *dedupe
+	cfg.PackedReads = *packed
+	cfg.FullGraph = *fullGraph
+	cfg.ParallelTraversal = *bsp
+	res, err := lasagna.Assemble(cfg, reads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("single-node assembly on simulated %s\n", spec.Name)
+	for _, ps := range res.Phases {
+		fmt.Println("  " + ps.String())
+	}
+	fmt.Printf("reads: %d, partitions: %d, pairs: %d\n",
+		res.NumReads, res.Partitions, res.PairsGenerated)
+	fmt.Printf("edges: %d candidates, %d accepted", res.CandidateEdges, res.AcceptedEdges)
+	if *verify {
+		fmt.Printf(", %d false positives", res.FalsePositives)
+	}
+	fmt.Println()
+	fmt.Printf("assembly: %s\n", res.ContigStats)
+	fmt.Printf("contigs written to %s\n", res.ContigPath)
+	fmt.Printf("total: wall %s, modeled %s\n",
+		stats.FormatDuration(res.TotalWall), stats.FormatDuration(res.TotalModeled))
+	reportQuality(*reference, res.Contigs)
+}
+
+// reportQuality prints a reference-based assembly evaluation when a
+// reference FASTA was supplied.
+func reportQuality(refPath string, contigs []lasagna.Seq) {
+	if refPath == "" {
+		return
+	}
+	ref, _, err := fastq.ReadFile(refPath)
+	if err != nil {
+		fatal(err)
+	}
+	if ref.NumReads() == 0 {
+		fatal(fmt.Errorf("reference %s holds no sequences", refPath))
+	}
+	genome := ref.Read(0)
+	rep := quality.Evaluate(genome, contigs)
+	fmt.Printf("quality vs %s: %s\n", refPath, rep)
+}
+
+func findGPU(name string) (lasagna.GPUSpec, bool) {
+	for _, s := range lasagna.GPUs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return lasagna.GPUSpec{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lasagna: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+package lasagna_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	lasagna "repro"
+)
+
+// Example assembles a tiny synthetic dataset end to end and reports the
+// assembly statistics that a downstream user would act on.
+func Example() {
+	// A scaled-down version of the paper's H.Chr14 dataset: 101 bp reads
+	// with minimum overlap 63.
+	profile := lasagna.Datasets[0].Scaled(0.08)
+	genome, reads := lasagna.GenerateDataset(profile)
+
+	workspace, err := os.MkdirTemp("", "lasagna-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workspace)
+
+	cfg := lasagna.DefaultConfig(workspace)
+	cfg.MinOverlap = profile.MinOverlap
+	cfg.HostBlockPairs = 8192
+	cfg.DeviceBlockPairs = 1024
+	cfg.DedupeReads = true
+	cfg.VerifyOverlaps = true
+
+	res, err := lasagna.Assemble(cfg, reads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genome length: %d\n", len(genome))
+	fmt.Printf("false positives: %d\n", res.FalsePositives)
+	fmt.Printf("all contigs cover the genome: %v\n",
+		res.ContigStats.TotalBases >= int64(len(genome)))
+	// Output:
+	// genome length: 3200
+	// false positives: 0
+	// all contigs cover the genome: true
+}

@@ -1,0 +1,72 @@
+// Error-tolerance scenario: study how sequencing errors degrade an
+// exact-overlap assembler.
+//
+// LaSAGNA finds overlaps by exact fingerprint matches (the paper's
+// datasets are real Illumina reads, and it relies on coverage to ride
+// over errors rather than correcting them — unlike SGA's full pipeline,
+// whose error-correction stage the paper excludes from the comparison).
+// A single substitution in a read kills every overlap that spans it, so
+// assembly contiguity decays quickly with the error rate, and higher
+// coverage buys some of it back. This example quantifies that with the
+// reference-based quality report.
+//
+// Run with:
+//
+//	go run ./examples/errortolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/quality"
+	"repro/internal/readsim"
+)
+
+func main() {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 30_000, Seed: 99})
+	fmt.Printf("reference: %d bp; reads: 80 bp, lmin 45\n\n", len(genome))
+
+	fmt.Printf("%-8s %-8s %-7s | %8s %8s %10s %10s %9s %7s\n",
+		"error", "cover", "dedupe", "contigs", "N50", "exact", "misasm", "genome%", "dups")
+	for _, cov := range []float64{15, 30} {
+		for _, errRate := range []float64{0, 0.002, 0.01, 0.02} {
+			reads := readsim.Simulate(genome, readsim.ReadParams{
+				ReadLen:   80,
+				Coverage:  cov,
+				ErrorRate: errRate,
+				Seed:      100,
+			})
+			for _, dedupe := range []bool{false, true} {
+				workspace, err := os.MkdirTemp("", "lasagna-err-*")
+				if err != nil {
+					log.Fatal(err)
+				}
+				cfg := lasagna.DefaultConfig(workspace)
+				cfg.MinOverlap = 45
+				cfg.HostBlockPairs = 1 << 16
+				cfg.DeviceBlockPairs = 1 << 12
+				cfg.DedupeReads = dedupe
+				res, err := lasagna.Assemble(cfg, reads)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep := quality.Evaluate(genome, res.Contigs)
+				fmt.Printf("%-8.3f %-8.0f %-7v | %8d %8d %10d %10d %8.1f%% %7d\n",
+					errRate, cov, dedupe, rep.NumContigs, rep.N50,
+					rep.ExactContigs, rep.MisassembledContigs,
+					100*rep.CoverageFraction(), res.DuplicatesRemoved)
+				os.RemoveAll(workspace)
+			}
+		}
+	}
+	fmt.Println("\nTwo effects are visible. Errors kill exact overlaps, so contiguity and")
+	fmt.Println("genome coverage fall sharply with the error rate. And without dedupe,")
+	fmt.Println("raising coverage *lowers* N50 at zero error: duplicate reads form")
+	fmt.Println("2-cycles in the greedy graph (A->B and B->A are both legal under the")
+	fmt.Println("out-degree rule) that fragment chains — an inherent artifact of the")
+	fmt.Println("paper's greedy scheme. DedupeReads removes them; at 30x error-free the")
+	fmt.Println("deduplicated assembly collapses to a single contig spanning the genome.")
+}

@@ -1,0 +1,76 @@
+// Quickstart: generate a small synthetic dataset, assemble it with the
+// LaSAGNA pipeline on a simulated K40, and print per-phase statistics and
+// assembly quality.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A scaled-down human-chromosome-14-like dataset: 101 bp reads,
+	// minimum overlap 63, ~11x coverage (Table I of the paper, at reduced
+	// scale).
+	profile := lasagna.Datasets[0].Scaled(0.25)
+	genome, reads := lasagna.GenerateDataset(profile)
+	fmt.Printf("dataset %s: genome %d bp, %d reads of %d bp (%.1fx coverage)\n",
+		profile.Name, len(genome), reads.NumReads(), profile.ReadLen, profile.Coverage)
+
+	workspace, err := os.MkdirTemp("", "lasagna-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workspace)
+
+	cfg := lasagna.DefaultConfig(workspace)
+	cfg.MinOverlap = profile.MinOverlap
+	cfg.GPU = lasagna.K40
+	cfg.HostBlockPairs = 1 << 15 // m_h: force a couple of disk passes
+	cfg.DeviceBlockPairs = 1 << 12
+	cfg.VerifyOverlaps = true // prove the fingerprints produce no false edges
+
+	res, err := lasagna.Assemble(cfg, reads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\npipeline phases (map -> sort -> reduce -> compress):")
+	for _, ps := range res.Phases {
+		fmt.Println("  " + ps.String())
+	}
+	fmt.Printf("\nfingerprint pairs generated: %s across %d length partitions\n",
+		stats.FormatCount(res.PairsGenerated), res.Partitions)
+	fmt.Printf("overlap candidates: %s, accepted greedy edges: %s, false positives: %d\n",
+		stats.FormatCount(res.CandidateEdges), stats.FormatCount(res.AcceptedEdges),
+		res.FalsePositives)
+	fmt.Printf("\nassembly: %s\n", res.ContigStats)
+
+	// Every contig from error-free reads must be an exact substring of
+	// the genome (in either orientation).
+	gs, grc := genome.String(), genome.ReverseComplement().String()
+	ok := 0
+	for _, c := range res.Contigs {
+		if containsSub(gs, c.String()) || containsSub(grc, c.String()) {
+			ok++
+		}
+	}
+	fmt.Printf("contigs matching the reference genome exactly: %d/%d\n", ok, len(res.Contigs))
+}
+
+func containsSub(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

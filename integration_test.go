@@ -1,0 +1,150 @@
+package lasagna
+
+import (
+	"testing"
+
+	"repro/internal/quality"
+	"repro/internal/readsim"
+)
+
+// Integration tests exercising whole-pipeline behaviour across modules.
+
+func TestIntegrationFullCoverageWithDedupe(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 8000, Seed: 301})
+	reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 70, Coverage: 25, Seed: 302})
+	cfg := DefaultConfig(t.TempDir())
+	cfg.MinOverlap = 40
+	cfg.HostBlockPairs = 1 << 15
+	cfg.DeviceBlockPairs = 1 << 11
+	cfg.DedupeReads = true
+	cfg.IncludeSingletons = true
+	res, err := Assemble(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatesRemoved == 0 {
+		t.Error("25x coverage should contain duplicate reads")
+	}
+	rep := quality.Evaluate(genome, res.Contigs)
+	if rep.MisassembledContigs != 0 {
+		t.Errorf("%d misassembled contigs from error-free reads", rep.MisassembledContigs)
+	}
+	if rep.CoverageFraction() < 0.99 {
+		t.Errorf("genome coverage = %.3f, want ~1.0", rep.CoverageFraction())
+	}
+	if rep.N50 < 1000 {
+		t.Errorf("N50 = %d, expected long contigs from deduplicated 25x data", rep.N50)
+	}
+}
+
+func TestIntegrationNaiveKernelIdenticalOutput(t *testing.T) {
+	// The rejected per-read-thread kernel computes the same fingerprints,
+	// so the whole assembly must be bit-identical; only modeled device
+	// cost differs.
+	_, reads := GenerateDataset(Datasets[0].Scaled(0.05))
+	run := func(naive bool) *Result {
+		cfg := DefaultConfig(t.TempDir())
+		cfg.MinOverlap = Datasets[0].MinOverlap
+		cfg.HostBlockPairs = 1 << 13
+		cfg.DeviceBlockPairs = 1 << 10
+		cfg.NaiveMapKernel = naive
+		res, err := Assemble(cfg, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.AcceptedEdges != b.AcceptedEdges || len(a.Contigs) != len(b.Contigs) {
+		t.Fatalf("kernel choice changed the assembly: %d/%d edges, %d/%d contigs",
+			a.AcceptedEdges, b.AcceptedEdges, len(a.Contigs), len(b.Contigs))
+	}
+	for i := range a.Contigs {
+		if !a.Contigs[i].Equal(b.Contigs[i]) {
+			t.Fatalf("contig %d differs between kernels", i)
+		}
+	}
+}
+
+func TestIntegrationClusterOddNodeCount(t *testing.T) {
+	_, reads := GenerateDataset(Datasets[0].Scaled(0.06))
+	sc := DefaultConfig(t.TempDir())
+	sc.MinOverlap = Datasets[0].MinOverlap
+	sc.HostBlockPairs = 1 << 13
+	sc.DeviceBlockPairs = 1 << 10
+	sres, err := Assemble(sc, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := DefaultClusterConfig(t.TempDir(), 3)
+	cc.MinOverlap = Datasets[0].MinOverlap
+	cc.HostBlockPairs = 1 << 13
+	cc.DeviceBlockPairs = 1 << 10
+	cc.InputBlockReads = 37 // deliberately awkward block size
+	cres, err := AssembleDistributed(cc, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.AcceptedEdges != sres.AcceptedEdges || len(cres.Contigs) != len(sres.Contigs) {
+		t.Fatalf("3-node cluster diverged: %d vs %d edges", cres.AcceptedEdges, sres.AcceptedEdges)
+	}
+	for i := range cres.Contigs {
+		if !cres.Contigs[i].Equal(sres.Contigs[i]) {
+			t.Fatalf("contig %d differs", i)
+		}
+	}
+}
+
+func TestIntegrationErrorReadsAssemble(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 5000, Seed: 303})
+	reads := readsim.Simulate(genome, readsim.ReadParams{
+		ReadLen: 70, Coverage: 20, ErrorRate: 0.01, Seed: 304,
+	})
+	cfg := DefaultConfig(t.TempDir())
+	cfg.MinOverlap = 40
+	cfg.HostBlockPairs = 1 << 14
+	cfg.DeviceBlockPairs = 1 << 11
+	cfg.VerifyOverlaps = true
+	res, err := Assemble(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalsePositives != 0 {
+		t.Errorf("errors must not cause fingerprint false positives (got %d)", res.FalsePositives)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("noisy reads should still assemble into contigs")
+	}
+	// With substitution errors the contigs are no longer all exact genome
+	// substrings, but any overlap the pipeline accepted was an exact
+	// read-to-read match, so the contig set must still be nonempty and
+	// internally consistent (every contig at least as long as the
+	// shortest overhang).
+	for i, c := range res.Contigs {
+		if len(c) == 0 {
+			t.Errorf("contig %d is empty", i)
+		}
+	}
+}
+
+func TestIntegrationDedupeSingleContigAtHighCoverage(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 4000, Seed: 305})
+	reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 80, Coverage: 30, Seed: 306})
+	cfg := DefaultConfig(t.TempDir())
+	cfg.MinOverlap = 45
+	cfg.HostBlockPairs = 1 << 15
+	cfg.DeviceBlockPairs = 1 << 11
+	cfg.DedupeReads = true
+	res, err := Assemble(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := quality.Evaluate(genome, res.Contigs)
+	if rep.CoverageFraction() < 0.99 {
+		t.Errorf("coverage = %.3f", rep.CoverageFraction())
+	}
+	if rep.NumContigs > 5 {
+		t.Errorf("deduplicated 30x error-free assembly should be nearly one contig, got %d",
+			rep.NumContigs)
+	}
+}

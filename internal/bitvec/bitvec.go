@@ -1,0 +1,127 @@
+// Package bitvec implements the out-degree bit-vector that gates greedy
+// edge insertion in the LaSAGNA string graph (Section III-C).
+//
+// The graph is greedy: each vertex may have at most one outgoing edge, and
+// one bit per vertex records whether that edge exists. In the distributed
+// reduce phase this vector is the token that is handed from the node
+// processing partition l+1 to the node processing partition l (Section
+// III-E.3), so it is serializable.
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Vector is a fixed-size bit vector.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector of n bits, all clear.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i uint32) bool {
+	return v.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Set sets bit i.
+func (v *Vector) Set(i uint32) {
+	v.words[i>>6] |= 1 << (i & 63)
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i uint32) {
+	v.words[i>>6] &^= 1 << (i & 63)
+}
+
+// TestAndSet sets bit i and reports whether it was already set.
+func (v *Vector) TestAndSet(i uint32) bool {
+	w, m := i>>6, uint64(1)<<(i&63)
+	old := v.words[w]&m != 0
+	v.words[w] |= m
+	return old
+}
+
+// PopCount returns the number of set bits.
+func (v *Vector) PopCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += popcount(w)
+	}
+	return total
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Bytes returns the in-memory size of the vector payload.
+func (v *Vector) Bytes() int64 { return 8 * int64(len(v.words)) }
+
+// Reset clears every bit.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	out := New(v.n)
+	copy(out.words, v.words)
+	return out
+}
+
+// WriteTo serializes the vector (length header plus words). It implements
+// io.WriterTo so the distributed reduce can stream the token between
+// simulated nodes.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(v.n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 8*len(v.words))
+	for i, word := range v.words {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	nw, err := w.Write(buf)
+	return 8 + int64(nw), err
+}
+
+// ReadFrom deserializes a vector previously written by WriteTo, replacing
+// the receiver's contents.
+func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	if n < 0 {
+		return 8, fmt.Errorf("bitvec: negative length %d", n)
+	}
+	v.n = n
+	v.words = make([]uint64, (n+63)/64)
+	buf := make([]byte, 8*len(v.words))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 8, err
+	}
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return 8 + int64(len(buf)), nil
+}

@@ -1,0 +1,128 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	if v.Len() != 200 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for _, i := range []uint32{0, 1, 63, 64, 65, 127, 128, 199} {
+		if v.Get(i) {
+			t.Fatalf("bit %d should start clear", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d should be clear again", i)
+		}
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	v := New(100)
+	if v.TestAndSet(42) {
+		t.Error("first TestAndSet should report clear")
+	}
+	if !v.TestAndSet(42) {
+		t.Error("second TestAndSet should report set")
+	}
+	if !v.Get(42) {
+		t.Error("bit should be set after TestAndSet")
+	}
+}
+
+func TestPopCountAndReset(t *testing.T) {
+	v := New(500)
+	rng := rand.New(rand.NewSource(5))
+	want := map[uint32]bool{}
+	for i := 0; i < 200; i++ {
+		b := uint32(rng.Intn(500))
+		want[b] = true
+		v.Set(b)
+	}
+	if v.PopCount() != len(want) {
+		t.Errorf("PopCount = %d, want %d", v.PopCount(), len(want))
+	}
+	v.Reset()
+	if v.PopCount() != 0 {
+		t.Error("Reset should clear everything")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(64)
+	v.Set(3)
+	c := v.Clone()
+	c.Set(7)
+	if v.Get(7) {
+		t.Error("Clone shares storage")
+	}
+	if !c.Get(3) {
+		t.Error("Clone lost bits")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	f := func(bits []uint16, n16 uint16) bool {
+		n := int(n16)%3000 + 1
+		v := New(n)
+		for _, b := range bits {
+			v.Set(uint32(int(b) % n))
+		}
+		var buf bytes.Buffer
+		if _, err := v.WriteTo(&buf); err != nil {
+			return false
+		}
+		got := New(0)
+		if _, err := got.ReadFrom(&buf); err != nil {
+			return false
+		}
+		if got.Len() != v.Len() || got.PopCount() != v.PopCount() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(uint32(i)) != v.Get(uint32(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	v := New(128)
+	v.Set(100)
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	got := New(0)
+	if _, err := got.ReadFrom(bytes.NewReader(raw[:10])); err == nil {
+		t.Error("expected error on truncated payload")
+	}
+	if _, err := got.ReadFrom(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("expected error on truncated header")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(64).Bytes(); got != 8 {
+		t.Errorf("Bytes(64 bits) = %d, want 8", got)
+	}
+	if got := New(65).Bytes(); got != 16 {
+		t.Errorf("Bytes(65 bits) = %d, want 16", got)
+	}
+}

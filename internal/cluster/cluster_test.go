@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+func testData(t *testing.T) (dna.Seq, *dna.ReadSet) {
+	t.Helper()
+	genome := readsim.Genome(readsim.GenomeParams{Length: 3000, Seed: 21})
+	reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 60, Coverage: 10, Seed: 22})
+	return genome, reads
+}
+
+func clusterConfig(t *testing.T, nodes int) Config {
+	t.Helper()
+	cfg := DefaultConfig(t.TempDir(), nodes)
+	cfg.MinOverlap = 30
+	cfg.HostBlockPairs = 4096
+	cfg.DeviceBlockPairs = 512
+	cfg.MapBatchReads = 128
+	cfg.InputBlockReads = 64
+	return cfg
+}
+
+func singleConfig(t *testing.T) core.Config {
+	t.Helper()
+	cfg := core.DefaultConfig(t.TempDir())
+	cfg.MinOverlap = 30
+	cfg.HostBlockPairs = 4096
+	cfg.DeviceBlockPairs = 512
+	cfg.MapBatchReads = 128
+	return cfg
+}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	genome, reads := testData(t)
+	single, err := core.New(singleConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		cl, err := New(clusterConfig(t, nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.AcceptedEdges != sres.AcceptedEdges {
+			t.Errorf("nodes=%d: accepted edges %d, single-node %d",
+				nodes, dres.AcceptedEdges, sres.AcceptedEdges)
+		}
+		if dres.CandidateEdges != sres.CandidateEdges {
+			t.Errorf("nodes=%d: candidate edges %d, single-node %d",
+				nodes, dres.CandidateEdges, sres.CandidateEdges)
+		}
+		if len(dres.Contigs) != len(sres.Contigs) {
+			t.Fatalf("nodes=%d: %d contigs, single-node %d",
+				nodes, len(dres.Contigs), len(sres.Contigs))
+		}
+		for i := range dres.Contigs {
+			if !dres.Contigs[i].Equal(sres.Contigs[i]) {
+				t.Fatalf("nodes=%d: contig %d differs from single-node", nodes, i)
+			}
+		}
+		// Contigs must still be genome substrings.
+		gs, grc := genome.String(), genome.ReverseComplement().String()
+		for i, c := range dres.Contigs {
+			if !strings.Contains(gs, c.String()) && !strings.Contains(grc, c.String()) {
+				t.Errorf("nodes=%d: contig %d not a genome substring", nodes, i)
+			}
+		}
+	}
+}
+
+func TestClusterPhases(t *testing.T) {
+	_, reads := testData(t)
+	cl, err := New(clusterConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []core.PhaseName{core.PhaseMap, PhaseShuffle, core.PhaseSort,
+		core.PhaseReduce, core.PhaseCompress} {
+		ps, ok := res.PhaseByName(name)
+		if !ok {
+			t.Fatalf("missing phase %s", name)
+		}
+		if ps.Modeled < 0 {
+			t.Errorf("phase %s negative modeled time", name)
+		}
+		if per := res.NodeModeled[name]; len(per) != 3 {
+			t.Errorf("phase %s per-node times = %d entries", name, len(per))
+		}
+	}
+	shuffle, _ := res.PhaseByName(PhaseShuffle)
+	if shuffle.DiskRead == 0 {
+		t.Error("shuffle should read partitions")
+	}
+}
+
+func TestShuffleChargesNetworkOnlyAcrossNodes(t *testing.T) {
+	_, reads := testData(t)
+	// Single node: shuffle is all-local, no network bytes.
+	cl1, err := New(clusterConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl1.Assemble(reads); err != nil {
+		t.Fatal(err)
+	}
+	var net1 int64
+	for _, n := range cl1.nodes {
+		net1 += n.meter.Snapshot().NetBytes
+	}
+	if net1 != 0 {
+		t.Errorf("1-node cluster moved %d network bytes; want 0", net1)
+	}
+	// Multi node: shuffle must cross the network.
+	cl4, err := New(clusterConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl4.Assemble(reads); err != nil {
+		t.Fatal(err)
+	}
+	var net4 int64
+	for _, n := range cl4.nodes {
+		net4 += n.meter.Snapshot().NetBytes
+	}
+	if net4 == 0 {
+		t.Error("4-node cluster moved no network bytes")
+	}
+}
+
+func TestScalingImprovesParallelPhases(t *testing.T) {
+	// The Fig. 10 shape: per-node modeled sort/map time shrinks with more
+	// nodes (aggregate I/O bandwidth), while the serialized reduce
+	// component does not.
+	_, reads := testData(t)
+	measure := func(nodes int) (mapT, sortT float64) {
+		cl, err := New(clusterConfig(t, nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, _ := res.PhaseByName(core.PhaseMap)
+		st, _ := res.PhaseByName(core.PhaseSort)
+		return mp.Modeled.Seconds(), st.Modeled.Seconds()
+	}
+	map1, sort1 := measure(1)
+	map4, sort4 := measure(4)
+	if map4 >= map1 {
+		t.Errorf("map modeled time should shrink: 1 node %.4fs vs 4 nodes %.4fs", map1, map4)
+	}
+	if sort4 >= sort1 {
+		t.Errorf("sort modeled time should shrink: 1 node %.4fs vs 4 nodes %.4fs", sort1, sort4)
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	good := clusterConfig(t, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad = good
+	bad.InputBlockReads = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero block size should fail")
+	}
+	bad = good
+	bad.Workspace = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty workspace should fail")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	cl, err := New(clusterConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Assemble(dna.NewReadSet(0, 0)); err == nil {
+		t.Error("empty read set should fail")
+	}
+	rs := dna.NewReadSet(1, 8)
+	rs.Append(dna.MustParseSeq("ACGT"))
+	if _, err := cl.Assemble(rs); err == nil {
+		t.Error("reads shorter than MinOverlap should fail")
+	}
+}

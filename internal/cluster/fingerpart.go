@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fingerprint"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+)
+
+// keySpace is the size of the high fingerprint component's value space:
+// the first hash is taken modulo fingerprint.ParamsA.Prime, so Hi values
+// are uniform in [0, keySpace).
+const keySpace = fingerprint.KeySpaceHi
+
+// Fingerprint-range partitioning — the paper's stated future work
+// (Section IV-D): "we are working on partitioning the suffixes/prefixes
+// based on their fingerprints rather than on lengths."
+//
+// Under length partitioning, node (l-lmin) mod N owns all tuples of
+// overlap length l, so at most min(N, lmax-lmin) nodes can work on the
+// reduce phase concurrently and skew between partition sizes maps
+// directly to load skew. Under fingerprint partitioning every node owns
+// a fixed slice of the 128-bit fingerprint space across all lengths:
+// each length's tuple lists are split N ways, every node reduces its
+// slice of every partition, and the per-length candidate lists are
+// re-assembled in fingerprint order — which is exactly the order the
+// single-node reduce emits, so the greedy result stays bit-identical.
+
+// rangeOwner returns the node owning a fingerprint: the high hash
+// component is uniform in [0, keySpace), so equal slices of that range
+// balance the load.
+func (c *Cluster) rangeOwner(k kv.Key) *node {
+	n := len(c.nodes)
+	idx := int(k.Hi / (keySpace/uint64(n) + 1))
+	if idx >= n {
+		idx = n - 1
+	}
+	return c.nodes[idx]
+}
+
+// shuffleNodeByFingerprint pulls n's fingerprint slice of every length
+// partition from all peers.
+func (c *Cluster) shuffleNodeByFingerprint(maxLen int, n *node) error {
+	nNodes := uint64(len(c.nodes))
+	stride := keySpace/nNodes + 1
+	lo := uint64(n.id) * stride
+	hi := lo + stride // exclusive
+	last := n.id == len(c.nodes)-1
+
+	inRange := func(k kv.Key) bool {
+		if last {
+			return k.Hi >= lo
+		}
+		return k.Hi >= lo && k.Hi < hi
+	}
+
+	n.counts = map[int]int64{}
+	buf := make([]kv.Pair, 4096)
+	for l := c.cfg.MinOverlap; l < maxLen; l++ {
+		for _, kind := range []kvio.Kind{kvio.Suffix, kvio.Prefix} {
+			outPath := filepath.Join(n.dir, fmt.Sprintf("shuf_%s_%04d.kv", kind, l))
+			w, err := kvio.NewWriter(outPath, n.meter)
+			if err != nil {
+				return err
+			}
+			var total int64
+			for _, peer := range c.nodes {
+				in := kvio.PartitionPath(peer.dir, kind, l)
+				r, err := kvio.NewReader(in, peer.meter)
+				if os.IsNotExist(err) {
+					continue
+				}
+				if err != nil {
+					w.Close()
+					return err
+				}
+				var moved int64
+				for {
+					m, rerr := r.ReadBatch(buf)
+					for _, pair := range buf[:m] {
+						if !inRange(pair.Key) {
+							continue
+						}
+						if werr := w.Write(pair); werr != nil {
+							r.Close()
+							w.Close()
+							return werr
+						}
+						moved++
+					}
+					if rerr == io.EOF {
+						break
+					}
+					if rerr != nil {
+						r.Close()
+						w.Close()
+						return rerr
+					}
+				}
+				r.Close()
+				if peer != n {
+					n.meter.AddNet(moved * kv.PairBytes)
+				}
+				total += moved
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			if kind == kvio.Suffix && total > 0 {
+				n.counts[l] = total
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+)
+
+func TestFingerprintPartitioningMatchesSingleNode(t *testing.T) {
+	_, reads := testData(t)
+	single, err := core.New(singleConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 3, 4} {
+		cfg := clusterConfig(t, nodes)
+		cfg.PartitionByFingerprint = true
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.CandidateEdges != sres.CandidateEdges {
+			t.Errorf("nodes=%d: candidates %d != single %d",
+				nodes, dres.CandidateEdges, sres.CandidateEdges)
+		}
+		if dres.AcceptedEdges != sres.AcceptedEdges {
+			t.Errorf("nodes=%d: accepted %d != single %d",
+				nodes, dres.AcceptedEdges, sres.AcceptedEdges)
+		}
+		if len(dres.Contigs) != len(sres.Contigs) {
+			t.Fatalf("nodes=%d: %d contigs != %d", nodes, len(dres.Contigs), len(sres.Contigs))
+		}
+		for i := range dres.Contigs {
+			if !dres.Contigs[i].Equal(sres.Contigs[i]) {
+				t.Fatalf("nodes=%d: contig %d differs (fingerprint order broken?)", nodes, i)
+			}
+		}
+	}
+}
+
+func TestFingerprintPartitioningBalancesNarrowLengthRange(t *testing.T) {
+	// When there are fewer length partitions than nodes, length
+	// partitioning leaves nodes idle in the reduce phase while
+	// fingerprint partitioning keeps all of them busy. Use a read length
+	// barely above lmin so only a handful of partitions exist.
+	_, reads := testData(t) // 60 bp reads
+	lmin := 57              // only 3 partitions: 57, 58, 59
+
+	reduceBusy := func(byFingerprint bool) int {
+		cfg := clusterConfig(t, 4)
+		cfg.MinOverlap = lmin
+		cfg.PartitionByFingerprint = byFingerprint
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		busy := 0
+		for _, d := range res.NodeModeled[core.PhaseReduce] {
+			if d > 0 {
+				busy++
+			}
+		}
+		return busy
+	}
+	if busy := reduceBusy(false); busy > 3 {
+		t.Errorf("length partitioning: %d nodes busy, expected <= 3 partitions' worth", busy)
+	}
+	if busy := reduceBusy(true); busy != 4 {
+		t.Errorf("fingerprint partitioning: %d nodes busy in reduce, want 4", busy)
+	}
+}
+
+func TestRangeOwnerCoversSpace(t *testing.T) {
+	cl, err := New(clusterConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	const ks = keySpace
+	for _, hi := range []uint64{0, ks / 4, ks / 2, 3 * (ks / 4), ks - 1} {
+		n := cl.rangeOwner(kv.Key{Hi: hi})
+		if n == nil {
+			t.Fatalf("no owner for %x", hi)
+		}
+		seen[n.id] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("range owners hit %d nodes, want 4", len(seen))
+	}
+	// Ordering: higher fingerprints map to higher node IDs.
+	if cl.rangeOwner(kv.Key{Hi: 0}).id != 0 || cl.rangeOwner(kv.Key{Hi: ks - 1}).id != 3 {
+		t.Error("range ownership is not monotone")
+	}
+}

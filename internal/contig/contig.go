@@ -1,0 +1,145 @@
+// Package contig implements the second stage of LaSAGNA's compress phase
+// (Section III-D, Fig. 7): converting string-graph paths into contig
+// sequences.
+//
+// The layout follows the paper's device-side plan: an exclusive prefix
+// scan over path lengths places each path in the flattened tuple list;
+// a scan over overhang lengths sizes each contig and assigns every read
+// its byte offset inside the concatenated contig space; a gather/scatter
+// keyed by read-ID moves each (offset, overhang) tuple into a read-indexed
+// table; finally the reads are streamed once more and each read's leading
+// overhang bases are copied into its slot.
+package contig
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+// Config parameterizes contig generation.
+type Config struct {
+	Device *gpu.Device
+}
+
+// Stats summarizes an assembly, the numbers a downstream user judges
+// contiguity by.
+type Stats struct {
+	NumContigs int
+	TotalBases int64
+	MaxLen     int
+	MeanLen    float64
+	N50        int
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("contigs=%d bases=%d max=%d mean=%.1f N50=%d",
+		s.NumContigs, s.TotalBases, s.MaxLen, s.MeanLen, s.N50)
+}
+
+// Generate materializes contigs from paths. rs must be the read set the
+// graph was built over (vertex 2i = read i forward, 2i+1 = reverse
+// complement).
+func Generate(cfg Config, paths []graph.Path, rs dna.ReadSource) []dna.Seq {
+	dev := cfg.Device
+	if len(paths) == 0 {
+		return nil
+	}
+	// Offsets of each path within the flattened step list (first scan of
+	// Fig. 7).
+	pathLens := make([]int64, len(paths))
+	for i, p := range paths {
+		pathLens[i] = int64(len(p))
+	}
+	pathOff := make([]int64, len(paths))
+	totalSteps := dev.ExclusiveScan(pathLens, pathOff)
+
+	// Flatten steps and scan overhangs to get each read's offset in the
+	// concatenated contig space plus each contig's boundaries.
+	flatVerts := make([]int32, totalSteps)
+	overhangs := make([]int64, totalSteps)
+	for i, p := range paths {
+		base := pathOff[i]
+		for j, step := range p {
+			flatVerts[base+int64(j)] = int32(step.V)
+			overhangs[base+int64(j)] = int64(step.Overhang)
+		}
+	}
+	readOff := make([]int64, totalSteps)
+	totalBases := dev.ExclusiveScan(overhangs, readOff)
+
+	// Scatter (offset, overhang) tuples into a vertex-indexed table (the
+	// gather step of Fig. 7; each read belongs to at most one path).
+	vertOff := make([]int64, rs.NumVertices())
+	vertOvh := make([]int64, rs.NumVertices())
+	for i := range vertOff {
+		vertOff[i] = -1
+	}
+	gpu.Scatter(dev, readOff, flatVerts, vertOff)
+	gpu.Scatter(dev, overhangs, flatVerts, vertOvh)
+
+	// Stream the reads and place each overhang substring at its offset.
+	out := make(dna.Seq, totalBases)
+	dev.CopyToDevice(totalBases)
+	rcBuf := make(dna.Seq, rs.MaxLen())
+	for r := uint32(0); r < uint32(rs.NumReads()); r++ {
+		fwd := dna.ForwardVertex(r)
+		for _, v := range [2]uint32{fwd, fwd | 1} {
+			off := vertOff[v]
+			if off < 0 {
+				continue
+			}
+			seq := rs.Read(r)
+			if dna.IsReverse(v) {
+				rc := rcBuf[:len(seq)]
+				seq.ReverseComplementInto(rc)
+				seq = rc
+			}
+			copy(out[off:off+vertOvh[v]], seq[:vertOvh[v]])
+		}
+	}
+	dev.ChargeKernel(totalBases*2, totalBases)
+
+	// Cut the concatenated space at path boundaries.
+	contigs := make([]dna.Seq, len(paths))
+	for i := range paths {
+		start := readOff[pathOff[i]]
+		end := totalBases
+		if i+1 < len(paths) {
+			end = readOff[pathOff[i+1]]
+		}
+		contigs[i] = out[start:end]
+	}
+	return contigs
+}
+
+// Summarize computes assembly statistics over a contig set.
+func Summarize(contigs []dna.Seq) Stats {
+	st := Stats{NumContigs: len(contigs)}
+	if len(contigs) == 0 {
+		return st
+	}
+	lens := make([]int, len(contigs))
+	for i, c := range contigs {
+		lens[i] = len(c)
+		st.TotalBases += int64(len(c))
+		if len(c) > st.MaxLen {
+			st.MaxLen = len(c)
+		}
+	}
+	st.MeanLen = float64(st.TotalBases) / float64(len(contigs))
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	var cum int64
+	for _, l := range lens {
+		cum += int64(l)
+		if 2*cum >= st.TotalBases {
+			st.N50 = l
+			break
+		}
+	}
+	return st
+}

@@ -1,0 +1,139 @@
+package contig
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+func dev() *gpu.Device { return gpu.NewDevice(gpu.K40, nil) }
+
+// buildChain constructs a read set of overlapping windows over genome and
+// the graph chaining them in order.
+func buildChain(t *testing.T, genome string, readLen, step int) (*dna.ReadSet, *graph.Graph) {
+	t.Helper()
+	g := dna.MustParseSeq(genome)
+	rs := dna.NewReadSet(8, 256)
+	var n int
+	for pos := 0; pos+readLen <= len(g); pos += step {
+		rs.Append(g[pos : pos+readLen].Clone())
+		n++
+	}
+	gr := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		u := dna.ForwardVertex(uint32(i))
+		v := dna.ForwardVertex(uint32(i + 1))
+		if !gr.AddCandidate(u, v, uint16(readLen-step)) {
+			t.Fatalf("chain edge %d rejected", i)
+		}
+	}
+	return rs, gr
+}
+
+func TestGenerateReconstructsGenome(t *testing.T) {
+	genome := "ACGTTGCAGGATCCTAGGCAATTGCACGTA" // 30 bases
+	rs, gr := buildChain(t, genome, 10, 5)
+	paths := gr.Traverse(rs.VertexLen, graph.TraverseOptions{})
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	contigs := Generate(Config{Device: dev()}, paths, rs)
+	if len(contigs) != 1 {
+		t.Fatalf("contigs = %d", len(contigs))
+	}
+	got := contigs[0].String()
+	if got != genome && got != dna.MustParseSeq(genome).ReverseComplement().String() {
+		t.Errorf("contig = %q, want genome %q (either orientation)", got, genome)
+	}
+}
+
+func TestGenerateWithReverseStrandVertices(t *testing.T) {
+	// Two reads overlapping by 4, the second stored as its RC; the graph
+	// edge targets the second read's reverse vertex.
+	a := dna.MustParseSeq("ACGTTGCA")
+	bFwd := dna.MustParseSeq("TGCAGGAT") // overlaps a by TGCA
+	rs := dna.NewReadSet(2, 16)
+	rs.Append(a)
+	rs.Append(bFwd.ReverseComplement()) // stored reversed
+	gr := graph.New(2)
+	// a's 4-suffix TGCA == prefix of RC(read1) reversed back = vertex 3.
+	if !gr.AddCandidate(0, 3, 4) {
+		t.Fatal("edge rejected")
+	}
+	paths := gr.Traverse(rs.VertexLen, graph.TraverseOptions{})
+	contigs := Generate(Config{Device: dev()}, paths, rs)
+	if len(contigs) != 1 {
+		t.Fatalf("contigs = %d", len(contigs))
+	}
+	want := "ACGTTGCAGGAT"
+	got := contigs[0].String()
+	if got != want && got != dna.MustParseSeq(want).ReverseComplement().String() {
+		t.Errorf("contig = %q, want %q (either orientation)", got, want)
+	}
+}
+
+func TestGenerateMultiplePathsAndSingletons(t *testing.T) {
+	genome := "ACGTTGCAGGATCCTAGGCAATTGCACGTAGGCCTTAAGG"
+	rs, gr := buildChain(t, genome[:20], 10, 5)
+	// Add two isolated reads.
+	rs.Append(dna.MustParseSeq("TTTTTTTTTT"))
+	rs.Append(dna.MustParseSeq("CCCCCCCCCC"))
+	gr2 := graph.New(rs.NumReads())
+	for _, e := range gr.Edges() {
+		if e.U%2 == 0 { // re-add forward candidates only
+			gr2.AddCandidate(e.U, e.V, e.Len)
+		}
+	}
+	paths := gr2.Traverse(rs.VertexLen, graph.TraverseOptions{IncludeSingletons: true})
+	contigs := Generate(Config{Device: dev()}, paths, rs)
+	if len(contigs) != 3 {
+		t.Fatalf("contigs = %d, want 3 (one chain + two singletons)", len(contigs))
+	}
+	joined := ""
+	for _, c := range contigs {
+		joined += c.String() + "|"
+	}
+	for _, want := range []string{"TTTTTTTTTT", "CCCCCCCCCC"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing singleton contig %q in %q", want, joined)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	rs := dna.NewReadSet(0, 0)
+	if got := Generate(Config{Device: dev()}, nil, rs); got != nil {
+		t.Errorf("expected nil for no paths, got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mk := func(n int) dna.Seq { return make(dna.Seq, n) }
+	st := Summarize([]dna.Seq{mk(100), mk(50), mk(30), mk(20)})
+	if st.NumContigs != 4 || st.TotalBases != 200 || st.MaxLen != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.N50 != 100 {
+		t.Errorf("N50 = %d, want 100 (100 covers half of 200)", st.N50)
+	}
+	if st.MeanLen != 50 {
+		t.Errorf("MeanLen = %v", st.MeanLen)
+	}
+	st = Summarize([]dna.Seq{mk(60), mk(50), mk(40), mk(30)})
+	if st.N50 != 50 {
+		t.Errorf("N50 = %d, want 50 (60+50 >= 90)", st.N50)
+	}
+	if got := Summarize(nil); got.NumContigs != 0 || got.N50 != 0 {
+		t.Errorf("empty stats = %+v", got)
+	}
+}
+
+func TestSummarizeString(t *testing.T) {
+	s := Summarize([]dna.Seq{make(dna.Seq, 10)}).String()
+	if !strings.Contains(s, "contigs=1") || !strings.Contains(s, "N50=10") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,147 @@
+// Package core orchestrates the single-node LaSAGNA pipeline (Fig. 4):
+// map (fingerprint generation + partitioning), sort (hybrid external
+// sort), reduce (suffix-prefix matching + greedy graph), and compress
+// (path traversal + contig generation).
+//
+// The pipeline owns a simulated GPU device, a host-memory tracker, and a
+// cost meter; every phase reports wall time, modeled time under the
+// configured hardware profile, peak host and device memory, and disk
+// traffic — the measurements behind Tables II-V of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+)
+
+// Config parameterizes an assembly run.
+type Config struct {
+	// Workspace is the scratch directory for partition files, sort runs,
+	// and outputs. It must exist.
+	Workspace string
+	// MinOverlap is l_min: candidate overlaps shorter than this are
+	// discarded during partitioning.
+	MinOverlap int
+	// HostBlockPairs is m_h, the number of key-value pairs sorted per
+	// host-memory block; it controls the number of disk passes.
+	HostBlockPairs int
+	// DeviceBlockPairs is m_d, the number of pairs per device chunk; it
+	// controls the number of device merge passes.
+	DeviceBlockPairs int
+	// MapBatchReads is the number of reads shipped to the device per map
+	// kernel launch.
+	MapBatchReads int
+	// GPU selects the modeled card.
+	GPU gpu.Spec
+	// DiskReadBps/DiskWriteBps set the modeled disk bandwidth.
+	DiskReadBps  float64
+	DiskWriteBps float64
+	// IncludeSingletons emits single-read contigs for reads that joined
+	// no path.
+	IncludeSingletons bool
+	// BreakCycles walks residual cycles during traversal.
+	BreakCycles bool
+	// KeepIntermediate retains partition and sorted files after the run.
+	KeepIntermediate bool
+	// FullGraph switches the reduce phase from the paper's greedy graph
+	// to the full string graph of Section II-A.2: every candidate overlap
+	// becomes an edge, transitive edges are removed (Myers 2005), and
+	// contigs are spelled from unitig chains. Costs memory proportional
+	// to the number of overlaps instead of the number of reads.
+	FullGraph bool
+	// TransitiveFuzz is the overhang slack allowed when identifying
+	// transitive edges in FullGraph mode (0 suits exact, error-free
+	// overlaps).
+	TransitiveFuzz int
+	// ParallelTraversal extracts paths with the BSP pointer-jumping
+	// traversal (the paper's future-work parallel graph processing)
+	// instead of the sequential walk. Outputs are identical on shotgun
+	// data; residual cycles are skipped rather than broken.
+	ParallelTraversal bool
+	// PackedReads stores the bulk reads 2-bit packed (a quarter of the
+	// byte-per-base footprint), matching the encoding the paper's
+	// host-memory accounting assumes; reads are unpacked per access.
+	PackedReads bool
+	// DedupeReads removes duplicate reads (including reverse-complement
+	// duplicates) before assembly. The paper does not deduplicate, but
+	// high-coverage data forms greedy 2-cycles between duplicate reads
+	// that fragment contigs; see dna.Deduplicate.
+	DedupeReads bool
+	// NaiveMapKernel switches the map phase to the per-read-thread
+	// fingerprint kernel the paper rejects (Section III-A); exposed for
+	// the ablation benchmarks.
+	NaiveMapKernel bool
+	// VerifyOverlaps cross-checks every candidate edge against the actual
+	// read sequences before inserting it, turning fingerprint false
+	// positives into hard errors. The paper reports zero false positives
+	// with 128-bit fingerprints; this switch proves it per run.
+	VerifyOverlaps bool
+}
+
+// DefaultConfig returns a configuration sized for the scaled reproduction
+// datasets: a K40-class device profile with block sizes that exercise the
+// two-level streaming model without fitting everything in one pass.
+func DefaultConfig(workspace string) Config {
+	return Config{
+		Workspace:         workspace,
+		MinOverlap:        63,
+		HostBlockPairs:    1 << 20,
+		DeviceBlockPairs:  1 << 16,
+		MapBatchReads:     4096,
+		GPU:               gpu.K40,
+		DiskReadBps:       costmodel.DefaultDisk.ReadBps,
+		DiskWriteBps:      costmodel.DefaultDisk.WriteBps,
+		IncludeSingletons: false,
+		BreakCycles:       true,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Workspace == "" {
+		return fmt.Errorf("core: empty workspace")
+	}
+	if c.MinOverlap < 1 {
+		return fmt.Errorf("core: MinOverlap must be >= 1, got %d", c.MinOverlap)
+	}
+	if c.HostBlockPairs <= 0 || c.DeviceBlockPairs <= 0 {
+		return fmt.Errorf("core: block sizes must be positive")
+	}
+	if c.DeviceBlockPairs > c.HostBlockPairs {
+		return fmt.Errorf("core: device block (%d) exceeds host block (%d)",
+			c.DeviceBlockPairs, c.HostBlockPairs)
+	}
+	if c.MapBatchReads <= 0 {
+		return fmt.Errorf("core: MapBatchReads must be positive")
+	}
+	if need := int64(2*c.DeviceBlockPairs) * kv.PairBytes; need > c.GPU.MemBytes {
+		return fmt.Errorf("core: device block needs %d bytes, %s has %d",
+			need, c.GPU.Name, c.GPU.MemBytes)
+	}
+	return nil
+}
+
+// Profile returns the cost-model profile for the configured hardware.
+func (c Config) Profile() costmodel.Profile {
+	return c.GPU.CostProfile(c.DiskReadBps, c.DiskWriteBps)
+}
+
+// PhaseName identifies a pipeline phase in results.
+type PhaseName string
+
+// The pipeline phases, in execution order, matching the row labels of
+// Tables II and III.
+const (
+	PhaseLoad     PhaseName = "Load"
+	PhaseMap      PhaseName = "Map"
+	PhaseSort     PhaseName = "Sort"
+	PhaseReduce   PhaseName = "Reduce"
+	PhaseCompress PhaseName = "Compress"
+)
+
+// Durations keyed by phase, used by results and the bench harness.
+type PhaseTimes map[PhaseName]time.Duration

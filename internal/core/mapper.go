@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/dna"
+	"repro/internal/fingerprint"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+	"repro/internal/stats"
+)
+
+// Mapper runs the map-phase kernels (Section III-A) for ranges of reads:
+// reverse complements, Hillis-Steele prefix fingerprints, derived suffix
+// fingerprints, and length-partitioned tuple emission. It is shared
+// between the single-node pipeline and the distributed implementation,
+// where each node maps the input blocks the master assigns to it.
+type Mapper struct {
+	Dev        *gpu.Device
+	HostMem    *stats.MemTracker // may be nil
+	MinOverlap int
+	BatchReads int
+	// NaiveKernel switches the fingerprint kernels to the per-read-thread
+	// formulation Section III-A rejects; used by the ablation benchmarks.
+	NaiveKernel bool
+
+	table *fingerprint.Table
+}
+
+// NewMapper builds a mapper whose place-value table covers reads up to
+// maxLen bases.
+func NewMapper(dev *gpu.Device, hostMem *stats.MemTracker, minOverlap, batchReads, maxLen int) *Mapper {
+	return &Mapper{
+		Dev:        dev,
+		HostMem:    hostMem,
+		MinOverlap: minOverlap,
+		BatchReads: batchReads,
+		table:      fingerprint.NewTable(maxLen),
+	}
+}
+
+// MapRange maps reads [start, end) of rs into the partition writers.
+func (m *Mapper) MapRange(rs dna.ReadSource, start, end int,
+	sfxW, pfxW *kvio.PartitionWriters) error {
+	workers := runtime.GOMAXPROCS(0)
+	maxLen := rs.MaxLen()
+	for batchStart := start; batchStart < end; batchStart += m.BatchReads {
+		batchEnd := batchStart + m.BatchReads
+		if batchEnd > end {
+			batchEnd = end
+		}
+		batchReads := batchEnd - batchStart
+		var batchBases int64
+		for r := batchStart; r < batchEnd; r++ {
+			batchBases += int64(rs.Len(uint32(r)))
+		}
+		// Device holds the batch (both strands) plus per-block scan
+		// buffers.
+		scanBytes := int64(workers) * int64(maxLen) * 4 * 16
+		alloc, err := m.Dev.Alloc(2*batchBases + scanBytes)
+		if err != nil {
+			return fmt.Errorf("core: map batch of %d reads does not fit on device: %w",
+				batchReads, err)
+		}
+		m.Dev.CopyToDevice(batchBases)
+
+		chunks := workers
+		if chunks > batchReads {
+			chunks = batchReads
+		}
+		per := (batchReads + chunks - 1) / chunks
+		results := make([][]mapTuple, chunks)
+		m.Dev.LaunchBlocks(chunks, func(ci int) {
+			results[ci] = m.runBlock(rs, batchStart+ci*per, minInt(batchStart+(ci+1)*per, batchEnd))
+		})
+
+		var tupleBytes int64
+		for _, out := range results {
+			tupleBytes += int64(len(out)) * mapTupleBytes
+		}
+		if m.HostMem != nil {
+			m.HostMem.Add(tupleBytes)
+		}
+		m.Dev.CopyFromDevice(tupleBytes)
+		alloc.Free()
+
+		err = nil
+		for _, out := range results {
+			for _, t := range out {
+				if t.kind == kvio.Suffix {
+					err = sfxW.Write(int(t.length), t.pair)
+				} else {
+					err = pfxW.Write(int(t.length), t.pair)
+				}
+				if err != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		if m.HostMem != nil {
+			m.HostMem.Release(tupleBytes)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fpKernel is the subset of the fingerprint kernels the mapper needs,
+// satisfied by both the Hillis-Steele and the naive formulation.
+type fpKernel interface {
+	Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key
+	Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key
+}
+
+// runBlock executes one simulated thread block over reads [lo, hi).
+func (m *Mapper) runBlock(rs dna.ReadSource, lo, hi int) []mapTuple {
+	var kern fpKernel = fingerprint.NewKernel(m.table)
+	if m.NaiveKernel {
+		kern = fingerprint.NewNaiveKernel(m.table)
+	}
+	maxLen := rs.MaxLen()
+	pfps := make([]kv.Key, maxLen)
+	sfps := make([]kv.Key, maxLen)
+	rcBuf := make(dna.Seq, maxLen)
+	var out []mapTuple
+	for r := lo; r < hi; r++ {
+		read := rs.Read(uint32(r))
+		for strand := uint32(0); strand < 2; strand++ {
+			seq := read
+			if strand == 1 {
+				rc := rcBuf[:len(read)]
+				read.ReverseComplementInto(rc)
+				seq = rc
+			}
+			v := dna.ForwardVertex(uint32(r)) | strand
+			pf := kern.Prefixes(m.Dev, seq, pfps)
+			sf := kern.Suffixes(m.Dev, pf, sfps)
+			// Keep lengths [lmin, len); the full-length partition is
+			// dropped to avoid self-loops (Section III-A).
+			for l := m.MinOverlap; l < len(seq); l++ {
+				out = append(out,
+					mapTuple{int32(l), kvio.Suffix, kv.Pair{Key: sf[len(seq)-l], Val: v}},
+					mapTuple{int32(l), kvio.Prefix, kv.Pair{Key: pf[l-1], Val: v}})
+			}
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

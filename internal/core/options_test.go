@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParallelTraversalIdenticalAssembly(t *testing.T) {
+	_, reads := testGenomeReads(t, 2500, 55, 10)
+	run := func(parallel bool) *Result {
+		cfg := smallConfig(t)
+		cfg.ParallelTraversal = parallel
+		cfg.BreakCycles = false // both modes must then see the same paths
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(false)
+	par := run(true)
+	if len(seq.Contigs) != len(par.Contigs) {
+		t.Fatalf("sequential %d contigs, BSP %d", len(seq.Contigs), len(par.Contigs))
+	}
+	for i := range seq.Contigs {
+		if !seq.Contigs[i].Equal(par.Contigs[i]) {
+			t.Fatalf("contig %d differs between traversal modes", i)
+		}
+	}
+}
+
+func TestDedupeOptionReducesReads(t *testing.T) {
+	_, reads := testGenomeReads(t, 1000, 40, 25) // heavy duplication
+	cfg := smallConfig(t)
+	cfg.MinOverlap = 25
+	cfg.DedupeReads = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatesRemoved == 0 {
+		t.Error("25x coverage of a 1 kb genome must contain duplicates")
+	}
+	if res.NumReads+res.DuplicatesRemoved != reads.NumReads() {
+		t.Errorf("reads %d + dups %d != input %d",
+			res.NumReads, res.DuplicatesRemoved, reads.NumReads())
+	}
+}
+
+func TestNaiveKernelCostsMoreOnDevice(t *testing.T) {
+	_, reads := testGenomeReads(t, 1200, 48, 8)
+	measure := func(naive bool) int64 {
+		cfg := smallConfig(t)
+		cfg.MinOverlap = 30
+		cfg.NaiveMapKernel = naive
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Assemble(reads); err != nil {
+			t.Fatal(err)
+		}
+		return p.Meter().Snapshot().DeviceMemBytes
+	}
+	scan := measure(false)
+	naive := measure(true)
+	if naive <= scan {
+		t.Errorf("naive kernel device bytes (%d) should exceed scan kernel (%d)", naive, scan)
+	}
+}

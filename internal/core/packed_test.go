@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestPackedReadsIdenticalAssembly(t *testing.T) {
+	_, reads := testGenomeReads(t, 2500, 55, 10)
+	run := func(packed bool) (*Result, int64) {
+		cfg := smallConfig(t)
+		cfg.PackedReads = packed
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapPS, _ := res.PhaseByName(PhaseMap)
+		return res, mapPS.PeakHost
+	}
+	plain, plainPeak := run(false)
+	packed, packedPeak := run(true)
+	if len(plain.Contigs) != len(packed.Contigs) {
+		t.Fatalf("contig counts differ: %d vs %d", len(plain.Contigs), len(packed.Contigs))
+	}
+	for i := range plain.Contigs {
+		if !plain.Contigs[i].Equal(packed.Contigs[i]) {
+			t.Fatalf("contig %d differs under packed storage", i)
+		}
+	}
+	// The packed read store is ~4x smaller, so the map phase's host peak
+	// (which includes the resident reads) must drop.
+	if packedPeak >= plainPeak {
+		t.Errorf("packed peak host %d should be below unpacked %d", packedPeak, plainPeak)
+	}
+}
+
+func TestPackedSourceFootprint(t *testing.T) {
+	_, reads := testGenomeReads(t, 2000, 60, 8)
+	src := dna.PackSource(reads)
+	if src.NumReads() != reads.NumReads() || src.TotalBases() != reads.TotalBases() {
+		t.Fatalf("packed source metadata mismatch")
+	}
+	if src.ApproxBytes()*2 >= reads.ApproxBytes() {
+		t.Errorf("packed %d should be well under half of unpacked %d",
+			src.ApproxBytes(), reads.ApproxBytes())
+	}
+	// Contents round trip, both strands.
+	for i := uint32(0); i < 20; i++ {
+		if !src.Read(i).Equal(reads.Read(i)) {
+			t.Fatalf("read %d differs", i)
+		}
+		v := dna.ForwardVertex(i) | 1
+		if !src.VertexSeq(v).Equal(reads.VertexSeq(v)) {
+			t.Fatalf("vertex %d differs", v)
+		}
+		if src.VertexLen(v) != reads.VertexLen(v) || src.Len(i) != reads.Len(i) {
+			t.Fatalf("lengths differ for read %d", i)
+		}
+	}
+}
+
+func TestPackedReadsRejectsDoublePacking(t *testing.T) {
+	_, reads := testGenomeReads(t, 600, 40, 5)
+	cfg := smallConfig(t)
+	cfg.MinOverlap = 25
+	cfg.PackedReads = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding an already-packed source with PackedReads set must fail
+	// cleanly rather than silently re-wrap.
+	src := dna.PackSource(reads)
+	if _, err := p.Assemble(src); err == nil {
+		t.Error("packed input with PackedReads should be rejected")
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/contig"
+	"repro/internal/costmodel"
+	"repro/internal/dna"
+	"repro/internal/extsort"
+	"repro/internal/fastq"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+	"repro/internal/overlap"
+	"repro/internal/sgraph"
+	"repro/internal/stats"
+)
+
+// Pipeline is a single-node assembler instance.
+type Pipeline struct {
+	cfg     Config
+	dev     *gpu.Device
+	meter   *costmodel.Meter
+	hostMem stats.MemTracker
+}
+
+// Result reports one assembly run.
+type Result struct {
+	Phases      []stats.PhaseStats
+	Contigs     []dna.Seq
+	ContigStats contig.Stats
+	ContigPath  string // FASTA output file
+
+	NumReads          int
+	DuplicatesRemoved int   // reads dropped by Config.DedupeReads
+	Partitions        int   // partition count [lmin, lmax)
+	PairsGenerated    int64 // map-phase tuples written
+	CandidateEdges    int64 // reduce-phase fingerprint matches
+	AcceptedEdges     int64 // directed edges in the final graph
+	ReducedEdges      int64 // transitive edges removed (FullGraph mode)
+	FalsePositives    int64 // verified-mismatch candidates (VerifyOverlaps)
+	SortDiskPasses    int   // max disk passes over any partition
+
+	TotalWall    time.Duration
+	TotalModeled time.Duration
+}
+
+// PhaseByName returns the stats for the named phase.
+func (r *Result) PhaseByName(name PhaseName) (stats.PhaseStats, bool) {
+	for _, p := range r.Phases {
+		if p.Name == string(name) {
+			return p, true
+		}
+	}
+	return stats.PhaseStats{}, false
+}
+
+// New creates a pipeline with a fresh device and meter.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	meter := costmodel.NewMeter()
+	return &Pipeline{cfg: cfg, dev: gpu.NewDevice(cfg.GPU, meter), meter: meter}, nil
+}
+
+// Device exposes the simulated device (for tests and diagnostics).
+func (p *Pipeline) Device() *gpu.Device { return p.dev }
+
+// Meter exposes the cost meter.
+func (p *Pipeline) Meter() *costmodel.Meter { return p.meter }
+
+// HostMem exposes the host-memory tracker.
+func (p *Pipeline) HostMem() *stats.MemTracker { return &p.hostMem }
+
+// runPhase measures fn as one pipeline phase.
+func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error {
+	p.hostMem.ResetPeak()
+	p.dev.MemTracker().ResetPeak()
+	before := p.meter.Snapshot()
+	timer := stats.StartTimer()
+	err := fn()
+	delta := p.meter.Snapshot().Sub(before)
+	ps := stats.PhaseStats{
+		Name:       string(name),
+		Wall:       timer.Elapsed(),
+		Modeled:    delta.Time(p.cfg.Profile()),
+		PeakHost:   p.hostMem.Peak(),
+		PeakDevice: p.dev.MemTracker().Peak(),
+		DiskRead:   delta.DiskReadBytes,
+		DiskWrite:  delta.DiskWriteBytes,
+	}
+	res.Phases = append(res.Phases, ps)
+	res.TotalWall += ps.Wall
+	res.TotalModeled += ps.Modeled
+	return err
+}
+
+// AssembleFile loads a FASTQ/FASTA file (the Load phase of Tables II/III)
+// and assembles it.
+func (p *Pipeline) AssembleFile(path string) (*Result, error) {
+	res := &Result{}
+	var rs *dna.ReadSet
+	err := p.runPhase(PhaseLoad, res, func() error {
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		rs, _, err = fastq.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		p.meter.AddDiskRead(info.Size())
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	return p.assembleInto(res, rs)
+}
+
+// Assemble runs the pipeline over an in-memory read set.
+func (p *Pipeline) Assemble(rs dna.ReadSource) (*Result, error) {
+	return p.assembleInto(&Result{}, rs)
+}
+
+func (p *Pipeline) assembleInto(res *Result, rs dna.ReadSource) (*Result, error) {
+	if rs.NumReads() == 0 {
+		return res, fmt.Errorf("core: empty read set")
+	}
+	if rs.MaxLen() <= p.cfg.MinOverlap {
+		return res, fmt.Errorf("core: MinOverlap %d is not below the longest read length %d",
+			p.cfg.MinOverlap, rs.MaxLen())
+	}
+	if concrete, ok := rs.(*dna.ReadSet); ok {
+		if p.cfg.DedupeReads {
+			deduped, removed := dna.Deduplicate(concrete)
+			concrete = deduped
+			rs = deduped
+			res.DuplicatesRemoved = removed
+		}
+		if p.cfg.PackedReads {
+			// Store bulk reads 2-bit packed, the encoding the paper's
+			// host-memory budgets assume.
+			rs = dna.PackSource(concrete)
+		}
+	} else if p.cfg.DedupeReads || p.cfg.PackedReads {
+		return res, fmt.Errorf("core: DedupeReads/PackedReads need an unpacked ReadSet input")
+	}
+	res.NumReads = rs.NumReads()
+	p.hostMem.Add(rs.ApproxBytes())
+	defer p.hostMem.Release(rs.ApproxBytes())
+
+	partDir := filepath.Join(p.cfg.Workspace, "partitions")
+	if err := os.MkdirAll(partDir, 0o755); err != nil {
+		return res, err
+	}
+	if !p.cfg.KeepIntermediate {
+		defer os.RemoveAll(partDir)
+	}
+
+	// Map: fingerprints + partitioning.
+	var counts map[int]int64
+	err := p.runPhase(PhaseMap, res, func() error {
+		var err error
+		counts, err = p.mapPhase(rs, partDir)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Partitions = len(counts)
+	for _, n := range counts {
+		res.PairsGenerated += 2 * n // n suffix + n prefix tuples per length
+	}
+
+	// Sort: external sort of every partition, both kinds.
+	err = p.runPhase(PhaseSort, res, func() error {
+		return p.sortPhase(partDir, counts, res)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	if p.cfg.FullGraph {
+		return p.fullGraphTail(res, rs, partDir, counts)
+	}
+
+	// Reduce: suffix-prefix matching into the greedy graph.
+	g := graph.New(rs.NumReads())
+	p.hostMem.Add(g.ApproxBytes())
+	defer p.hostMem.Release(g.ApproxBytes())
+	err = p.runPhase(PhaseReduce, res, func() error {
+		return p.reducePhase(rs, partDir, counts, g, res)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.AcceptedEdges = g.NumEdges()
+
+	// Compress: traverse paths and generate contigs.
+	err = p.runPhase(PhaseCompress, res, func() error {
+		return p.compressPhase(rs, g, res)
+	})
+	return res, err
+}
+
+// fullGraphTail runs the reduce and compress phases in FullGraph mode:
+// all candidate overlaps enter a full string graph, transitive edges are
+// removed, and unitig chains are spelled out (Section II-A.2 rather than
+// the paper's greedy heuristic).
+func (p *Pipeline) fullGraphTail(res *Result, rs dna.ReadSource, partDir string,
+	counts map[int]int64) (*Result, error) {
+	fg := sgraph.New(rs.NumReads())
+	err := p.runPhase(PhaseReduce, res, func() error {
+		cfg := overlap.Config{
+			Device:      p.dev,
+			Meter:       p.meter,
+			HostMem:     &p.hostMem,
+			WindowPairs: maxInt(p.cfg.HostBlockPairs/2, 1),
+		}
+		for l := rs.MaxLen() - 1; l >= p.cfg.MinOverlap; l-- {
+			if _, ok := counts[l]; !ok {
+				continue
+			}
+			sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
+			pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
+			length := uint16(l)
+			err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
+				res.CandidateEdges++
+				if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, int(length)) {
+					res.FalsePositives++
+					return nil
+				}
+				fg.AddOverlap(u, v, length)
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("core: reducing partition %d: %w", l, err)
+			}
+		}
+		p.hostMem.Add(fg.ApproxBytes())
+		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
+		res.AcceptedEdges = fg.NumEdges(false)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	defer p.hostMem.Release(fg.ApproxBytes())
+	err = p.runPhase(PhaseCompress, res, func() error {
+		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
+		return p.writeContigs(rs, paths, res)
+	})
+	return res, err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mapTuple is one (length, side, fingerprint, vertex) emission from the
+// map kernels, buffered before the partitioned disk write.
+type mapTuple struct {
+	length int32
+	kind   kvio.Kind
+	pair   kv.Pair
+}
+
+const mapTupleBytes = 32
+
+func (p *Pipeline) mapPhase(rs dna.ReadSource, partDir string) (map[int]int64, error) {
+	sfxW := kvio.NewPartitionWriters(partDir, kvio.Suffix, p.meter)
+	pfxW := kvio.NewPartitionWriters(partDir, kvio.Prefix, p.meter)
+	mapper := NewMapper(p.dev, &p.hostMem, p.cfg.MinOverlap, p.cfg.MapBatchReads, rs.MaxLen())
+	mapper.NaiveKernel = p.cfg.NaiveMapKernel
+	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
+		return nil, err
+	}
+	counts := sfxW.Counts()
+	if err := sfxW.Close(); err != nil {
+		return nil, err
+	}
+	if err := pfxW.Close(); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+func (p *Pipeline) sortPhase(partDir string, counts map[int]int64, res *Result) error {
+	cfg := extsort.Config{
+		Device:           p.dev,
+		Meter:            p.meter,
+		HostMem:          &p.hostMem,
+		HostBlockPairs:   p.cfg.HostBlockPairs,
+		DeviceBlockPairs: p.cfg.DeviceBlockPairs,
+		TempDir:          partDir,
+	}
+	for l := range counts {
+		for _, kind := range []kvio.Kind{kvio.Suffix, kvio.Prefix} {
+			in := kvio.PartitionPath(partDir, kind, l)
+			out := in + ".sorted"
+			st, err := extsort.SortFile(cfg, in, out)
+			if err != nil {
+				return fmt.Errorf("core: sorting partition %d (%s): %w", l, kind, err)
+			}
+			if st.DiskPasses > res.SortDiskPasses {
+				res.SortDiskPasses = st.DiskPasses
+			}
+			if err := os.Remove(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) reducePhase(rs dna.ReadSource, partDir string, counts map[int]int64,
+	g *graph.Graph, res *Result) error {
+	cfg := overlap.Config{
+		Device:      p.dev,
+		Meter:       p.meter,
+		HostMem:     &p.hostMem,
+		WindowPairs: p.cfg.HostBlockPairs / 2,
+	}
+	if cfg.WindowPairs < 1 {
+		cfg.WindowPairs = 1
+	}
+	// Descending length order makes the greedy graph keep the longest
+	// overlap per read (Section III-C).
+	for l := rs.MaxLen() - 1; l >= p.cfg.MinOverlap; l-- {
+		if _, ok := counts[l]; !ok {
+			continue
+		}
+		sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
+		pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
+		length := uint16(l)
+		err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
+			res.CandidateEdges++
+			if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, int(length)) {
+				res.FalsePositives++
+				return nil
+			}
+			g.AddCandidate(u, v, length)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: reducing partition %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// verifyOverlap checks that the l-suffix of vertex u equals the l-prefix
+// of vertex v by comparing the underlying sequences.
+func (p *Pipeline) verifyOverlap(rs dna.ReadSource, u, v uint32, l int) bool {
+	su := rs.VertexSeq(u)
+	sv := rs.VertexSeq(v)
+	if l > len(su) || l > len(sv) {
+		return false
+	}
+	return su[len(su)-l:].Equal(sv[:l])
+}
+
+func (p *Pipeline) compressPhase(rs dna.ReadSource, g *graph.Graph, res *Result) error {
+	opts := graph.TraverseOptions{
+		IncludeSingletons: p.cfg.IncludeSingletons,
+		BreakCycles:       p.cfg.BreakCycles,
+	}
+	var paths []graph.Path
+	if p.cfg.ParallelTraversal {
+		paths = g.TraverseParallel(p.dev, rs.VertexLen, opts)
+	} else {
+		paths = g.Traverse(rs.VertexLen, opts)
+	}
+	return p.writeContigs(rs, paths, res)
+}
+
+// writeContigs generates contig sequences from paths and writes the FASTA
+// output.
+func (p *Pipeline) writeContigs(rs dna.ReadSource, paths []graph.Path, res *Result) error {
+	res.Contigs = contig.Generate(contig.Config{Device: p.dev}, paths, rs)
+	res.ContigStats = contig.Summarize(res.Contigs)
+
+	res.ContigPath = filepath.Join(p.cfg.Workspace, "contigs.fasta")
+	f, err := os.Create(res.ContigPath)
+	if err != nil {
+		return err
+	}
+	w := fastq.NewFastaWriter(f, 80)
+	var written int64
+	for i, c := range res.Contigs {
+		if err := w.Write(fastq.Record{Name: fmt.Sprintf("contig%d len=%d", i, len(c)), Seq: c}); err != nil {
+			f.Close()
+			return err
+		}
+		written += int64(len(c))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	p.meter.AddDiskWrite(written)
+	return f.Close()
+}

@@ -1,0 +1,101 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name:            "test",
+		DiskReadBps:     100,
+		DiskWriteBps:    50,
+		NetBps:          200,
+		HostMemBps:      1000,
+		DeviceMemBps:    2000,
+		DeviceOpsPerSec: 4000,
+		PCIeBps:         500,
+	}
+}
+
+func TestMeterSnapshot(t *testing.T) {
+	m := NewMeter()
+	m.AddDiskRead(100)
+	m.AddDiskWrite(50)
+	m.AddNet(20)
+	m.AddHostMem(10)
+	m.AddDeviceMem(40)
+	m.AddDeviceOps(8)
+	m.AddPCIe(5)
+	c := m.Snapshot()
+	want := Counters{100, 50, 20, 10, 40, 8, 5}
+	if c != want {
+		t.Errorf("Snapshot = %+v, want %+v", c, want)
+	}
+	m.Reset()
+	if m.Snapshot() != (Counters{}) {
+		t.Error("Reset should zero all counters")
+	}
+}
+
+func TestCountersTimeAdditive(t *testing.T) {
+	p := testProfile()
+	c := Counters{DiskReadBytes: 100, DiskWriteBytes: 50}
+	// 100/100 + 50/50 = 2 seconds.
+	if got := c.Time(p); got != 2*time.Second {
+		t.Errorf("Time = %v, want 2s", got)
+	}
+	c = Counters{DeviceMemBytes: 2000, DeviceOps: 4000, PCIeBytes: 500}
+	// 1 + 1 + 1 = 3 seconds.
+	if got := c.Time(p); got != 3*time.Second {
+		t.Errorf("Time = %v, want 3s", got)
+	}
+}
+
+func TestTimeZeroThroughputIgnored(t *testing.T) {
+	c := Counters{NetBytes: 1000}
+	if got := c.Time(Profile{}); got != 0 {
+		t.Errorf("Time with zero profile = %v, want 0", got)
+	}
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := Counters{100, 90, 80, 70, 60, 50, 40}
+	b := Counters{10, 9, 8, 7, 6, 5, 4}
+	if got := a.Sub(b); got != (Counters{90, 81, 72, 63, 54, 45, 36}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := b.Add(b); got != (Counters{20, 18, 16, 14, 12, 10, 8}) {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.AddDiskRead(1)
+				m.AddDeviceOps(2)
+			}
+		}()
+	}
+	wg.Wait()
+	c := m.Snapshot()
+	if c.DiskReadBytes != 8000 || c.DeviceOps != 16000 {
+		t.Errorf("Snapshot = %+v", c)
+	}
+}
+
+func TestBandwidthConstants(t *testing.T) {
+	if InfiniBand56G <= 6*gib || InfiniBand56G >= 8*gib {
+		t.Errorf("InfiniBand56G = %v, expected ~7 GiB/s", InfiniBand56G)
+	}
+	if DefaultDisk.ReadBps <= DefaultDisk.WriteBps-20*mib {
+		t.Error("disk read should be at least comparable to write")
+	}
+}

@@ -1,0 +1,226 @@
+// Package debruijn implements a k-mer de Bruijn graph assembler, the
+// *other* family of assemblers the paper positions LaSAGNA against
+// (Sections II-A.1 and IV-C.3).
+//
+// The paper excludes de Bruijn tools from Table VI because "most of them
+// are not designed for processing large datasets on a single machine
+// (i.e., failed with out-of-memory error)": a de Bruijn assembler keeps
+// its whole k-mer structure resident, so memory grows with the number of
+// distinct k-mers, while LaSAGNA's working set is fixed by its block
+// sizes. This package reproduces that structural contrast measurably
+// (see ApproxBytes) and provides the algorithm itself: canonical k-mer
+// counting, solid-k-mer filtering, and unitig extraction by unique
+// extension — the approach of Velvet/Minia-style assemblers. The paper
+// also notes the method's biological weakness: k-mers collapse repeats
+// longer than k (Section II-A.1), which shows up as shorter contigs on
+// repeat-rich genomes.
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Config parameterizes the assembler.
+type Config struct {
+	// K is the k-mer length (<= 32 so a k-mer packs into a uint64).
+	K int
+	// MinCount drops k-mers seen fewer times (error filtering); 1 keeps
+	// everything.
+	MinCount int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 2 || c.K > 32 {
+		return fmt.Errorf("debruijn: K must be in [2,32], got %d", c.K)
+	}
+	if c.MinCount < 1 {
+		return fmt.Errorf("debruijn: MinCount must be >= 1, got %d", c.MinCount)
+	}
+	return nil
+}
+
+// packKmer packs s[0:k] into 2-bit codes, most significant base first.
+func packKmer(s dna.Seq) uint64 {
+	var v uint64
+	for _, c := range s {
+		v = v<<2 | uint64(c&3)
+	}
+	return v
+}
+
+// unpackKmer expands a packed k-mer.
+func unpackKmer(v uint64, k int) dna.Seq {
+	out := make(dna.Seq, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = byte(v & 3)
+		v >>= 2
+	}
+	return out
+}
+
+// revComp returns the reverse complement of a packed k-mer.
+func revComp(v uint64, k int) uint64 {
+	var r uint64
+	for i := 0; i < k; i++ {
+		r = r<<2 | (3 - (v & 3))
+		v >>= 2
+	}
+	return r
+}
+
+// canonical returns the smaller of a k-mer and its reverse complement —
+// the strand-independent representative.
+func canonical(v uint64, k int) uint64 {
+	if rc := revComp(v, k); rc < v {
+		return rc
+	}
+	return v
+}
+
+// Graph is the de Bruijn graph: the set of solid canonical k-mers.
+type Graph struct {
+	k     int
+	mask  uint64
+	kmers map[uint64]uint32 // canonical k-mer -> count
+}
+
+// Build counts canonical k-mers over all reads and keeps the solid ones.
+// The whole structure lives in host memory — the property that makes this
+// family of assemblers memory-bound on large datasets.
+func Build(cfg Config, rs *dna.ReadSet) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		k:     cfg.K,
+		mask:  (uint64(1) << (2 * cfg.K)) - 1,
+		kmers: make(map[uint64]uint32),
+	}
+	for r := uint32(0); r < uint32(rs.NumReads()); r++ {
+		read := rs.Read(r)
+		if len(read) < cfg.K {
+			continue
+		}
+		// Rolling pack: shift in one base at a time.
+		var cur uint64
+		for i, c := range read {
+			cur = (cur<<2 | uint64(c&3)) & g.mask
+			if i >= cfg.K-1 {
+				g.kmers[canonical(cur, g.k)]++
+			}
+		}
+	}
+	if cfg.MinCount > 1 {
+		for km, n := range g.kmers {
+			if int(n) < cfg.MinCount {
+				delete(g.kmers, km)
+			}
+		}
+	}
+	return g, nil
+}
+
+// K returns the k-mer length.
+func (g *Graph) K() int { return g.k }
+
+// NumKmers returns the number of solid canonical k-mers.
+func (g *Graph) NumKmers() int { return len(g.kmers) }
+
+// has reports whether the (non-canonical) k-mer is present.
+func (g *Graph) has(v uint64) bool {
+	_, ok := g.kmers[canonical(v, g.k)]
+	return ok
+}
+
+// successors returns the present forward extensions of v (up to 4).
+func (g *Graph) successors(v uint64) []uint64 {
+	var out []uint64
+	for b := uint64(0); b < 4; b++ {
+		next := (v<<2 | b) & g.mask
+		if g.has(next) {
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// predecessors returns the present backward extensions of v (up to 4).
+func (g *Graph) predecessors(v uint64) []uint64 {
+	var out []uint64
+	for b := uint64(0); b < 4; b++ {
+		prev := v>>2 | b<<(2*(g.k-1))
+		if g.has(prev) {
+			out = append(out, prev)
+		}
+	}
+	return out
+}
+
+// Contigs extracts unitigs: maximal walks where every step has a unique
+// successor whose predecessor is also unique. Each canonical k-mer joins
+// at most one contig (a contig and its reverse complement count once).
+func (g *Graph) Contigs() []dna.Seq {
+	visited := make(map[uint64]bool, len(g.kmers))
+	var contigs []dna.Seq
+
+	walk := func(start uint64) dna.Seq {
+		seq := unpackKmer(start, g.k)
+		cur := start
+		visited[canonical(cur, g.k)] = true
+		for {
+			succs := g.successors(cur)
+			if len(succs) != 1 {
+				return seq
+			}
+			next := succs[0]
+			if len(g.predecessors(next)) != 1 || visited[canonical(next, g.k)] {
+				return seq
+			}
+			visited[canonical(next, g.k)] = true
+			seq = append(seq, byte(next&3))
+			cur = next
+		}
+	}
+
+	// Stage 1: start from k-mers that cannot be extended backwards
+	// unambiguously (branch points and tips), in both orientations.
+	for km := range g.kmers {
+		for _, v := range []uint64{km, revComp(km, g.k)} {
+			if visited[canonical(v, g.k)] {
+				continue
+			}
+			preds := g.predecessors(v)
+			if len(preds) == 1 && len(g.successors(preds[0])) == 1 {
+				continue // interior of a chain; a start will reach it
+			}
+			contigs = append(contigs, walk(v))
+		}
+	}
+	// Stage 2: residual cycles.
+	for km := range g.kmers {
+		if !visited[canonical(km, g.k)] {
+			contigs = append(contigs, walk(km))
+		}
+	}
+	return contigs
+}
+
+// ApproxBytes estimates the resident memory of the k-mer structure
+// (~48 bytes per map entry in Go). Unlike LaSAGNA's block-bounded working
+// set, this grows with the dataset — the paper's stated reason for the
+// out-of-memory failures of de Bruijn tools on large inputs.
+func (g *Graph) ApproxBytes() int64 {
+	return int64(len(g.kmers)) * 48
+}
+
+// Assemble is the one-call pipeline: build, then extract contigs.
+func Assemble(cfg Config, rs *dna.ReadSet) ([]dna.Seq, *Graph, error) {
+	g, err := Build(cfg, rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.Contigs(), g, nil
+}

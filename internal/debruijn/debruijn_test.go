@@ -1,0 +1,189 @@
+package debruijn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		s := make(dna.Seq, len(raw))
+		for i, b := range raw {
+			s[i] = b & 3
+		}
+		return unpackKmer(packKmer(s), len(s)).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRevCompPacked(t *testing.T) {
+	s := dna.MustParseSeq("ACGTTGCA")
+	v := packKmer(s)
+	want := packKmer(s.ReverseComplement())
+	if got := revComp(v, 8); got != want {
+		t.Errorf("revComp = %x, want %x", got, want)
+	}
+	// Involution.
+	if revComp(revComp(v, 8), 8) != v {
+		t.Error("revComp not involutive")
+	}
+}
+
+func TestCanonicalStrandIndependent(t *testing.T) {
+	s := dna.MustParseSeq("ACGTTGCAGGATCC")[:13]
+	v := packKmer(s)
+	rc := revComp(v, 13)
+	if canonical(v, 13) != canonical(rc, 13) {
+		t.Error("canonical differs between strands")
+	}
+}
+
+func TestBuildCountsKmers(t *testing.T) {
+	rs := dna.NewReadSet(1, 16)
+	rs.Append(dna.MustParseSeq("ACGTACGT")) // 4-mers: ACGT CGTA GTAC TACG ACGT
+	g, err := Build(Config{K: 4, MinCount: 1}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical classes: ACGT(=RC ACGT), CGTA/TACG (RCs of each other),
+	// GTAC(=RC GTAC) -> 3 distinct canonical k-mers.
+	if g.NumKmers() != 3 {
+		t.Errorf("NumKmers = %d, want 3", g.NumKmers())
+	}
+}
+
+func TestMinCountFiltersErrors(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 800, Seed: 61})
+	clean := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 50, Coverage: 15, Seed: 62})
+	noisy := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 50, Coverage: 15, Seed: 62, ErrorRate: 0.01})
+	gAll, err := Build(Config{K: 21, MinCount: 1}, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSolid, err := Build(Config{K: 21, MinCount: 3}, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gClean, err := Build(Config{K: 21, MinCount: 1}, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gAll.NumKmers() <= gClean.NumKmers() {
+		t.Error("errors should inflate the k-mer set")
+	}
+	if gSolid.NumKmers() >= gAll.NumKmers() {
+		t.Error("MinCount should remove error k-mers")
+	}
+	// Solid set should approach the clean set.
+	ratio := float64(gSolid.NumKmers()) / float64(gClean.NumKmers())
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("solid/clean k-mer ratio = %.2f", ratio)
+	}
+}
+
+func TestContigsAreGenomeSubstrings(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 3000, Seed: 63})
+	reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 60, Coverage: 15, Seed: 64})
+	contigs, g, err := Assemble(Config{K: 25, MinCount: 1}, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contigs) == 0 || g.NumKmers() == 0 {
+		t.Fatal("no assembly")
+	}
+	gs, grc := genome.String(), genome.ReverseComplement().String()
+	longest := 0
+	for i, c := range contigs {
+		s := c.String()
+		if !strings.Contains(gs, s) && !strings.Contains(grc, s) {
+			t.Errorf("contig %d (len %d) not a genome substring", i, len(c))
+		}
+		if len(c) > longest {
+			longest = len(c)
+		}
+	}
+	if longest < 500 {
+		t.Errorf("longest contig = %d, expected long unitigs from clean 15x data", longest)
+	}
+}
+
+func TestRepeatCollapse(t *testing.T) {
+	// The paper's Section II-A.1 point: repeats longer than k fragment
+	// the de Bruijn graph. A genome with a planted repeat longer than k
+	// must yield more, shorter contigs than a repeat-free genome.
+	plain := readsim.Genome(readsim.GenomeParams{Length: 4000, Seed: 65})
+	repeats := readsim.Genome(readsim.GenomeParams{Length: 4000, RepeatLen: 120, RepeatCount: 6, Seed: 65})
+	n50 := func(genome dna.Seq) int {
+		reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 60, Coverage: 15, Seed: 66})
+		contigs, _, err := Assemble(Config{K: 25, MinCount: 1}, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, best := 0, 0
+		lens := make([]int, 0, len(contigs))
+		for _, c := range contigs {
+			lens = append(lens, len(c))
+			total += len(c)
+		}
+		cum := 0
+		for {
+			best = 0
+			for i, l := range lens {
+				if l > best {
+					best = l
+					lens[i] = 0
+				}
+			}
+			cum += best
+			if 2*cum >= total || best == 0 {
+				return best
+			}
+		}
+	}
+	if plainN50, repN50 := n50(plain), n50(repeats); repN50 >= plainN50 {
+		t.Errorf("repeats should fragment the dBG assembly: plain N50 %d, repeat N50 %d",
+			plainN50, repN50)
+	}
+}
+
+func TestMemoryGrowsWithDataset(t *testing.T) {
+	// The structural claim behind the paper's Table VI footnote: the
+	// de Bruijn structure is resident and grows with the dataset.
+	small := readsim.Genome(readsim.GenomeParams{Length: 2000, Seed: 67})
+	large := readsim.Genome(readsim.GenomeParams{Length: 8000, Seed: 67})
+	mem := func(genome dna.Seq) int64 {
+		reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 50, Coverage: 10, Seed: 68})
+		g, err := Build(Config{K: 25, MinCount: 1}, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.ApproxBytes()
+	}
+	ms, ml := mem(small), mem(large)
+	if ml < 3*ms {
+		t.Errorf("4x genome should need ~4x k-mer memory: %d -> %d", ms, ml)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{{K: 1, MinCount: 1}, {K: 33, MinCount: 1}, {K: 21, MinCount: 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+	rs := dna.NewReadSet(1, 4)
+	rs.Append(dna.MustParseSeq("AC")) // shorter than K: skipped, not fatal
+	g, err := Build(Config{K: 21, MinCount: 1}, rs)
+	if err != nil || g.NumKmers() != 0 {
+		t.Errorf("short reads should be skipped: %v, %d", err, g.NumKmers())
+	}
+}

@@ -1,0 +1,129 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/readsim"
+	"repro/internal/stats"
+)
+
+func streamCfg(t *testing.T, mh, md int) StreamConfig {
+	t.Helper()
+	return StreamConfig{
+		Device:           gpu.NewDevice(gpu.K40, nil),
+		HostBlockPairs:   mh,
+		DeviceBlockPairs: md,
+		TempDir:          t.TempDir(),
+	}
+}
+
+func TestBuildStreamedMatchesInMemory(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 2000, Seed: 71})
+	reads := readsim.Simulate(genome, readsim.ReadParams{
+		ReadLen: 60, Coverage: 12, Seed: 72, ErrorRate: 0.005,
+	})
+	for _, minCount := range []int{1, 3} {
+		cfg := Config{K: 21, MinCount: minCount}
+		want, err := Build(cfg, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := BuildStreamed(cfg, streamCfg(t, 4096, 512), reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumKmers() != want.NumKmers() {
+			t.Fatalf("minCount=%d: streamed %d k-mers, in-memory %d",
+				minCount, got.NumKmers(), want.NumKmers())
+		}
+		for km, n := range want.kmers {
+			if got.kmers[km] != n {
+				t.Fatalf("minCount=%d: count mismatch for %x: %d vs %d",
+					minCount, km, got.kmers[km], n)
+			}
+		}
+		if st.SolidKmers != int64(want.NumKmers()) {
+			t.Errorf("stats.SolidKmers = %d", st.SolidKmers)
+		}
+		if minCount > 1 && st.DroppedKmers == 0 {
+			t.Error("noisy data should produce dropped singleton k-mers")
+		}
+		if st.SortStats.Pairs != st.TotalKmers {
+			t.Errorf("sorted %d pairs, emitted %d", st.SortStats.Pairs, st.TotalKmers)
+		}
+	}
+}
+
+func TestBuildStreamedContigsIdentical(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 1500, Seed: 73})
+	reads := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 50, Coverage: 10, Seed: 74})
+	cfg := Config{K: 25, MinCount: 1}
+	mem, err := Build(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, _, err := BuildStreamed(cfg, streamCfg(t, 2048, 256), reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mem.Contigs(), streamed.Contigs()
+	ta, tb := 0, 0
+	for _, c := range a {
+		ta += len(c)
+	}
+	for _, c := range b {
+		tb += len(c)
+	}
+	if len(a) != len(b) || ta != tb {
+		t.Errorf("contig sets differ: %d/%d contigs, %d/%d bases", len(a), len(b), ta, tb)
+	}
+}
+
+func TestBuildStreamedBoundedWorkingSet(t *testing.T) {
+	// The Section IV-C.5 argument: on noisy data, the in-memory build
+	// must hold every error singleton, while the streamed build's
+	// resident set is the sort buffers plus the solid survivors.
+	genome := readsim.Genome(readsim.GenomeParams{Length: 4000, Seed: 75})
+	reads := readsim.Simulate(genome, readsim.ReadParams{
+		ReadLen: 60, Coverage: 20, Seed: 76, ErrorRate: 0.02,
+	})
+	cfg := Config{K: 25, MinCount: 3}
+	raw, err := Build(Config{K: 25, MinCount: 1}, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hostMem stats.MemTracker
+	scfg := streamCfg(t, 2048, 256)
+	scfg.HostMem = &hostMem
+	solid, st, err := BuildStreamed(cfg, scfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solid.ApproxBytes() >= raw.ApproxBytes()/2 {
+		t.Errorf("solid set (%d B) should be far below the raw set (%d B)",
+			solid.ApproxBytes(), raw.ApproxBytes())
+	}
+	if st.DroppedKmers < st.SolidKmers {
+		t.Errorf("2%% errors at 20x should drop more k-mers than survive: dropped=%d solid=%d",
+			st.DroppedKmers, st.SolidKmers)
+	}
+	// The streamed build's tracked working set (sort buffers + result)
+	// stays below the raw resident structure.
+	if hostMem.Peak() >= raw.ApproxBytes() {
+		t.Errorf("streamed peak %d should undercut raw resident %d",
+			hostMem.Peak(), raw.ApproxBytes())
+	}
+}
+
+func TestBuildStreamedErrors(t *testing.T) {
+	reads := readsim.Simulate(readsim.Genome(readsim.GenomeParams{Length: 300, Seed: 77}),
+		readsim.ReadParams{ReadLen: 40, Coverage: 3, Seed: 78})
+	if _, _, err := BuildStreamed(Config{K: 0, MinCount: 1}, streamCfg(t, 64, 8), reads); err == nil {
+		t.Error("invalid K should fail")
+	}
+	bad := StreamConfig{}
+	if _, _, err := BuildStreamed(Config{K: 21, MinCount: 1}, bad, reads); err == nil {
+		t.Error("missing device/tempdir should fail")
+	}
+}

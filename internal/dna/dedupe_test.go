@@ -1,0 +1,81 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeduplicateExact(t *testing.T) {
+	rs := NewReadSet(4, 40)
+	rs.Append(MustParseSeq("ACGTACGT"))
+	rs.Append(MustParseSeq("ACGTACGT")) // exact duplicate
+	rs.Append(MustParseSeq("GGGGCCCC"))
+	out, removed := Deduplicate(rs)
+	if removed != 1 || out.NumReads() != 2 {
+		t.Fatalf("removed=%d reads=%d", removed, out.NumReads())
+	}
+	if out.Read(0).String() != "ACGTACGT" || out.Read(1).String() != "GGGGCCCC" {
+		t.Error("wrong survivors")
+	}
+}
+
+func TestDeduplicateReverseComplement(t *testing.T) {
+	rs := NewReadSet(2, 20)
+	a := MustParseSeq("ACGTTGCA")
+	rs.Append(a)
+	rs.Append(a.ReverseComplement()) // same vertex pair, opposite labels
+	out, removed := Deduplicate(rs)
+	if removed != 1 || out.NumReads() != 1 {
+		t.Fatalf("removed=%d reads=%d", removed, out.NumReads())
+	}
+}
+
+func TestDeduplicateKeepsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := NewReadSet(50, 2500)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		s := randomSeq(rng, 50)
+		rc := s.ReverseComplement()
+		key := s.String()
+		if rc.String() < key {
+			key = rc.String()
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rs.Append(s)
+	}
+	out, removed := Deduplicate(rs)
+	if removed != 0 || out.NumReads() != rs.NumReads() {
+		t.Errorf("distinct set should survive intact: removed=%d", removed)
+	}
+}
+
+func TestDeduplicateVariableLengths(t *testing.T) {
+	rs := NewReadSet(3, 30)
+	rs.Append(MustParseSeq("ACGT"))
+	rs.Append(MustParseSeq("ACGTA")) // prefix-extended, not a duplicate
+	rs.Append(MustParseSeq("ACGT"))
+	out, removed := Deduplicate(rs)
+	if removed != 1 || out.NumReads() != 2 {
+		t.Fatalf("removed=%d reads=%d", removed, out.NumReads())
+	}
+}
+
+func TestDeduplicatePalindrome(t *testing.T) {
+	// A reverse-complement palindrome equals its own RC; it must be kept
+	// once and only once.
+	rs := NewReadSet(2, 16)
+	p := MustParseSeq("ACGCGT") // RC = ACGCGT
+	if !p.ReverseComplement().Equal(p) {
+		t.Fatal("test sequence is not a palindrome")
+	}
+	rs.Append(p)
+	rs.Append(p)
+	out, removed := Deduplicate(rs)
+	if removed != 1 || out.NumReads() != 1 {
+		t.Fatalf("removed=%d reads=%d", removed, out.NumReads())
+	}
+}

@@ -1,0 +1,79 @@
+package dna
+
+// ReadSource is the read-access interface the pipeline consumes. The
+// plain ReadSet (one byte per base) implements it with zero-copy views;
+// PackedReadSource stores bases 2-bit packed — the encoding the paper's
+// host-memory budgets assume — and unpacks per call.
+type ReadSource interface {
+	NumReads() int
+	NumVertices() int
+	TotalBases() int64
+	MaxLen() int
+	Len(i uint32) int
+	// Read returns read i's codes. Callers must not retain the slice
+	// across calls: packed sources may return freshly unpacked storage,
+	// and future implementations may reuse buffers.
+	Read(i uint32) Seq
+	VertexLen(v uint32) int
+	// VertexSeq materializes the strand named by v (forward read or its
+	// reverse complement); always safe to retain.
+	VertexSeq(v uint32) Seq
+	// ApproxBytes estimates the resident host-memory footprint.
+	ApproxBytes() int64
+}
+
+// Compile-time checks.
+var (
+	_ ReadSource = (*ReadSet)(nil)
+	_ ReadSource = (*PackedReadSource)(nil)
+)
+
+// PackedReadSource adapts PackedReadSet to ReadSource: reads live 2-bit
+// packed (a quarter of ReadSet's footprint), at the cost of unpacking on
+// access. It is safe for concurrent use: every Read allocates.
+type PackedReadSource struct {
+	p *PackedReadSet
+}
+
+// PackSource converts a read set into its packed form.
+func PackSource(rs *ReadSet) *PackedReadSource {
+	return &PackedReadSource{p: PackReadSet(rs)}
+}
+
+// NumReads returns the number of reads.
+func (s *PackedReadSource) NumReads() int { return s.p.NumReads() }
+
+// NumVertices returns two vertices per read.
+func (s *PackedReadSource) NumVertices() int { return 2 * s.p.NumReads() }
+
+// TotalBases returns the total base count.
+func (s *PackedReadSource) TotalBases() int64 {
+	return s.p.starts[len(s.p.starts)-1]
+}
+
+// MaxLen returns the longest read length.
+func (s *PackedReadSource) MaxLen() int { return s.p.MaxLen() }
+
+// Len returns the length of read i.
+func (s *PackedReadSource) Len(i uint32) int { return s.p.Len(i) }
+
+// Read unpacks read i into fresh storage.
+func (s *PackedReadSource) Read(i uint32) Seq { return s.p.Read(i) }
+
+// VertexLen returns the length of the strand named by v.
+func (s *PackedReadSource) VertexLen(v uint32) int { return s.p.Len(ReadOfVertex(v)) }
+
+// VertexSeq materializes the strand named by v.
+func (s *PackedReadSource) VertexSeq(v uint32) Seq {
+	r := s.p.Read(ReadOfVertex(v))
+	if IsReverse(v) {
+		rc := make(Seq, len(r))
+		r.ReverseComplementInto(rc)
+		return rc
+	}
+	return r
+}
+
+// ApproxBytes estimates the packed footprint (~1/4 of the byte-per-base
+// ReadSet).
+func (s *PackedReadSource) ApproxBytes() int64 { return s.p.ApproxBytes() }

@@ -1,0 +1,61 @@
+package extsort
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func TestSortFileMissingInput(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
+	if _, err := SortFile(cfg, filepath.Join(dir, "nope.kv"), filepath.Join(dir, "out.kv")); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
+func TestSortFileCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.kv")
+	if err := os.WriteFile(in, make([]byte, kv.PairBytes+5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
+	if _, err := SortFile(cfg, in, filepath.Join(dir, "out.kv")); err == nil {
+		t.Error("corrupt input should fail")
+	}
+}
+
+func TestSortFileUnusableTempDir(t *testing.T) {
+	// A temp "directory" that is actually a file fails run creation even
+	// when running as root (permission bits would not).
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.kv")
+	writePairs(t, in, randomPairsForErr(300))
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: blocked}
+	if _, err := SortFile(cfg, in, filepath.Join(blocked, "out.kv")); err == nil {
+		t.Error("unusable temp dir should fail")
+	}
+}
+
+func TestSortFileInvalidConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Device: nil, HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
+	if _, err := SortFile(cfg, "x", "y"); err == nil {
+		t.Error("invalid config should fail before touching files")
+	}
+}
+
+func randomPairsForErr(n int) []kv.Pair {
+	ps := make([]kv.Pair, n)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: kv.Key{Hi: uint64(i * 7919), Lo: uint64(i)}, Val: uint32(i)}
+	}
+	return ps
+}

@@ -1,0 +1,453 @@
+// Package extsort implements LaSAGNA's hybrid-memory external sort
+// (Section III-B): the most expensive phase of the pipeline (more than 50%
+// of total execution time in the paper's evaluation).
+//
+// The sort runs at two levels, mirroring the two-level streaming model:
+//
+//   - Disk level: blocks of m_h pairs (the host block-size) are read from
+//     the read-only input file, sorted in host memory, and written back as
+//     sorted runs; runs are then pairwise merged with Algorithm 1 until a
+//     single run remains. Disk passes = 1 + ceil(log2(#runs)), the
+//     1 + log(n/m_h) of the paper.
+//
+//   - Device level: inside a host block, chunks of m_d pairs (the device
+//     block-size) are radix-sorted on the device and merged back in host
+//     memory by streaming m_d-sized windows through the device
+//     (Algorithm 1 again, one level down).
+//
+// Algorithm 1's window equalization — truncating the pair of windows at
+// the upper bound of the smaller of their last keys so that no key in a
+// later window can interleave — appears at both levels.
+package extsort
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"repro/internal/costmodel"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a sort.
+type Config struct {
+	Device           *gpu.Device
+	Meter            *costmodel.Meter  // meters disk traffic; may be nil
+	HostMem          *stats.MemTracker // accounts host buffers; may be nil
+	HostBlockPairs   int               // m_h: pairs sorted per host block
+	DeviceBlockPairs int               // m_d: pairs per device chunk
+	TempDir          string            // scratch directory for run files
+}
+
+// hostPairBytes is the in-host-memory footprint of one pair (padded
+// struct), used for host-memory accounting.
+const hostPairBytes = 24
+
+// Validate checks the configuration against the device capacity: device
+// merges need two m_d windows resident (input and output).
+func (c Config) Validate() error {
+	if c.Device == nil {
+		return fmt.Errorf("extsort: nil device")
+	}
+	if c.HostBlockPairs <= 0 || c.DeviceBlockPairs <= 0 {
+		return fmt.Errorf("extsort: block sizes must be positive (m_h=%d m_d=%d)",
+			c.HostBlockPairs, c.DeviceBlockPairs)
+	}
+	if c.DeviceBlockPairs > c.HostBlockPairs {
+		return fmt.Errorf("extsort: device block (%d) larger than host block (%d)",
+			c.DeviceBlockPairs, c.HostBlockPairs)
+	}
+	need := int64(2*c.DeviceBlockPairs) * kv.PairBytes
+	if need > c.Device.Capacity() {
+		return fmt.Errorf("extsort: device block of %d pairs needs %d bytes, device has %d",
+			c.DeviceBlockPairs, need, c.Device.Capacity())
+	}
+	return nil
+}
+
+// Stats reports the work a sort performed.
+type Stats struct {
+	Pairs       int64
+	Runs        int // sorted runs produced by the first pass
+	MergeRounds int // pairwise merge rounds over the runs
+	DiskPasses  int // total passes over the data (1 + MergeRounds)
+}
+
+// SortFile externally sorts the pairs in inPath into outPath.
+func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	in, err := kvio.NewReader(inPath, cfg.Meter)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer in.Close()
+	st := Stats{Pairs: in.Count()}
+
+	// Pass 1: form sorted runs of up to m_h pairs each.
+	hostBytes := int64(2*cfg.HostBlockPairs) * hostPairBytes // block + merge scratch
+	if cfg.HostMem != nil {
+		cfg.HostMem.Add(hostBytes)
+		defer cfg.HostMem.Release(hostBytes)
+	}
+	block := make([]kv.Pair, cfg.HostBlockPairs)
+	scratch := make([]kv.Pair, cfg.HostBlockPairs)
+	var runs []string
+	for {
+		n, err := readFull(in, block)
+		if n == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return st, err
+		}
+		sorted := sortHostBlock(cfg, block[:n], scratch[:n])
+		runPath := filepath.Join(cfg.TempDir, fmt.Sprintf("run_%06d.kv", len(runs)))
+		if err := writeRun(runPath, sorted, cfg.Meter); err != nil {
+			return st, err
+		}
+		runs = append(runs, runPath)
+		if err == io.EOF {
+			break
+		}
+	}
+	st.Runs = len(runs)
+
+	if len(runs) == 0 {
+		// Empty input: still produce an (empty) output file.
+		w, err := kvio.NewWriter(outPath, cfg.Meter)
+		if err != nil {
+			return st, err
+		}
+		st.DiskPasses = 1
+		return st, w.Close()
+	}
+
+	// Pass 2..k: pairwise merge runs until one remains (Algorithm 1).
+	gen := 0
+	for len(runs) > 1 {
+		st.MergeRounds++
+		var next []string
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				next = append(next, runs[i])
+				continue
+			}
+			gen++
+			merged := filepath.Join(cfg.TempDir, fmt.Sprintf("merge_%06d.kv", gen))
+			if err := mergeRunFiles(cfg, runs[i], runs[i+1], merged); err != nil {
+				return st, err
+			}
+			if err := os.Remove(runs[i]); err != nil {
+				return st, err
+			}
+			if err := os.Remove(runs[i+1]); err != nil {
+				return st, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	st.DiskPasses = 1 + st.MergeRounds
+	if err := os.Rename(runs[0], outPath); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// PredictedDiskPasses returns the number of disk passes the sort will take
+// for n pairs with host block m_h — the 1 + ceil(log2(n/m_h)) of the
+// paper's analysis.
+func PredictedDiskPasses(n int64, hostBlockPairs int) int {
+	if n <= int64(hostBlockPairs) {
+		return 1
+	}
+	runs := (n + int64(hostBlockPairs) - 1) / int64(hostBlockPairs)
+	return 1 + bits.Len64(uint64(runs-1))
+}
+
+func readFull(r *kvio.Reader, dst []kv.Pair) (int, error) {
+	total := 0
+	for total < len(dst) {
+		n, err := r.ReadBatch(dst[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func writeRun(path string, ps []kv.Pair, meter *costmodel.Meter) error {
+	w, err := kvio.NewWriter(path, meter)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteBatch(ps); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// sortHostBlock sorts one host block using device chunks of m_d pairs:
+// each chunk is radix-sorted on the device, then sorted chunks are
+// pairwise merged in host memory by streaming windows through the device.
+// The returned slice aliases either block or scratch.
+func sortHostBlock(cfg Config, block, scratch []kv.Pair) []kv.Pair {
+	dev := cfg.Device
+	md := cfg.DeviceBlockPairs
+	// Radix-sort each device chunk. The device holds the chunk plus the
+	// radix double-buffer.
+	for start := 0; start < len(block); start += md {
+		end := start + md
+		if end > len(block) {
+			end = len(block)
+		}
+		chunk := block[start:end]
+		alloc := dev.MustAlloc(2 * int64(len(chunk)) * kv.PairBytes)
+		dev.CopyToDevice(int64(len(chunk)) * kv.PairBytes)
+		dev.SortPairs(chunk)
+		dev.CopyFromDevice(int64(len(chunk)) * kv.PairBytes)
+		alloc.Free()
+	}
+	// Pairwise merge sorted chunks, doubling chunk size each round.
+	src, dst := block, scratch
+	for width := md; width < len(block); width *= 2 {
+		for start := 0; start < len(src); start += 2 * width {
+			aEnd := start + width
+			if aEnd > len(src) {
+				aEnd = len(src)
+			}
+			bEnd := start + 2*width
+			if bEnd > len(src) {
+				bEnd = len(src)
+			}
+			out := dst[start:start]
+			emit := func(ps []kv.Pair) error {
+				out = append(out, ps...)
+				return nil
+			}
+			if err := mergeInMemory(cfg, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
+				panic(err) // emit cannot fail; unreachable
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeInMemory merges two sorted in-memory lists by streaming m_d-sized
+// windows through the device, following Algorithm 1 with M = m_d. The
+// merged output is handed to emit in sorted order.
+func mergeInMemory(cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error {
+	dev := cfg.Device
+	half := cfg.DeviceBlockPairs / 2
+	if half < 1 {
+		half = 1
+	}
+	out := make([]kv.Pair, 0, 2*half)
+	for len(a) > 0 && len(b) > 0 {
+		wa, wb := window(a, half), window(b, half)
+		// Entirely ordered windows short-circuit without a device trip
+		// (lines 5-6 of Algorithm 1).
+		if wa[len(wa)-1].Key.Less(wb[0].Key) {
+			if err := emit(wa); err != nil {
+				return err
+			}
+			a = a[len(wa):]
+			continue
+		}
+		if wb[len(wb)-1].Key.Less(wa[0].Key) {
+			if err := emit(wb); err != nil {
+				return err
+			}
+			b = b[len(wb):]
+			continue
+		}
+		// Equalize: truncate at the upper bound of the smaller last key
+		// (lines 8-15).
+		lastA, lastB := wa[len(wa)-1].Key, wb[len(wb)-1].Key
+		if lastA.Cmp(lastB) != 0 {
+			if k := kv.Min(lastA, lastB); k == lastA {
+				wb = wb[:kv.UpperBound(wb, k)]
+			} else {
+				wa = wa[:kv.UpperBound(wa, k)]
+			}
+		}
+		// GPU_MERGE of the equalized windows (line 16).
+		alloc := dev.MustAlloc(2 * int64(len(wa)+len(wb)) * kv.PairBytes)
+		dev.CopyToDevice(int64(len(wa)+len(wb)) * kv.PairBytes)
+		out = dev.MergePairsInto(out[:0], wa, wb)
+		dev.CopyFromDevice(int64(len(out)) * kv.PairBytes)
+		alloc.Free()
+		if err := emit(out); err != nil {
+			return err
+		}
+		a = a[len(wa):]
+		b = b[len(wb):]
+	}
+	if len(a) > 0 {
+		return emit(a)
+	}
+	if len(b) > 0 {
+		return emit(b)
+	}
+	return nil
+}
+
+func window(ps []kv.Pair, n int) []kv.Pair {
+	if len(ps) < n {
+		return ps
+	}
+	return ps[:n]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeRunFiles merges two sorted run files into one (Algorithm 1 at the
+// disk level, M = m_h). Windows of m_h/2 pairs stream from each run into
+// host memory; equalized windows are merged through the device via
+// mergeInMemory.
+func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
+	ra, err := kvio.NewReader(pathA, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	defer ra.Close()
+	rb, err := kvio.NewReader(pathB, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	w, err := kvio.NewWriter(outPath, cfg.Meter)
+	if err != nil {
+		return err
+	}
+
+	half := cfg.HostBlockPairs / 2
+	if half < 1 {
+		half = 1
+	}
+	if cfg.HostMem != nil {
+		hostBytes := int64(2*half) * hostPairBytes
+		cfg.HostMem.Add(hostBytes)
+		defer cfg.HostMem.Release(hostBytes)
+	}
+	wa := newWindowStream(ra, half)
+	wb := newWindowStream(rb, half)
+	emit := func(ps []kv.Pair) error { return w.WriteBatch(ps) }
+
+	for {
+		if err := wa.fill(); err != nil {
+			w.Close()
+			return err
+		}
+		if err := wb.fill(); err != nil {
+			w.Close()
+			return err
+		}
+		a, b := wa.buf, wb.buf
+		if len(a) == 0 || len(b) == 0 {
+			break
+		}
+		if !a[len(a)-1].Key.Less(b[0].Key) && !b[len(b)-1].Key.Less(a[0].Key) {
+			// Windows interleave: equalize at the upper bound of the
+			// smaller of the last keys, then merge through the device.
+			lastA, lastB := a[len(a)-1].Key, b[len(b)-1].Key
+			if lastA.Cmp(lastB) != 0 {
+				if k := kv.Min(lastA, lastB); k == lastA {
+					b = b[:kv.UpperBound(b, k)]
+				} else {
+					a = a[:kv.UpperBound(a, k)]
+				}
+			}
+			if err := mergeInMemory(cfg, a, b, emit); err != nil {
+				w.Close()
+				return err
+			}
+			wa.consume(len(a))
+			wb.consume(len(b))
+			continue
+		}
+		// Disjoint windows: append the smaller one wholesale.
+		if a[len(a)-1].Key.Less(b[0].Key) {
+			if err := emit(a); err != nil {
+				w.Close()
+				return err
+			}
+			wa.consume(len(a))
+		} else {
+			if err := emit(b); err != nil {
+				w.Close()
+				return err
+			}
+			wb.consume(len(b))
+		}
+	}
+	// One side is exhausted: stream the remainder of the other (line 19).
+	for _, ws := range []*windowStream{wa, wb} {
+		for {
+			if err := ws.fill(); err != nil {
+				w.Close()
+				return err
+			}
+			if len(ws.buf) == 0 {
+				break
+			}
+			if err := emit(ws.buf); err != nil {
+				w.Close()
+				return err
+			}
+			ws.consume(len(ws.buf))
+		}
+	}
+	return w.Close()
+}
+
+// windowStream maintains a sliding window of unconsumed pairs over a
+// sequential reader.
+type windowStream struct {
+	r    *kvio.Reader
+	buf  []kv.Pair
+	cap  int
+	done bool
+}
+
+func newWindowStream(r *kvio.Reader, capPairs int) *windowStream {
+	return &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+}
+
+// fill tops the window up to capacity.
+func (ws *windowStream) fill() error {
+	for len(ws.buf) < ws.cap && !ws.done {
+		n := len(ws.buf)
+		m, err := ws.r.ReadBatch(ws.buf[n:ws.cap])
+		ws.buf = ws.buf[:n+m]
+		if err == io.EOF {
+			ws.done = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consume drops the first n pairs from the window.
+func (ws *windowStream) consume(n int) {
+	remaining := copy(ws.buf, ws.buf[n:])
+	ws.buf = ws.buf[:remaining]
+}

@@ -1,0 +1,48 @@
+package extsort
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/kv"
+	"repro/internal/kvio"
+)
+
+// Helpers usable from testing/quick property functions, which cannot call
+// t.Fatal.
+
+func mkTemp() (string, error) {
+	return os.MkdirTemp("", "extsort-quick-*")
+}
+
+func writePairsErr(path string, ps []kv.Pair) error {
+	w, err := kvio.NewWriter(path, nil)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteBatch(ps); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+func readPairsErr(path string) ([]kv.Pair, error) {
+	r, err := kvio.NewReader(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	out := make([]kv.Pair, 0, r.Count())
+	buf := make([]kv.Pair, 256)
+	for {
+		n, err := r.ReadBatch(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

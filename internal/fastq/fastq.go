@@ -1,0 +1,255 @@
+// Package fastq reads and writes the sequence file formats the pipeline
+// consumes (FASTQ, the native Illumina output the paper's datasets come
+// in) and produces (FASTA for contigs).
+//
+// The readers are streaming: the distributed map phase hands out fixed
+// size input blocks, so the package also provides a block reader that
+// yields batches of reads without holding the whole dataset in memory.
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dna"
+)
+
+// Record is one sequence record. Quality is nil for FASTA input.
+type Record struct {
+	Name    string
+	Seq     dna.Seq
+	Quality []byte
+}
+
+// Reader streams records from FASTQ or FASTA input, auto-detected from the
+// first byte ('@' FASTQ, '>' FASTA).
+type Reader struct {
+	br     *bufio.Reader
+	fasta  bool
+	probed bool
+	line   int
+}
+
+// NewReader wraps r in a streaming record reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) probe() error {
+	if r.probed {
+		return nil
+	}
+	b, err := r.br.Peek(1)
+	if err != nil {
+		return err
+	}
+	switch b[0] {
+	case '>':
+		r.fasta = true
+	case '@':
+		r.fasta = false
+	default:
+		return fmt.Errorf("fastq: unrecognized leading byte %q", b[0])
+	}
+	r.probed = true
+	return nil
+}
+
+func (r *Reader) readLine() (string, error) {
+	s, err := r.br.ReadString('\n')
+	if err != nil && (err != io.EOF || s == "") {
+		return "", err
+	}
+	r.line++
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// Next returns the next record, or io.EOF when the input is exhausted.
+func (r *Reader) Next() (Record, error) {
+	if err := r.probe(); err != nil {
+		return Record{}, err
+	}
+	if r.fasta {
+		return r.nextFasta()
+	}
+	return r.nextFastq()
+}
+
+func (r *Reader) nextFastq() (Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Record{}, err
+	}
+	if header == "" {
+		return Record{}, io.EOF
+	}
+	if !strings.HasPrefix(header, "@") {
+		return Record{}, fmt.Errorf("fastq: line %d: expected '@' header, got %q", r.line, header)
+	}
+	seqLine, err := r.readLine()
+	if err != nil {
+		return Record{}, fmt.Errorf("fastq: line %d: truncated record: %w", r.line, err)
+	}
+	plus, err := r.readLine()
+	if err != nil || !strings.HasPrefix(plus, "+") {
+		return Record{}, fmt.Errorf("fastq: line %d: expected '+' separator", r.line)
+	}
+	qual, err := r.readLine()
+	if err != nil {
+		return Record{}, fmt.Errorf("fastq: line %d: missing quality line: %w", r.line, err)
+	}
+	if len(qual) != len(seqLine) {
+		return Record{}, fmt.Errorf("fastq: line %d: quality length %d != sequence length %d",
+			r.line, len(qual), len(seqLine))
+	}
+	seq, err := dna.ParseSeq(seqLine)
+	if err != nil {
+		return Record{}, fmt.Errorf("fastq: line %d: %w", r.line, err)
+	}
+	return Record{Name: header[1:], Seq: seq, Quality: []byte(qual)}, nil
+}
+
+func (r *Reader) nextFasta() (Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return Record{}, err
+	}
+	if header == "" {
+		return Record{}, io.EOF
+	}
+	if !strings.HasPrefix(header, ">") {
+		return Record{}, fmt.Errorf("fastq: line %d: expected '>' header, got %q", r.line, header)
+	}
+	var sb strings.Builder
+	for {
+		b, err := r.br.Peek(1)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		if b[0] == '>' {
+			break
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return Record{}, err
+		}
+		sb.WriteString(line)
+	}
+	seq, err := dna.ParseSeq(sb.String())
+	if err != nil {
+		return Record{}, fmt.Errorf("fastq: record %q: %w", header, err)
+	}
+	return Record{Name: header[1:], Seq: seq}, nil
+}
+
+// ReadAll loads every record from r into a read set, returning the names
+// alongside. It is intended for datasets that fit in host memory, which
+// all scaled reproduction datasets do.
+func ReadAll(r io.Reader) (*dna.ReadSet, []string, error) {
+	rd := NewReader(r)
+	rs := dna.NewReadSet(1024, 1<<20)
+	var names []string
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return rs, names, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		rs.Append(rec.Seq)
+		names = append(names, rec.Name)
+	}
+}
+
+// ReadFile loads a FASTQ/FASTA file into a read set.
+func ReadFile(path string) (*dna.ReadSet, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Writer emits records. The format is chosen at construction.
+type Writer struct {
+	bw    *bufio.Writer
+	fasta bool
+	width int
+}
+
+// NewFastaWriter writes FASTA with the given line width (<=0 means a
+// single line per sequence).
+func NewFastaWriter(w io.Writer, width int) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), fasta: true, width: width}
+}
+
+// NewFastqWriter writes FASTQ; records without quality get a constant
+// placeholder quality.
+func NewFastqWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record.
+func (w *Writer) Write(rec Record) error {
+	if w.fasta {
+		if _, err := fmt.Fprintf(w.bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		s := rec.Seq.String()
+		if w.width <= 0 {
+			_, err := fmt.Fprintln(w.bw, s)
+			return err
+		}
+		for len(s) > 0 {
+			n := w.width
+			if n > len(s) {
+				n = len(s)
+			}
+			if _, err := fmt.Fprintln(w.bw, s[:n]); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+		return nil
+	}
+	qual := rec.Quality
+	if qual == nil {
+		qual = make([]byte, len(rec.Seq))
+		for i := range qual {
+			qual[i] = 'I'
+		}
+	}
+	_, err := fmt.Fprintf(w.bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq.String(), qual)
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteFastqFile writes a read set to a FASTQ file, one record per read
+// with synthetic names.
+func WriteFastqFile(path string, rs *dna.ReadSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := NewFastqWriter(f)
+	for i := 0; i < rs.NumReads(); i++ {
+		if err := w.Write(Record{Name: fmt.Sprintf("read%d", i), Seq: rs.Read(uint32(i))}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

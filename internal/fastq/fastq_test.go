@@ -1,0 +1,181 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+const sampleFastq = `@read0 lane1
+ACGTACGT
++
+IIIIIIII
+@read1
+GGCC
++
+!!!!
+`
+
+const sampleFasta = `>contig0 first
+ACGTAC
+GTTT
+>contig1
+GG
+`
+
+func TestReadFastq(t *testing.T) {
+	r := NewReader(strings.NewReader(sampleFastq))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "read0 lane1" || rec.Seq.String() != "ACGTACGT" || string(rec.Quality) != "IIIIIIII" {
+		t.Errorf("record 0 = %+v", rec)
+	}
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "read1" || rec.Seq.String() != "GGCC" {
+		t.Errorf("record 1 = %+v", rec)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFasta(t *testing.T) {
+	r := NewReader(strings.NewReader(sampleFasta))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "contig0 first" || rec.Seq.String() != "ACGTACGTTT" {
+		t.Errorf("record 0 = %q %q", rec.Name, rec.Seq.String())
+	}
+	rec, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq.String() != "GG" {
+		t.Errorf("record 1 seq = %q", rec.Seq.String())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad leading byte":   "xACGT\n",
+		"missing plus":       "@r\nACGT\nACGT\nIIII\n",
+		"quality mismatch":   "@r\nACGT\n+\nII\n",
+		"bad base":           "@r\nAXGT\n+\nIIII\n",
+		"truncated record":   "@r\n",
+		"bad fasta interior": ">r\nAC!T\n",
+	}
+	for name, input := range cases {
+		r := NewReader(strings.NewReader(input))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("%s: expected parse error, got %v", name, err)
+		}
+	}
+}
+
+func TestReadAllAndRoundTripFile(t *testing.T) {
+	dir := t.TempDir()
+	rs := dna.NewReadSet(3, 30)
+	rs.Append(dna.MustParseSeq("ACGTACGTAA"))
+	rs.Append(dna.MustParseSeq("TTTTGGGG"))
+	path := filepath.Join(dir, "reads.fastq")
+	if err := WriteFastqFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, names, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReads() != 2 || names[0] != "read0" || names[1] != "read1" {
+		t.Fatalf("NumReads=%d names=%v", got.NumReads(), names)
+	}
+	for i := 0; i < 2; i++ {
+		if !got.Read(uint32(i)).Equal(rs.Read(uint32(i))) {
+			t.Errorf("read %d mismatch", i)
+		}
+	}
+}
+
+func TestFastaWriterWidth(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFastaWriter(&buf, 4)
+	err := w.Write(Record{Name: "c0", Seq: dna.MustParseSeq("ACGTACGTAC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">c0\nACGT\nACGT\nAC\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+	// Round trip through the reader.
+	r := NewReader(strings.NewReader(buf.String()))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq.String() != "ACGTACGTAC" {
+		t.Errorf("round trip = %q", rec.Seq.String())
+	}
+}
+
+func TestFastaWriterSingleLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFastaWriter(&buf, 0)
+	if err := w.Write(Record{Name: "c", Seq: dna.MustParseSeq("ACGT")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != ">c\nACGT\n" {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestFastqWriterPlaceholderQuality(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFastqWriter(&buf)
+	if err := w.Write(Record{Name: "r", Seq: dna.MustParseSeq("ACG")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "@r\nACG\n+\nIII\n" {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope.fastq")); !os.IsNotExist(err) {
+		t.Errorf("expected not-exist error, got %v", err)
+	}
+}
+
+func TestAmbiguousBasesCollapse(t *testing.T) {
+	r := NewReader(strings.NewReader("@r\nANNT\n+\nIIII\n"))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq.String() != "AAAT" {
+		t.Errorf("N should collapse to A, got %q", rec.Seq.String())
+	}
+}

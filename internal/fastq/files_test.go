@@ -1,0 +1,92 @@
+package fastq
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func sampleSet(t *testing.T, seqs ...string) *dna.ReadSet {
+	t.Helper()
+	rs := dna.NewReadSet(len(seqs), 256)
+	for _, s := range seqs {
+		rs.Append(dna.MustParseSeq(s))
+	}
+	return rs
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fastq.gz")
+	rs := sampleSet(t, "ACGTACGTAA", "TTGGCCAA")
+	if err := WriteFastqGzip(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReads() != 2 {
+		t.Fatalf("NumReads = %d", got.NumReads())
+	}
+	for i := 0; i < 2; i++ {
+		if !got.Read(uint32(i)).Equal(rs.Read(uint32(i))) {
+			t.Errorf("read %d mismatch", i)
+		}
+	}
+	// The file must really be gzipped (magic bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Error("output lacks gzip magic")
+	}
+}
+
+func TestReadFilesMultipleMixed(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.fastq")
+	zipped := filepath.Join(dir, "b.fastq.gz")
+	if err := WriteFastqFile(plain, sampleSet(t, "AAAA", "CCCC")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFastqGzip(zipped, sampleSet(t, "GGGG")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFiles(plain, zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReads() != 3 {
+		t.Fatalf("NumReads = %d, want 3", got.NumReads())
+	}
+	if got.Read(2).String() != "GGGG" {
+		t.Errorf("file order not preserved: %q", got.Read(2).String())
+	}
+}
+
+func TestReadFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFiles(filepath.Join(dir, "missing.fastq")); err == nil {
+		t.Error("missing file should fail")
+	}
+	// A .gz file that is not gzipped.
+	fake := filepath.Join(dir, "fake.fastq.gz")
+	if err := os.WriteFile(fake, []byte("@r\nACGT\n+\nIIII\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFiles(fake); err == nil {
+		t.Error("non-gzip .gz file should fail")
+	}
+	// Corrupt record inside a valid file.
+	bad := filepath.Join(dir, "bad.fastq")
+	if err := os.WriteFile(bad, []byte("@r\nAXGT\n+\nIIII\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFiles(bad); err == nil {
+		t.Error("corrupt record should fail")
+	}
+}

@@ -1,0 +1,223 @@
+// Package fingerprint implements LaSAGNA's Rabin-Karp fingerprints and the
+// data-parallel kernels of the map phase (Section III-A).
+//
+// Each fingerprint is 128 bits wide: two independent rolling hashes with
+// different radixes and prime moduli, exactly as Section IV-B specifies,
+// because a single hash yields false-positive overlap edges on
+// high-coverage data. Prefix fingerprints of a read are computed with a
+// Hillis-Steele inclusive scan (Fig. 5): starting from the per-base
+// encodings, each step combines an element with the element `offset`
+// positions to its left using precomputed place values, doubling the
+// offset until it exceeds the read length. Suffix fingerprints are then
+// derived arithmetically from the prefix fingerprints and place values
+// (Fig. 6) without rescanning the read:
+//
+//	S[i] = (P[n-1] - P[i-1]*sigma^(n-i)) mod q
+//
+// Both moduli are large primes; base codes are offset by one so that the
+// all-A prefix family does not collapse to a single fingerprint value.
+package fingerprint
+
+import (
+	"math/bits"
+
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+)
+
+// Params defines one rolling hash: a radix (a small prime larger than the
+// alphabet size, per Section III-A) and a large prime modulus.
+type Params struct {
+	Radix uint64
+	Prime uint64
+}
+
+// The two hash components of the 128-bit fingerprint. PrimeA is the
+// Mersenne prime 2^61-1; PrimeB is the largest prime below 2^64.
+var (
+	ParamsA = Params{Radix: 5, Prime: 2305843009213693951}
+	ParamsB = Params{Radix: 7, Prime: 18446744073709551557}
+)
+
+// KeySpaceHi is the size of the value space of a fingerprint's high
+// component (kv.Key.Hi is the first hash modulo ParamsA.Prime). Range
+// partitioning of the fingerprint space divides this interval.
+const KeySpaceHi = 2305843009213693951
+
+// mulmod returns a*b mod m using a 128-bit intermediate product.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// addmod returns a+b mod m for a,b < m.
+func addmod(a, b, m uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 || s >= m {
+		s -= m
+	}
+	return s
+}
+
+// submod returns a-b mod m for a,b < m.
+func submod(a, b, m uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + (m - b)
+}
+
+// encode maps a 2-bit base code to its hash digit. The +1 keeps prefixes
+// of different lengths from colliding when the leading bases encode to
+// zero.
+func encode(code byte) uint64 { return uint64(code) + 1 }
+
+// Table holds the precomputed place values M[i] = radix^i mod prime for
+// both hash components, computed once per run and reused by every kernel
+// launch (the paper precomputes M before launching the map kernels).
+type Table struct {
+	params [2]Params
+	place  [2][]uint64 // place[h][i] = radix_h^i mod prime_h
+	maxLen int
+}
+
+// NewTable precomputes place values for reads up to maxLen bases.
+func NewTable(maxLen int) *Table {
+	t := &Table{params: [2]Params{ParamsA, ParamsB}, maxLen: maxLen}
+	for h := 0; h < 2; h++ {
+		p := t.params[h]
+		place := make([]uint64, maxLen+1)
+		place[0] = 1 % p.Prime
+		for i := 1; i <= maxLen; i++ {
+			place[i] = mulmod(place[i-1], p.Radix, p.Prime)
+		}
+		t.place[h] = place
+	}
+	return t
+}
+
+// MaxLen returns the longest read length the table supports.
+func (t *Table) MaxLen() int { return t.maxLen }
+
+// Fingerprint computes the 128-bit fingerprint of an entire sequence with
+// a sequential Horner evaluation. It is the reference implementation that
+// the scan kernels are tested against, and is also used by substrates that
+// hash one string at a time.
+func (t *Table) Fingerprint(s dna.Seq) kv.Key {
+	var out [2]uint64
+	for h := 0; h < 2; h++ {
+		p := t.params[h]
+		var acc uint64
+		for _, c := range s {
+			acc = addmod(mulmod(acc, p.Radix, p.Prime), encode(c)%p.Prime, p.Prime)
+		}
+		out[h] = acc
+	}
+	return kv.Key{Hi: out[0], Lo: out[1]}
+}
+
+// Kernel computes prefix and suffix fingerprints for one read at a time
+// using the Hillis-Steele scan. A Kernel owns scratch buffers sized to the
+// table's maximum read length and is not safe for concurrent use: create
+// one Kernel per worker goroutine (one per simulated thread block).
+type Kernel struct {
+	table *Table
+	cur   [2][]uint64 // scan double-buffer, current step
+	next  [2][]uint64 // scan double-buffer, next step
+}
+
+// NewKernel returns a kernel bound to the given place-value table.
+func NewKernel(t *Table) *Kernel {
+	k := &Kernel{table: t}
+	for h := 0; h < 2; h++ {
+		k.cur[h] = make([]uint64, t.maxLen)
+		k.next[h] = make([]uint64, t.maxLen)
+	}
+	return k
+}
+
+// Prefixes fills out[i] with the fingerprint of s[0:i+1] for every i,
+// using the Hillis-Steele scan of Fig. 5. out must have len(s) capacity;
+// the filled prefix is returned.
+//
+// Each doubling step reads the previous step's values and writes fresh
+// ones (double buffering), which is the lock-step barrier semantics of a
+// CUDA thread block: thread i computes
+//
+//	P[i] = P[i-offset]*M[offset] + P[i]
+//
+// where M is the place-value array.
+func (k *Kernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key {
+	n := len(s)
+	if n > k.table.maxLen {
+		panic("fingerprint: read longer than table maxLen")
+	}
+	out = out[:n]
+	steps := 0
+	for h := 0; h < 2; h++ {
+		p := k.table.params[h]
+		place := k.table.place[h]
+		cur, next := k.cur[h][:n], k.next[h][:n]
+		// Each thread encodes its base (array E in the paper).
+		for i, c := range s {
+			cur[i] = encode(c) % p.Prime
+		}
+		// Iterative doubling with a barrier between steps.
+		for offset := 1; offset < n; offset *= 2 {
+			steps++
+			m := place[offset]
+			copy(next[:offset], cur[:offset])
+			for i := offset; i < n; i++ {
+				next[i] = addmod(mulmod(cur[i-offset], m, p.Prime), cur[i], p.Prime)
+			}
+			cur, next = next, cur
+		}
+		for i := 0; i < n; i++ {
+			if h == 0 {
+				out[i].Hi = cur[i]
+			} else {
+				out[i].Lo = cur[i]
+			}
+		}
+	}
+	// Each step touches every thread's element once (read + write).
+	dev.ChargeKernel(int64(steps)*int64(n)*16, int64(steps)*int64(n))
+	return out
+}
+
+// Suffixes fills out[i] with the fingerprint of s[i:] for every i, derived
+// from the prefix fingerprints as in Fig. 6. prefixes must be the output
+// of Prefixes for the same read. out must have len(s) capacity.
+func (k *Kernel) Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key {
+	n := len(prefixes)
+	out = out[:n]
+	for h := 0; h < 2; h++ {
+		p := k.table.params[h]
+		place := k.table.place[h]
+		whole := componentOf(prefixes[n-1], h)
+		for i := 0; i < n; i++ {
+			var v uint64
+			if i == 0 {
+				v = whole
+			} else {
+				v = submod(whole, mulmod(componentOf(prefixes[i-1], h), place[n-i], p.Prime), p.Prime)
+			}
+			if h == 0 {
+				out[i].Hi = v
+			} else {
+				out[i].Lo = v
+			}
+		}
+	}
+	dev.ChargeKernel(int64(n)*2*16, int64(n)*2)
+	return out
+}
+
+func componentOf(key kv.Key, h int) uint64 {
+	if h == 0 {
+		return key.Hi
+	}
+	return key.Lo
+}

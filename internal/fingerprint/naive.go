@@ -1,0 +1,85 @@
+package fingerprint
+
+import (
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+)
+
+// NaiveKernel computes the same prefix and suffix fingerprints with the
+// scheme Section III-A rejects: one thread per read evaluating the
+// rolling hash sequentially (Horner). On a real GPU every thread in a
+// warp then walks a different read, so global-memory accesses are
+// uncoalesced — each 1-byte base load occupies a full memory transaction
+// — and the shared-memory reuse of the block-per-read scan is lost. The
+// cost model captures that with a warp-width (32x) memory amplification,
+// which is what makes this kernel lose to the Hillis-Steele scan in the
+// ablation benchmark even though it does asymptotically less arithmetic.
+type NaiveKernel struct {
+	table *Table
+}
+
+// warpWidth is the modeled memory-transaction amplification for
+// uncoalesced per-thread streaming.
+const warpWidth = 32
+
+// NewNaiveKernel returns a naive per-read kernel bound to the table.
+func NewNaiveKernel(t *Table) *NaiveKernel {
+	return &NaiveKernel{table: t}
+}
+
+// Prefixes fills out[i] with the fingerprint of s[0:i+1] using a
+// sequential Horner evaluation.
+func (k *NaiveKernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key {
+	n := len(s)
+	if n > k.table.maxLen {
+		panic("fingerprint: read longer than table maxLen")
+	}
+	out = out[:n]
+	for h := 0; h < 2; h++ {
+		p := k.table.params[h]
+		var acc uint64
+		for i, c := range s {
+			acc = addmod(mulmod(acc, p.Radix, p.Prime), encode(c)%p.Prime, p.Prime)
+			if h == 0 {
+				out[i].Hi = acc
+			} else {
+				out[i].Lo = acc
+			}
+		}
+	}
+	// One uncoalesced read and write per element per hash component.
+	dev.ChargeKernel(int64(n)*2*16*warpWidth, int64(n)*2)
+	return out
+}
+
+// Suffixes fills out[i] with the fingerprint of s[i:], recomputing each
+// hash from scratch per position the way a per-thread kernel without the
+// prefix-derivation trick would; the arithmetic is O(n) per suffix start
+// only if derived, so the naive kernel derives too but pays uncoalesced
+// traffic for the scattered writes (the paper notes the scan approach
+// "avoids scattered writes during suffix fingerprint generation").
+func (k *NaiveKernel) Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key {
+	n := len(prefixes)
+	out = out[:n]
+	for h := 0; h < 2; h++ {
+		p := k.table.params[h]
+		place := k.table.place[h]
+		whole := componentOf(prefixes[n-1], h)
+		for i := 0; i < n; i++ {
+			var v uint64
+			if i == 0 {
+				v = whole
+			} else {
+				v = submod(whole, mulmod(componentOf(prefixes[i-1], h), place[n-i], p.Prime), p.Prime)
+			}
+			if h == 0 {
+				out[i].Hi = v
+			} else {
+				out[i].Lo = v
+			}
+		}
+	}
+	dev.ChargeKernel(int64(n)*2*16*warpWidth, int64(n)*2)
+	return out
+}

@@ -1,0 +1,92 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func TestNaiveKernelMatchesScanKernel(t *testing.T) {
+	table := NewTable(200)
+	scan := NewKernel(table)
+	naive := NewNaiveKernel(table)
+	dev := testDevice()
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 17, 101, 200} {
+		s := randomSeq(rng, n)
+		wantP := scan.Prefixes(dev, s, make([]kv.Key, n))
+		wantS := scan.Suffixes(dev, wantP, make([]kv.Key, n))
+		gotP := naive.Prefixes(dev, s, make([]kv.Key, n))
+		gotS := naive.Suffixes(dev, gotP, make([]kv.Key, n))
+		for i := 0; i < n; i++ {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("n=%d: naive prefix %d differs", n, i)
+			}
+			if gotS[i] != wantS[i] {
+				t.Fatalf("n=%d: naive suffix %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestNaiveKernelCostsMoreModeledMemory(t *testing.T) {
+	// The ablation of Section III-A: the per-read-thread kernel moves far
+	// more modeled device memory (uncoalesced) than the block-per-read
+	// Hillis-Steele scan, despite doing less arithmetic.
+	table := NewTable(128)
+	s := randomSeq(rand.New(rand.NewSource(10)), 128)
+
+	devScan := testDevice()
+	scan := NewKernel(table)
+	pf := scan.Prefixes(devScan, s, make([]kv.Key, 128))
+	scan.Suffixes(devScan, pf, make([]kv.Key, 128))
+	scanBytes := devScan.Meter().Snapshot().DeviceMemBytes
+
+	devNaive := testDevice()
+	naive := NewNaiveKernel(table)
+	pf = naive.Prefixes(devNaive, s, make([]kv.Key, 128))
+	naive.Suffixes(devNaive, pf, make([]kv.Key, 128))
+	naiveBytes := devNaive.Meter().Snapshot().DeviceMemBytes
+
+	if naiveBytes <= 2*scanBytes {
+		t.Errorf("naive kernel modeled bytes (%d) should far exceed scan kernel (%d)",
+			naiveBytes, scanBytes)
+	}
+}
+
+func TestNaiveKernelPanicsBeyondMaxLen(t *testing.T) {
+	table := NewTable(4)
+	k := NewNaiveKernel(table)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	k.Prefixes(testDevice(), randomSeq(rand.New(rand.NewSource(1)), 5), make([]kv.Key, 5))
+}
+
+func BenchmarkAblationMapKernel(b *testing.B) {
+	// Wall-clock comparison of the two kernel formulations on the host;
+	// the modeled-memory comparison is what decides on a GPU (see
+	// TestNaiveKernelCostsMoreModeledMemory).
+	table := NewTable(101)
+	s := randomSeq(rand.New(rand.NewSource(11)), 101)
+	dev := testDevice()
+	out := make([]kv.Key, 101)
+	sOut := make([]kv.Key, 101)
+	b.Run("hillis-steele", func(b *testing.B) {
+		k := NewKernel(table)
+		for i := 0; i < b.N; i++ {
+			p := k.Prefixes(dev, s, out)
+			k.Suffixes(dev, p, sOut)
+		}
+	})
+	b.Run("naive-per-read", func(b *testing.B) {
+		k := NewNaiveKernel(table)
+		for i := 0; i < b.N; i++ {
+			p := k.Prefixes(dev, s, out)
+			k.Suffixes(dev, p, sOut)
+		}
+	})
+}

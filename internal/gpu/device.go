@@ -1,0 +1,165 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+)
+
+// ErrOutOfMemory is returned when an allocation would exceed the device's
+// memory capacity. Pipeline stages size their batches so this never fires
+// in normal operation; tests exercise it deliberately.
+type ErrOutOfMemory struct {
+	Requested int64
+	InUse     int64
+	Capacity  int64
+}
+
+func (e ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpu: out of device memory: requested %d with %d in use of %d",
+		e.Requested, e.InUse, e.Capacity)
+}
+
+// Device is a simulated GPU. All pipeline batches must fit in its bounded
+// memory; all primitive calls execute on the host CPU but meter the bytes
+// and operations the modeled card would spend.
+type Device struct {
+	spec  Spec
+	meter *costmodel.Meter
+	mem   stats.MemTracker
+
+	mu      sync.Mutex
+	inUse   int64
+	workers int
+}
+
+// NewDevice creates a device of the given spec. If meter is nil a private
+// meter is created.
+func NewDevice(spec Spec, meter *costmodel.Meter) *Device {
+	if meter == nil {
+		meter = costmodel.NewMeter()
+	}
+	return &Device{spec: spec, meter: meter, workers: runtime.GOMAXPROCS(0)}
+}
+
+// Spec returns the modeled card.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Meter returns the cost meter this device feeds.
+func (d *Device) Meter() *costmodel.Meter { return d.meter }
+
+// MemTracker exposes the device-memory tracker for peak accounting.
+func (d *Device) MemTracker() *stats.MemTracker { return &d.mem }
+
+// Allocation is a claim on device memory. Free it when the buffer's
+// lifetime ends; allocations are bookkeeping only (the actual data lives
+// in ordinary Go slices owned by the caller).
+type Allocation struct {
+	dev   *Device
+	bytes int64
+}
+
+// Alloc claims n bytes of device memory, failing with ErrOutOfMemory when
+// the claim would exceed capacity.
+func (d *Device) Alloc(n int64) (*Allocation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation %d", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inUse+n > d.spec.MemBytes {
+		return nil, ErrOutOfMemory{Requested: n, InUse: d.inUse, Capacity: d.spec.MemBytes}
+	}
+	d.inUse += n
+	d.mem.Add(n)
+	return &Allocation{dev: d, bytes: n}, nil
+}
+
+// MustAlloc is Alloc that panics on failure; for callers that have already
+// sized their batches against Capacity.
+func (d *Device) MustAlloc(n int64) *Allocation {
+	a, err := d.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases the allocation. Freeing twice is a no-op.
+func (a *Allocation) Free() {
+	if a == nil || a.dev == nil {
+		return
+	}
+	a.dev.mu.Lock()
+	a.dev.inUse -= a.bytes
+	a.dev.mu.Unlock()
+	a.dev.mem.Release(a.bytes)
+	a.dev = nil
+}
+
+// Bytes returns the allocation size.
+func (a *Allocation) Bytes() int64 { return a.bytes }
+
+// InUse returns the currently allocated device memory.
+func (d *Device) InUse() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inUse
+}
+
+// Capacity returns the device memory capacity in bytes.
+func (d *Device) Capacity() int64 { return d.spec.MemBytes }
+
+// CopyToDevice meters a host-to-device transfer of n bytes.
+func (d *Device) CopyToDevice(n int64) { d.meter.AddPCIe(n) }
+
+// CopyFromDevice meters a device-to-host transfer of n bytes.
+func (d *Device) CopyFromDevice(n int64) { d.meter.AddPCIe(n) }
+
+// ChargeKernel meters a custom kernel that moves memBytes through device
+// memory and performs ops scalar operations; used by kernels implemented
+// outside this package (e.g. the fingerprint scan).
+func (d *Device) ChargeKernel(memBytes, ops int64) {
+	d.meter.AddDeviceMem(memBytes)
+	d.meter.AddDeviceOps(ops)
+}
+
+// LaunchBlocks emulates a grid launch of numBlocks thread blocks, running
+// kernel(block) for each. Blocks are distributed over host worker
+// goroutines; within a block the kernel itself is responsible for
+// respecting step-barrier (Hillis-Steele) semantics, which the fingerprint
+// kernels do by double-buffering each scan step.
+func (d *Device) LaunchBlocks(numBlocks int, kernel func(block int)) {
+	if numBlocks <= 0 {
+		return
+	}
+	workers := d.workers
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers <= 1 {
+		for b := 0; b < numBlocks; b++ {
+			kernel(b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				kernel(b)
+			}
+		}()
+	}
+	for b := 0; b < numBlocks; b++ {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
+}

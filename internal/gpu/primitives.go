@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"math/bits"
+
+	"repro/internal/kv"
+)
+
+// VecLowerBound computes, for every query key in queries, the lower bound
+// (index of first element not less than the key) within the sorted targets
+// slice. This is the GPU_VEC_LOWER_BOUND primitive of Algorithm 2: one
+// thread per query performing a binary search.
+func (d *Device) VecLowerBound(queries, targets []kv.Pair, out []int32) []int32 {
+	out = out[:0]
+	for _, q := range queries {
+		out = append(out, int32(kv.LowerBound(targets, q.Key)))
+	}
+	d.chargeSearch(len(queries), len(targets))
+	return out
+}
+
+// VecUpperBound is the upper-bound counterpart (GPU_VEC_UPPER_BOUND).
+func (d *Device) VecUpperBound(queries, targets []kv.Pair, out []int32) []int32 {
+	out = out[:0]
+	for _, q := range queries {
+		out = append(out, int32(kv.UpperBound(targets, q.Key)))
+	}
+	d.chargeSearch(len(queries), len(targets))
+	return out
+}
+
+// VecDifference computes u[i]-l[i] element-wise (GPU_VEC_DIFFERENCE): the
+// per-suffix match counts in the reduce phase.
+func (d *Device) VecDifference(u, l []int32, out []int32) []int32 {
+	out = out[:0]
+	for i := range u {
+		out = append(out, u[i]-l[i])
+	}
+	d.ChargeKernel(3*4*int64(len(u)), int64(len(u)))
+	return out
+}
+
+func (d *Device) chargeSearch(numQueries, targetLen int) {
+	if numQueries == 0 {
+		return
+	}
+	depth := 1
+	if targetLen > 1 {
+		depth = bits.Len(uint(targetLen - 1))
+	}
+	ops := int64(numQueries) * int64(depth)
+	d.ChargeKernel(ops*kv.PairBytes, ops)
+}
+
+// ExclusiveScan computes the exclusive prefix sum of xs into out and
+// returns the total. It is the exclusive prefix-scan used by the contig
+// generation phase (Fig. 7) to lay out path and read offsets.
+func (d *Device) ExclusiveScan(xs []int64, out []int64) int64 {
+	var sum int64
+	for i, x := range xs {
+		out[i] = sum
+		sum += x
+	}
+	d.ChargeKernel(2*8*int64(len(xs)), int64(len(xs)))
+	return sum
+}
+
+// Gather copies src[idx[i]] into out[i] for each i — the device gather
+// (stencil) operation used to place per-read overhang tuples into
+// read-ID-indexed slots during contig generation.
+func Gather[T any](d *Device, src []T, idx []int32, out []T) {
+	for i, ix := range idx {
+		out[i] = src[ix]
+	}
+	var t T
+	_ = t
+	d.ChargeKernel(2*int64(len(idx))*8, int64(len(idx)))
+}
+
+// Scatter copies src[i] into out[idx[i]] for each i, the inverse of
+// Gather.
+func Scatter[T any](d *Device, src []T, idx []int32, out []T) {
+	for i, ix := range idx {
+		out[ix] = src[i]
+	}
+	d.ChargeKernel(2*int64(len(idx))*8, int64(len(idx)))
+}

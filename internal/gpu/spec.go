@@ -1,0 +1,101 @@
+// Package gpu simulates the CUDA device that LaSAGNA runs on: a bounded
+// device-memory allocator, batch-oriented data-parallel primitives (the
+// Thrust calls the paper builds on: radix sort by key, merge by key,
+// vectorized lower/upper bound, exclusive scan, gather), and an analytic
+// performance model per GPU card.
+//
+// Why a simulation: the reproduction environment has no GPU, but every
+// algorithmic property the paper evaluates flows from two things this
+// package preserves exactly — (1) device memory is a hard capacity limit
+// that forces chunked, streamed processing, and (2) device primitives are
+// bandwidth-bound bulk operations whose cost is proportional to bytes
+// moved. Primitives execute on the CPU (producing real results) while the
+// device meters the bytes and operations a GPU would spend, so modeled
+// times reproduce the published GPU-vs-GPU trends (Fig. 9).
+package gpu
+
+import "repro/internal/costmodel"
+
+// Spec describes one GPU card. Values follow NVIDIA's published
+// specifications for the boards used in the paper's evaluation.
+type Spec struct {
+	Name             string
+	Cores            int     // CUDA cores
+	ClockMHz         int     // boost clock
+	MemBandwidthGBps float64 // peak device-memory bandwidth
+	MemBytes         int64   // device memory capacity
+	// HostLinkGBps is the host<->device transfer bandwidth: PCIe 3.0 for
+	// the Kepler/Pascal PCIe boards, NVLink for the SXM2 P100/V100 that
+	// populate the PSG cluster used in Fig. 9.
+	HostLinkGBps float64
+}
+
+const gib = int64(1024 * 1024 * 1024)
+
+// The cards used in the paper's evaluation (Sections IV-B to IV-C.5).
+var (
+	// K20X powers the SuperMic nodes (6 GB; the paper's headline
+	// "single GPU with only 6 GB device memory" configuration).
+	K20X = Spec{Name: "K20X", Cores: 2688, ClockMHz: 732, MemBandwidthGBps: 250, MemBytes: 6 * gib, HostLinkGBps: 10}
+	// K40 powers the QueenBee II nodes (12 GB).
+	K40 = Spec{Name: "K40", Cores: 2880, ClockMHz: 745, MemBandwidthGBps: 288, MemBytes: 12 * gib, HostLinkGBps: 12}
+	// P40 has more cores and memory than P100 but much lower bandwidth;
+	// the paper highlights that it is consistently slower (Fig. 9).
+	P40  = Spec{Name: "P40", Cores: 3840, ClockMHz: 1303, MemBandwidthGBps: 346, MemBytes: 24 * gib, HostLinkGBps: 12}
+	P100 = Spec{Name: "P100", Cores: 3584, ClockMHz: 1328, MemBandwidthGBps: 732, MemBytes: 16 * gib, HostLinkGBps: 32}
+	V100 = Spec{Name: "V100", Cores: 5120, ClockMHz: 1530, MemBandwidthGBps: 900, MemBytes: 16 * gib, HostLinkGBps: 40}
+)
+
+// Catalog lists all modeled cards in the order Fig. 9 plots them.
+var Catalog = []Spec{K20X, K40, P40, P100, V100}
+
+// SpecByName returns the card with the given name, or false.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// effective utilization factors: real kernels achieve a fraction of peak.
+const (
+	memEfficiency   = 0.70 // achieved fraction of peak memory bandwidth
+	opsPerCoreClock = 0.25 // effective fused key-ops per core per cycle
+)
+
+// MemBps returns the modeled achievable device-memory bandwidth in
+// bytes/second.
+func (s Spec) MemBps() float64 {
+	return s.MemBandwidthGBps * 1e9 * memEfficiency
+}
+
+// OpsPerSec returns the modeled scalar operation throughput.
+func (s Spec) OpsPerSec() float64 {
+	return float64(s.Cores) * float64(s.ClockMHz) * 1e6 * opsPerCoreClock
+}
+
+// LinkBps returns the modeled host<->device transfer bandwidth in
+// bytes/second.
+func (s Spec) LinkBps() float64 {
+	if s.HostLinkGBps <= 0 {
+		return costmodel.PCIe3Bps
+	}
+	return s.HostLinkGBps * 1e9 * memEfficiency
+}
+
+// CostProfile builds a costmodel profile for a machine holding this card,
+// with the given disk parameters.
+func (s Spec) CostProfile(diskRead, diskWrite float64) costmodel.Profile {
+	return costmodel.Profile{
+		Name:            s.Name,
+		DiskReadBps:     diskRead,
+		DiskWriteBps:    diskWrite,
+		NetBps:          costmodel.InfiniBand56G,
+		HostMemBps:      costmodel.HostMemBps,
+		DeviceMemBps:    s.MemBps(),
+		DeviceOpsPerSec: s.OpsPerSec(),
+		PCIeBps:         s.LinkBps(),
+	}
+}

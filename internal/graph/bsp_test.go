@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func bspDevice() *gpu.Device { return gpu.NewDevice(gpu.K40, nil) }
+
+// sortPaths orders paths by seed vertex for comparison.
+func sortPaths(ps []Path) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i][0].V < ps[j][0].V })
+}
+
+func pathsEqual(a, b []Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTraverseParallelLinearChain(t *testing.T) {
+	g := New(4)
+	g.AddCandidate(0, 2, 60)
+	g.AddCandidate(2, 4, 55)
+	g.AddCandidate(4, 6, 50)
+	seq := g.Traverse(lenFn(100), TraverseOptions{})
+	par := g.TraverseParallel(bspDevice(), lenFn(100), TraverseOptions{})
+	sortPaths(seq)
+	sortPaths(par)
+	if !pathsEqual(seq, par) {
+		t.Fatalf("sequential %v != parallel %v", seq, par)
+	}
+}
+
+func TestTraverseParallelSingletons(t *testing.T) {
+	g := New(3)
+	g.AddCandidate(0, 2, 30)
+	seq := g.Traverse(lenFn(50), TraverseOptions{IncludeSingletons: true})
+	par := g.TraverseParallel(bspDevice(), lenFn(50), TraverseOptions{IncludeSingletons: true})
+	if len(seq) != len(par) {
+		t.Fatalf("%d sequential paths, %d parallel", len(seq), len(par))
+	}
+	sortPaths(seq)
+	sortPaths(par)
+	if !pathsEqual(seq, par) {
+		t.Fatalf("sequential %v != parallel %v", seq, par)
+	}
+}
+
+func TestTraverseParallelSkipsCycles(t *testing.T) {
+	g := New(3)
+	g.AddCandidate(0, 2, 10)
+	g.AddCandidate(2, 4, 10)
+	g.AddCandidate(4, 0, 10)
+	par := g.TraverseParallel(bspDevice(), lenFn(20), TraverseOptions{})
+	if len(par) != 0 {
+		t.Errorf("cycles should be skipped, got %v", par)
+	}
+	// Cycle reads are not singletons either.
+	par = g.TraverseParallel(bspDevice(), lenFn(20), TraverseOptions{IncludeSingletons: true})
+	if len(par) != 0 {
+		t.Errorf("cycle reads must not become singletons, got %v", par)
+	}
+}
+
+func TestTraverseParallelMatchesSequentialRandom(t *testing.T) {
+	// Random greedy graphs from random candidate streams: both
+	// traversals must produce identical path sets.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		nReads := 40 + rng.Intn(100)
+		g := New(nReads)
+		// Descending lengths, as the pipeline offers them.
+		for l := 90; l >= 50; l -= 1 + rng.Intn(5) {
+			for k := 0; k < nReads/2; k++ {
+				u := uint32(rng.Intn(2 * nReads))
+				v := uint32(rng.Intn(2 * nReads))
+				g.AddCandidate(u, v, uint16(l))
+			}
+		}
+		seq := g.Traverse(lenFn(100), TraverseOptions{})
+		par := g.TraverseParallel(bspDevice(), lenFn(100), TraverseOptions{})
+		// Random graphs may contain cycles, which the sequential version
+		// only reports with BreakCycles (off here) — both skip them.
+		sortPaths(seq)
+		sortPaths(par)
+		if !pathsEqual(seq, par) {
+			t.Fatalf("trial %d: sequential and parallel traversals differ\nseq=%v\npar=%v",
+				trial, seq, par)
+		}
+	}
+}
+
+func TestTraverseParallelChargesDevice(t *testing.T) {
+	g := New(3)
+	g.AddCandidate(0, 2, 30)
+	dev := bspDevice()
+	g.TraverseParallel(dev, lenFn(50), TraverseOptions{})
+	if dev.Meter().Snapshot().DeviceOps == 0 {
+		t.Error("pointer jumping should charge device work")
+	}
+}

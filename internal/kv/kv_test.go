@@ -1,0 +1,134 @@
+package kv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyLess(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{Key{0, 0}, Key{0, 0}, false},
+		{Key{0, 1}, Key{0, 2}, true},
+		{Key{0, 2}, Key{0, 1}, false},
+		{Key{1, 0}, Key{0, ^uint64(0)}, false},
+		{Key{0, ^uint64(0)}, Key{1, 0}, true},
+		{Key{5, 7}, Key{5, 7}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKeyCmpConsistentWithLess(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := Key{ah, al}, Key{bh, bl}
+		c := a.Cmp(b)
+		switch {
+		case a.Less(b):
+			return c == -1
+		case b.Less(a):
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Key{1, 2}, Key{1, 3}
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Errorf("Min(%v,%v) wrong", a, b)
+	}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Errorf("Max(%v,%v) wrong", a, b)
+	}
+	if Min(a, a) != a || Max(a, a) != a {
+		t.Error("Min/Max of equal keys should return that key")
+	}
+}
+
+func TestPairEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64, val uint32) bool {
+		p := Pair{Key{hi, lo}, val}
+		var buf [PairBytes]byte
+		p.Encode(buf[:])
+		return DecodePair(buf[:]) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairLessTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]Pair, 200)
+	for i := range ps {
+		ps[i] = Pair{Key{rng.Uint64() % 4, rng.Uint64() % 4}, uint32(rng.Intn(4))}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Less(ps[i-1]) {
+			t.Fatalf("not sorted at %d: %v before %v", i, ps[i-1], ps[i])
+		}
+	}
+	if !SortedPairs(ps) {
+		t.Error("SortedPairs should report true for key-sorted slice")
+	}
+}
+
+func TestSortedPairsDetectsDisorder(t *testing.T) {
+	ps := []Pair{{Key{2, 0}, 0}, {Key{1, 0}, 0}}
+	if SortedPairs(ps) {
+		t.Error("SortedPairs should report false")
+	}
+	if !SortedPairs(nil) || !SortedPairs(ps[:1]) {
+		t.Error("SortedPairs should be true for empty and singleton slices")
+	}
+}
+
+func TestBoundsAgainstSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ps := make([]Pair, 500)
+	for i := range ps {
+		ps[i] = Pair{Key{0, rng.Uint64() % 64}, uint32(i)}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+	for probe := uint64(0); probe < 70; probe++ {
+		k := Key{0, probe}
+		wantLB := sort.Search(len(ps), func(i int) bool { return !ps[i].Key.Less(k) })
+		wantUB := sort.Search(len(ps), func(i int) bool { return k.Less(ps[i].Key) })
+		if got := LowerBound(ps, k); got != wantLB {
+			t.Errorf("LowerBound(%v) = %d, want %d", k, got, wantLB)
+		}
+		if got := UpperBound(ps, k); got != wantUB {
+			t.Errorf("UpperBound(%v) = %d, want %d", k, got, wantUB)
+		}
+	}
+}
+
+func TestBoundsCountOccurrences(t *testing.T) {
+	// The reduce phase counts occurrences as upper-bound minus lower-bound
+	// (Section III-C); verify that identity on a multiset.
+	ps := []Pair{
+		{Key{0, 1}, 0}, {Key{0, 3}, 1}, {Key{0, 3}, 2}, {Key{0, 3}, 3}, {Key{0, 9}, 4},
+	}
+	if n := UpperBound(ps, Key{0, 3}) - LowerBound(ps, Key{0, 3}); n != 3 {
+		t.Errorf("count of {0,3} = %d, want 3", n)
+	}
+	if n := UpperBound(ps, Key{0, 5}) - LowerBound(ps, Key{0, 5}); n != 0 {
+		t.Errorf("count of absent key = %d, want 0", n)
+	}
+	if lb := LowerBound(ps, Key{0, 3}); lb != 1 {
+		t.Errorf("first occurrence index = %d, want 1", lb)
+	}
+}

@@ -1,0 +1,267 @@
+// Package kvio implements the on-disk key-value lists of the LaSAGNA
+// pipeline: fixed-width (fingerprint, read-ID) records streamed
+// sequentially to and from partition files.
+//
+// It realizes the paper's conceptual memory types (Fig. 3): files opened
+// through this package are either read-only memory (sequential reads) or
+// write-only memory (sequential appends) — never both at once. Every byte
+// that crosses the disk boundary is metered, which is what makes the
+// pipeline's I/O-dominance analysis (Fig. 8/9) quantitative.
+package kvio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/kv"
+)
+
+const bufSize = 1 << 18
+
+// Writer appends pairs to a file sequentially.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	meter *costmodel.Meter
+	count int64
+	buf   [kv.PairBytes]byte
+}
+
+// NewWriter creates (truncating) the file at path. meter may be nil.
+func NewWriter(path string, meter *costmodel.Meter) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, bufSize), meter: meter}, nil
+}
+
+// Write appends one pair.
+func (w *Writer) Write(p kv.Pair) error {
+	p.Encode(w.buf[:])
+	if _, err := w.bw.Write(w.buf[:]); err != nil {
+		return err
+	}
+	w.count++
+	if w.meter != nil {
+		w.meter.AddDiskWrite(kv.PairBytes)
+	}
+	return nil
+}
+
+// WriteBatch appends a slice of pairs.
+func (w *Writer) WriteBatch(ps []kv.Pair) error {
+	for _, p := range ps {
+		p.Encode(w.buf[:])
+		if _, err := w.bw.Write(w.buf[:]); err != nil {
+			return err
+		}
+	}
+	w.count += int64(len(ps))
+	if w.meter != nil {
+		w.meter.AddDiskWrite(int64(len(ps)) * kv.PairBytes)
+	}
+	return nil
+}
+
+// Count returns the number of pairs written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader streams pairs from a file sequentially.
+type Reader struct {
+	f     *os.File
+	br    *bufio.Reader
+	meter *costmodel.Meter
+	count int64 // total pairs in the file
+	read  int64 // pairs consumed so far
+}
+
+// NewReader opens the file at path. meter may be nil.
+func NewReader(path string, meter *costmodel.Meter) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size()%kv.PairBytes != 0 {
+		f.Close()
+		return nil, fmt.Errorf("kvio: %s size %d is not a multiple of record size %d",
+			path, info.Size(), kv.PairBytes)
+	}
+	return &Reader{
+		f:     f,
+		br:    bufio.NewReaderSize(f, bufSize),
+		meter: meter,
+		count: info.Size() / kv.PairBytes,
+	}, nil
+}
+
+// Count returns the total number of pairs in the file.
+func (r *Reader) Count() int64 { return r.count }
+
+// Remaining returns how many pairs have not yet been consumed.
+func (r *Reader) Remaining() int64 { return r.count - r.read }
+
+// ReadBatch fills dst with up to len(dst) pairs and returns how many were
+// read. It returns io.EOF (with n == 0) once the stream is exhausted.
+func (r *Reader) ReadBatch(dst []kv.Pair) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	var rec [kv.PairBytes]byte
+	n := 0
+	for n < len(dst) {
+		if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if err == io.ErrUnexpectedEOF {
+				return n, fmt.Errorf("kvio: truncated record in %s", r.f.Name())
+			}
+			return n, err
+		}
+		dst[n] = kv.DecodePair(rec[:])
+		n++
+	}
+	r.read += int64(n)
+	if r.meter != nil {
+		r.meter.AddDiskRead(int64(n) * kv.PairBytes)
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// CountFile returns the number of pairs stored at path (0 if the file does
+// not exist).
+func CountFile(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Size() / kv.PairBytes, nil
+}
+
+// Kind distinguishes the two tuple lists of each partition: fingerprints
+// of l-length suffixes and of l-length prefixes.
+type Kind int
+
+// Partition kinds.
+const (
+	Suffix Kind = iota
+	Prefix
+)
+
+func (k Kind) String() string {
+	if k == Suffix {
+		return "sfx"
+	}
+	return "pfx"
+}
+
+// PartitionPath names the file holding (fingerprint, read-ID) tuples for
+// the given overlap length and kind within dir.
+func PartitionPath(dir string, k Kind, length int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%04d.kv", k, length))
+}
+
+// PartitionWriters fans incoming tuples out to per-length partition files,
+// the partitioning step at the end of the map phase (Section III-A). Files
+// are created lazily on the first tuple of each length.
+type PartitionWriters struct {
+	dir     string
+	kind    Kind
+	meter   *costmodel.Meter
+	writers map[int]*Writer
+}
+
+// NewPartitionWriters returns a writer fan-out rooted at dir.
+func NewPartitionWriters(dir string, kind Kind, meter *costmodel.Meter) *PartitionWriters {
+	return &PartitionWriters{dir: dir, kind: kind, meter: meter, writers: map[int]*Writer{}}
+}
+
+// Write appends a tuple to the partition for the given length.
+func (pw *PartitionWriters) Write(length int, p kv.Pair) error {
+	w, ok := pw.writers[length]
+	if !ok {
+		var err error
+		w, err = NewWriter(PartitionPath(pw.dir, pw.kind, length), pw.meter)
+		if err != nil {
+			return err
+		}
+		pw.writers[length] = w
+	}
+	return w.Write(p)
+}
+
+// Counts returns the tuple count per length written so far.
+func (pw *PartitionWriters) Counts() map[int]int64 {
+	out := make(map[int]int64, len(pw.writers))
+	for l, w := range pw.writers {
+		out[l] = w.Count()
+	}
+	return out
+}
+
+// Close closes every partition file, reporting the first error.
+func (pw *PartitionWriters) Close() error {
+	var first error
+	for _, w := range pw.writers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	pw.writers = map[int]*Writer{}
+	return first
+}
+
+// ListPartitions returns the sorted overlap lengths for which partition
+// files of the given kind exist in dir.
+func ListPartitions(dir string, k Kind) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := k.String() + "_"
+	var lengths []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".kv") {
+			continue
+		}
+		l, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".kv"))
+		if err != nil {
+			continue
+		}
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	return lengths, nil
+}

@@ -1,0 +1,220 @@
+package kvio
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/kv"
+)
+
+func randomPairs(rng *rand.Rand, n int) []kv.Pair {
+	ps := make([]kv.Pair, n)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: kv.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, Val: rng.Uint32()}
+	}
+	return ps
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pairs.kv")
+	rng := rand.New(rand.NewSource(1))
+	want := randomPairs(rng, 1000)
+
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range want[:500] {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteBatch(want[500:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 1000 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+	var got []kv.Pair
+	buf := make([]kv.Pair, 77) // deliberately not a divisor of 1000
+	for {
+		n, err := r.ReadBatch(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderMetersDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.kv")
+	meter := costmodel.NewMeter()
+	w, err := NewWriter(path, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(randomPairs(rand.New(rand.NewSource(2)), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Snapshot().DiskWriteBytes; got != 10*kv.PairBytes {
+		t.Errorf("metered write = %d, want %d", got, 10*kv.PairBytes)
+	}
+	r, err := NewReader(path, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]kv.Pair, 100)
+	if _, err := r.ReadBatch(buf); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if got := meter.Snapshot().DiskReadBytes; got != 10*kv.PairBytes {
+		t.Errorf("metered read = %d, want %d", got, 10*kv.PairBytes)
+	}
+}
+
+func TestReaderRejectsCorruptSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.kv")
+	if err := os.WriteFile(path, make([]byte, kv.PairBytes+3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(path, nil); err == nil {
+		t.Error("expected error for non-multiple file size")
+	}
+}
+
+func TestReadBatchEmptyDst(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "e.kv")
+	w, _ := NewWriter(path, nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if n, err := r.ReadBatch(nil); n != 0 || err != nil {
+		t.Errorf("empty dst: n=%d err=%v", n, err)
+	}
+	if n, err := r.ReadBatch(make([]kv.Pair, 4)); n != 0 || err != io.EOF {
+		t.Errorf("empty file: n=%d err=%v", n, err)
+	}
+}
+
+func TestCountFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.kv")
+	if n, err := CountFile(path); n != 0 || err != nil {
+		t.Errorf("missing file: n=%d err=%v", n, err)
+	}
+	w, _ := NewWriter(path, nil)
+	if err := w.WriteBatch(randomPairs(rand.New(rand.NewSource(3)), 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := CountFile(path); n != 7 || err != nil {
+		t.Errorf("n=%d err=%v, want 7", n, err)
+	}
+}
+
+func TestPartitionWritersAndList(t *testing.T) {
+	dir := t.TempDir()
+	pw := NewPartitionWriters(dir, Suffix, nil)
+	rng := rand.New(rand.NewSource(4))
+	wantCounts := map[int]int64{63: 5, 80: 3, 100: 1}
+	for l, n := range wantCounts {
+		for i := int64(0); i < n; i++ {
+			if err := pw.Write(l, randomPairs(rng, 1)[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	counts := pw.Counts()
+	for l, n := range wantCounts {
+		if counts[l] != n {
+			t.Errorf("count[%d] = %d, want %d", l, counts[l], n)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lengths, err := ListPartitions(dir, Suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lengths) != 3 || lengths[0] != 63 || lengths[1] != 80 || lengths[2] != 100 {
+		t.Errorf("lengths = %v", lengths)
+	}
+	// No prefix partitions were written.
+	pfx, err := ListPartitions(dir, Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfx) != 0 {
+		t.Errorf("prefix partitions = %v", pfx)
+	}
+	// Files round trip.
+	r, err := NewReader(PartitionPath(dir, Suffix, 63), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 5 {
+		t.Errorf("partition 63 count = %d", r.Count())
+	}
+}
+
+func TestPartitionPathNames(t *testing.T) {
+	if got := PartitionPath("/x", Suffix, 63); got != "/x/sfx_0063.kv" {
+		t.Errorf("suffix path = %q", got)
+	}
+	if got := PartitionPath("/x", Prefix, 111); got != "/x/pfx_0111.kv" {
+		t.Errorf("prefix path = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Suffix.String() != "sfx" || Prefix.String() != "pfx" {
+		t.Error("Kind strings wrong")
+	}
+}

@@ -1,0 +1,26 @@
+package overlap
+
+import (
+	"os"
+
+	"repro/internal/kv"
+	"repro/internal/kvio"
+)
+
+// Helpers usable from testing/quick property functions.
+
+func mkTemp() (string, error) { return os.MkdirTemp("", "overlap-quick-*") }
+
+func rmTemp(dir string) { os.RemoveAll(dir) }
+
+func writeErr(path string, ps []kv.Pair) error {
+	w, err := kvio.NewWriter(path, nil)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteBatch(ps); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,249 @@
+// Package overlap implements the reduce phase (Section III-C, Algorithm
+// 2): finding suffix-prefix matches between two fingerprint-sorted
+// partition files.
+//
+// Two windows of at most M/2 pairs stream from the suffix and prefix
+// lists. Each round the windows are clipped so that a fingerprint present
+// in the suffix window cannot occur in any prefix window except the
+// current one: both windows are resized to the lower bound of the smaller
+// of their largest fingerprints (keys equal to the boundary stay buffered
+// for the next round, since more occurrences may follow in the stream).
+// The clipped windows are shipped to the device, where vectorized lower-
+// and upper-bound searches yield per-suffix match counts, and one
+// candidate edge is emitted per (suffix, prefix) fingerprint match.
+//
+// One practical extension over the paper: when a single fingerprint's run
+// of duplicates fills a whole window (possible for extreme-coverage
+// repeats) the lower-bound resize would empty both windows and Algorithm 2
+// as published stalls. Those runs are handled exactly by a dedicated drain
+// path that joins the key's complete suffix and prefix runs across window
+// refills, at the cost of host memory proportional to the run length
+// instead of the window size.
+package overlap
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a reduce pass.
+type Config struct {
+	Device      *gpu.Device
+	Meter       *costmodel.Meter  // meters disk traffic; may be nil
+	HostMem     *stats.MemTracker // accounts window buffers; may be nil
+	WindowPairs int               // M/2: pairs per window
+}
+
+// hostPairBytes is the in-memory footprint of one pair.
+const hostPairBytes = 24
+
+// Emit receives one candidate edge: the read strand whose suffix matched
+// (u) and the read strand whose prefix matched (v). Returning an error
+// aborts the reduce.
+type Emit func(u, v uint32) error
+
+// ReducePaths streams the sorted suffix and prefix partition files and
+// emits every fingerprint match. Both files must be sorted by fingerprint.
+func ReducePaths(cfg Config, sfxPath, pfxPath string, emit Emit) error {
+	sr, err := kvio.NewReader(sfxPath, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	pr, err := kvio.NewReader(pfxPath, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	defer pr.Close()
+	return Reduce(cfg, sr, pr, emit)
+}
+
+// Reduce is ReducePaths over already-open readers.
+func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
+	if cfg.WindowPairs < 1 {
+		return fmt.Errorf("overlap: WindowPairs must be positive, got %d", cfg.WindowPairs)
+	}
+	dev := cfg.Device
+	if cfg.HostMem != nil {
+		hostBytes := int64(2*cfg.WindowPairs) * hostPairBytes
+		cfg.HostMem.Add(hostBytes)
+		defer cfg.HostMem.Release(hostBytes)
+	}
+	ws := newWindowStream(sfxReader, cfg.WindowPairs)
+	wp := newWindowStream(pfxReader, cfg.WindowPairs)
+
+	var lb, ub, diff []int32
+	for {
+		if err := ws.fill(); err != nil {
+			return err
+		}
+		if err := wp.fill(); err != nil {
+			return err
+		}
+		s, p := ws.buf, wp.buf
+		if len(s) == 0 || len(p) == 0 {
+			break
+		}
+		// Clip both windows at the lower bound of the smaller of the two
+		// largest fingerprints (lines 5-7). Pairs carrying the boundary
+		// key stay buffered, because later window fills may bring more
+		// occurrences of that key on either stream.
+		f := kv.Min(s[len(s)-1].Key, p[len(p)-1].Key)
+		cs := s[:kv.LowerBound(s, f)]
+		cp := p[:kv.LowerBound(p, f)]
+		if len(cs) == 0 && len(cp) == 0 {
+			// Neither window holds anything below the boundary: the
+			// smallest key present spans a whole window (a duplicate run
+			// at least window-sized, or the endgame where both streams
+			// finish on the boundary key). Drain that one key exactly.
+			if err := drainKey(ws, wp, emit); err != nil {
+				return err
+			}
+			continue
+		} else if len(cs) == 0 || len(cp) == 0 {
+			// One side holds only boundary-key pairs; the other side's
+			// clipped portion cannot match them, so consume it alone.
+			ws.consume(len(cs))
+			wp.consume(len(cp))
+			continue
+		}
+
+		// Device pass: vectorized bounds and counts (lines 8-10).
+		alloc := dev.MustAlloc(int64(len(cs)+len(cp))*kv.PairBytes + 3*4*int64(len(cs)))
+		dev.CopyToDevice(int64(len(cs)+len(cp)) * kv.PairBytes)
+		lb = dev.VecLowerBound(cs, cp, lb)
+		ub = dev.VecUpperBound(cs, cp, ub)
+		diff = dev.VecDifference(ub, lb, diff)
+		dev.CopyFromDevice(3 * 4 * int64(len(cs)))
+		alloc.Free()
+
+		// Edge emission (lines 11-17).
+		for i := range cs {
+			if diff[i] <= 0 {
+				continue
+			}
+			for j := lb[i]; j < ub[i]; j++ {
+				if err := emit(cs[i].Val, cp[j].Val); err != nil {
+					return err
+				}
+			}
+		}
+		ws.consume(len(cs))
+		wp.consume(len(cp))
+	}
+	return nil
+}
+
+// drainKey exactly processes the smallest key visible in either window
+// when that key's duplicates fill a whole window. It collects the key's
+// complete run of prefix values (refilling across window boundaries),
+// streams the suffix run against it, and emits the full cross product.
+// Host memory here is bounded by the run length rather than the window —
+// the one place the implementation deliberately exceeds the paper's M,
+// because Algorithm 2 as published stalls or drops matches on runs longer
+// than a window (see package comment).
+func drainKey(ws, wp *windowStream, emit Emit) error {
+	k := kv.Min(ws.buf[0].Key, wp.buf[0].Key)
+	if k != ws.buf[0].Key || k != wp.buf[0].Key {
+		// Only one stream holds k: drain its run without emitting.
+		side := ws
+		if k == wp.buf[0].Key {
+			side = wp
+		}
+		_, err := collectRun(side, k)
+		return err
+	}
+	pvals, err := collectRun(wp, k)
+	if err != nil {
+		return err
+	}
+	for {
+		if err := ws.fill(); err != nil {
+			return err
+		}
+		n := 0
+		for n < len(ws.buf) && ws.buf[n].Key == k {
+			n++
+		}
+		if n == 0 {
+			return nil // run over (or suffix stream never held k)
+		}
+		for i := 0; i < n; i++ {
+			for _, v := range pvals {
+				if err := emit(ws.buf[i].Val, v); err != nil {
+					return err
+				}
+			}
+		}
+		ws.consume(n)
+		if len(ws.buf) > 0 {
+			return nil // a key beyond k surfaced: run finished
+		}
+	}
+}
+
+// collectRun consumes and returns every value carrying key k from the
+// stream, refilling the window as needed.
+func collectRun(ws *windowStream, k kv.Key) ([]uint32, error) {
+	var vals []uint32
+	for {
+		if err := ws.fill(); err != nil {
+			return nil, err
+		}
+		n := 0
+		for n < len(ws.buf) && ws.buf[n].Key == k {
+			vals = append(vals, ws.buf[n].Val)
+			n++
+		}
+		ws.consume(n)
+		if len(ws.buf) > 0 || n == 0 {
+			return vals, nil // a later key surfaced, or the stream ended
+		}
+	}
+}
+
+// windowStream maintains a sliding window over a sequential reader.
+type windowStream struct {
+	r    *kvio.Reader
+	buf  []kv.Pair
+	cap  int
+	done bool
+}
+
+func newWindowStream(r *kvio.Reader, capPairs int) *windowStream {
+	return &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+}
+
+func (ws *windowStream) fill() error {
+	for len(ws.buf) < ws.cap && !ws.done {
+		n := len(ws.buf)
+		m, err := ws.r.ReadBatch(ws.buf[n:ws.cap])
+		ws.buf = ws.buf[:n+m]
+		if err == io.EOF {
+			ws.done = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if !ws.done && ws.r.Remaining() == 0 {
+		ws.done = true
+	}
+	return nil
+}
+
+func (ws *windowStream) consume(n int) {
+	remaining := copy(ws.buf, ws.buf[n:])
+	ws.buf = ws.buf[:remaining]
+}
+
+// exhausted reports whether the underlying stream has no pairs beyond the
+// current window.
+func (ws *windowStream) exhausted() bool { return ws.done }

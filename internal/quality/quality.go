@@ -1,0 +1,93 @@
+// Package quality evaluates an assembly against the reference genome it
+// was simulated from: the reproduction's stand-in for the GAGE-style
+// assembly evaluation the paper's datasets come from.
+//
+// With error-free reads and exact overlaps, a correct greedy assembly
+// yields contigs that are exact substrings of the reference (in either
+// orientation); the report counts them, measures how much of the genome
+// they cover, and carries the usual contiguity statistics.
+package quality
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contig"
+	"repro/internal/dna"
+)
+
+// Report summarizes assembly quality against a reference.
+type Report struct {
+	contig.Stats
+	// ExactContigs counts contigs that align to the reference exactly
+	// (forward or reverse complement).
+	ExactContigs int
+	// MisassembledContigs counts contigs with no exact alignment.
+	MisassembledContigs int
+	// GenomeLen is the reference length.
+	GenomeLen int
+	// CoveredBases counts reference positions covered by at least one
+	// exactly-aligned contig.
+	CoveredBases int
+	// LargestAlignment is the longest exactly-aligned contig.
+	LargestAlignment int
+}
+
+// CoverageFraction is the fraction of the reference covered by exact
+// alignments.
+func (r Report) CoverageFraction() float64 {
+	if r.GenomeLen == 0 {
+		return 0
+	}
+	return float64(r.CoveredBases) / float64(r.GenomeLen)
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s exact=%d/%d coverage=%.1f%% largestAlign=%d",
+		r.Stats.String(), r.ExactContigs, r.NumContigs,
+		100*r.CoverageFraction(), r.LargestAlignment)
+}
+
+// Evaluate aligns every contig against the genome by exact substring
+// search on both strands and reports coverage. Contigs shorter than
+// minLen are still counted in the stats but skipped for alignment
+// bookkeeping when minLen > 0.
+func Evaluate(genome dna.Seq, contigs []dna.Seq) Report {
+	rep := Report{Stats: contig.Summarize(contigs), GenomeLen: len(genome)}
+	fwd := genome.String()
+	covered := make([]bool, len(genome))
+	for _, c := range contigs {
+		pos := findForwardSpan(fwd, c)
+		if pos < 0 {
+			rep.MisassembledContigs++
+			continue
+		}
+		rep.ExactContigs++
+		if len(c) > rep.LargestAlignment {
+			rep.LargestAlignment = len(c)
+		}
+		for i := pos; i < pos+len(c); i++ {
+			covered[i] = true
+		}
+	}
+	for _, c := range covered {
+		if c {
+			rep.CoveredBases++
+		}
+	}
+	return rep
+}
+
+// findForwardSpan returns the forward-genome start position of the region
+// the contig covers — directly for a forward-strand alignment, or via the
+// reverse-complemented contig for a reverse-strand one (the RC'd contig's
+// match location in forward coordinates IS the covered span). Returns -1
+// if the contig aligns nowhere exactly. Searching with the RC'd contig
+// avoids materializing a genome-sized reverse-complement string.
+func findForwardSpan(fwd string, c dna.Seq) int {
+	if pos := strings.Index(fwd, c.String()); pos >= 0 {
+		return pos
+	}
+	return strings.Index(fwd, c.ReverseComplement().String())
+}

@@ -1,0 +1,86 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestEvaluateExactForwardContigs(t *testing.T) {
+	genome := dna.MustParseSeq("ACGTTGCAGGATCCTAGGCAATTGCACGTA")
+	contigs := []dna.Seq{
+		genome[0:12].Clone(),
+		genome[10:30].Clone(),
+	}
+	rep := Evaluate(genome, contigs)
+	if rep.ExactContigs != 2 || rep.MisassembledContigs != 0 {
+		t.Fatalf("exact=%d mis=%d", rep.ExactContigs, rep.MisassembledContigs)
+	}
+	if rep.CoveredBases != 30 {
+		t.Errorf("covered = %d, want 30 (full overlap coverage)", rep.CoveredBases)
+	}
+	if rep.CoverageFraction() != 1.0 {
+		t.Errorf("coverage fraction = %v", rep.CoverageFraction())
+	}
+	if rep.LargestAlignment != 20 {
+		t.Errorf("largest alignment = %d", rep.LargestAlignment)
+	}
+}
+
+func TestEvaluateReverseStrandCoverage(t *testing.T) {
+	genome := dna.MustParseSeq("ACGTTGCAGGATCCTAGGCA")
+	// A contig equal to the RC of genome[5:15] aligns on the reverse
+	// strand and must cover forward positions 5..15.
+	rc := genome[5:15].ReverseComplement()
+	rep := Evaluate(genome, []dna.Seq{rc})
+	if rep.ExactContigs != 1 {
+		t.Fatalf("exact = %d", rep.ExactContigs)
+	}
+	if rep.CoveredBases != 10 {
+		t.Errorf("covered = %d, want 10", rep.CoveredBases)
+	}
+}
+
+func TestEvaluateMisassembly(t *testing.T) {
+	genome := dna.MustParseSeq("ACGTACGTACGTACGTACGT")
+	bogus := dna.MustParseSeq("GGGGGGGGGG")
+	rep := Evaluate(genome, []dna.Seq{genome[0:8].Clone(), bogus})
+	if rep.ExactContigs != 1 || rep.MisassembledContigs != 1 {
+		t.Fatalf("exact=%d mis=%d", rep.ExactContigs, rep.MisassembledContigs)
+	}
+	if rep.CoveredBases != 8 {
+		t.Errorf("covered = %d", rep.CoveredBases)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rep := Evaluate(dna.MustParseSeq("ACGT"), nil)
+	if rep.NumContigs != 0 || rep.CoveredBases != 0 || rep.CoverageFraction() != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	repNoGenome := Evaluate(nil, nil)
+	if repNoGenome.CoverageFraction() != 0 {
+		t.Error("zero-length genome coverage should be 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	genome := dna.MustParseSeq("ACGTACGTAC")
+	rep := Evaluate(genome, []dna.Seq{genome[0:5].Clone()})
+	s := rep.String()
+	for _, want := range []string{"exact=1/1", "coverage=50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPalindromeAmbiguity(t *testing.T) {
+	// A contig present on both strands counts as forward coverage.
+	genome := dna.MustParseSeq("AATTGGCCAATT") // contains AATT twice; RC(AATT)=AATT
+	rep := Evaluate(genome, []dna.Seq{dna.MustParseSeq("AATT")})
+	if rep.ExactContigs != 1 || rep.CoveredBases != 4 {
+		t.Errorf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,169 @@
+// Package readsim generates the synthetic datasets that stand in for the
+// paper's Illumina runs (Table I).
+//
+// The original evaluation uses 9-398 GB of real reads (human chromosome
+// 14, bumblebee, parakeet, whole human genome). Those are unavailable
+// offline and far beyond this environment, so each dataset is replaced by
+// a deterministic scaled profile that preserves what drives the
+// evaluation's shape: the read length, the SGA-suggested minimum overlap,
+// the relative dataset-size ratios (~1 : 7.4 : 20 : 27.4 in bases), and a
+// coverage high enough that the overlap graph is dense. Genomes carry
+// planted repeats so that string-graph behaviour on repetitive regions is
+// exercised.
+package readsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dna"
+)
+
+// GenomeParams configures synthetic genome generation.
+type GenomeParams struct {
+	Length      int
+	RepeatLen   int // length of each planted repeat (0 disables)
+	RepeatCount int // number of planted repeat copies
+	Seed        int64
+}
+
+// Genome generates a deterministic random genome with planted repeats.
+func Genome(p GenomeParams) dna.Seq {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := make(dna.Seq, p.Length)
+	for i := range g {
+		g[i] = byte(rng.Intn(dna.Alphabet))
+	}
+	if p.RepeatLen > 0 && p.RepeatCount > 0 && p.RepeatLen < p.Length {
+		// Copy one template segment to several random positions, the
+		// repeat structure that makes assembly graphs ambiguous.
+		start := rng.Intn(p.Length - p.RepeatLen)
+		template := g[start : start+p.RepeatLen].Clone()
+		for c := 0; c < p.RepeatCount; c++ {
+			at := rng.Intn(p.Length - p.RepeatLen)
+			copy(g[at:], template)
+		}
+	}
+	return g
+}
+
+// ReadParams configures shotgun read simulation.
+type ReadParams struct {
+	ReadLen   int
+	Coverage  float64
+	ErrorRate float64 // per-base substitution probability
+	Seed      int64
+	// ForwardOnly disables reverse-complement strands; used by tests that
+	// want a single-stranded graph.
+	ForwardOnly bool
+}
+
+// Simulate shotgun-samples reads from the genome. Roughly half the reads
+// come from the reverse strand (as sequencers produce), positions are
+// uniform, and errors are independent substitutions.
+func Simulate(genome dna.Seq, p ReadParams) *dna.ReadSet {
+	if p.ReadLen > len(genome) {
+		panic(fmt.Sprintf("readsim: read length %d exceeds genome length %d", p.ReadLen, len(genome)))
+	}
+	// Separate streams keep positions/strands identical across runs that
+	// differ only in error rate, which tests rely on.
+	rngPos := rand.New(rand.NewSource(p.Seed))
+	rngErr := rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D))
+	numReads := int(float64(len(genome))*p.Coverage/float64(p.ReadLen) + 0.5)
+	rs := dna.NewReadSet(numReads, numReads*p.ReadLen)
+	buf := make(dna.Seq, p.ReadLen)
+	rcBuf := make(dna.Seq, p.ReadLen)
+	for i := 0; i < numReads; i++ {
+		pos := rngPos.Intn(len(genome) - p.ReadLen + 1)
+		copy(buf, genome[pos:pos+p.ReadLen])
+		read := buf
+		if !p.ForwardOnly && rngPos.Intn(2) == 1 {
+			buf.ReverseComplementInto(rcBuf)
+			read = rcBuf
+		}
+		if p.ErrorRate > 0 {
+			for j := range read {
+				if rngErr.Float64() < p.ErrorRate {
+					read[j] = byte((int(read[j]) + 1 + rngErr.Intn(3)) % dna.Alphabet)
+				}
+			}
+		}
+		rs.Append(read)
+	}
+	return rs
+}
+
+// Profile describes one scaled dataset mirroring a row of Table I.
+type Profile struct {
+	Name       string  // paper dataset this profile scales down
+	ReadLen    int     // the paper's read length for this dataset
+	MinOverlap int     // lmin as suggested by SGA (Section IV-A)
+	GenomeLen  int     // scaled genome size
+	Coverage   float64 // chosen so base-count ratios match Table I
+	ErrorRate  float64
+	Seed       int64
+}
+
+// The four evaluation datasets, scaled ~20,000x down from Table I while
+// preserving read lengths, minimum overlaps, and base-count ratios
+// (1 : 7.4 : 20 : 27.4).
+var (
+	HChr14 = Profile{Name: "H.Chr14", ReadLen: 101, MinOverlap: 63,
+		GenomeLen: 40_000, Coverage: 11.4, Seed: 1401}
+	Bumblebee = Profile{Name: "Bumblebee", ReadLen: 124, MinOverlap: 85,
+		GenomeLen: 120_000, Coverage: 28.0, Seed: 1402}
+	Parakeet = Profile{Name: "Parakeet", ReadLen: 150, MinOverlap: 111,
+		GenomeLen: 240_000, Coverage: 38.0, Seed: 1403}
+	HGenome = Profile{Name: "H.Genome", ReadLen: 100, MinOverlap: 63,
+		GenomeLen: 400_000, Coverage: 31.2, Seed: 1404}
+)
+
+// Profiles lists the datasets in Table I order.
+var Profiles = []Profile{HChr14, Bumblebee, Parakeet, HGenome}
+
+// ProfileByName returns the profile with the given name, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Scaled returns a copy of the profile with the genome length multiplied
+// by f (coverage unchanged), for quick tests and -short benchmarks.
+func (p Profile) Scaled(f float64) Profile {
+	p.GenomeLen = int(float64(p.GenomeLen) * f)
+	if p.GenomeLen < 4*p.ReadLen {
+		p.GenomeLen = 4 * p.ReadLen
+	}
+	return p
+}
+
+// NumReads returns the read count this profile will generate.
+func (p Profile) NumReads() int {
+	return int(float64(p.GenomeLen)*p.Coverage/float64(p.ReadLen) + 0.5)
+}
+
+// TotalBases returns the total base count this profile will generate.
+func (p Profile) TotalBases() int64 {
+	return int64(p.NumReads()) * int64(p.ReadLen)
+}
+
+// Generate materializes the genome and read set for the profile.
+func (p Profile) Generate() (dna.Seq, *dna.ReadSet) {
+	genome := Genome(GenomeParams{
+		Length:      p.GenomeLen,
+		RepeatLen:   p.ReadLen / 2,
+		RepeatCount: p.GenomeLen / 20_000,
+		Seed:        p.Seed,
+	})
+	reads := Simulate(genome, ReadParams{
+		ReadLen:   p.ReadLen,
+		Coverage:  p.Coverage,
+		ErrorRate: p.ErrorRate,
+		Seed:      p.Seed + 1,
+	})
+	return genome, reads
+}

@@ -1,0 +1,181 @@
+package readsim
+
+import (
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestGenomeDeterministic(t *testing.T) {
+	p := GenomeParams{Length: 5000, RepeatLen: 100, RepeatCount: 3, Seed: 9}
+	a := Genome(p)
+	b := Genome(p)
+	if !a.Equal(b) {
+		t.Error("same params should generate identical genomes")
+	}
+	p.Seed = 10
+	if Genome(p).Equal(a) {
+		t.Error("different seeds should differ")
+	}
+	if len(a) != 5000 {
+		t.Errorf("genome length = %d", len(a))
+	}
+}
+
+func TestGenomePlantsRepeats(t *testing.T) {
+	p := GenomeParams{Length: 10000, RepeatLen: 200, RepeatCount: 4, Seed: 3}
+	g := Genome(p)
+	// Count distinct 32-mers; with 4 planted 200-base repeats there must
+	// be duplicated 32-mers.
+	seen := map[string]int{}
+	dups := 0
+	for i := 0; i+32 <= len(g); i++ {
+		k := string(g[i : i+32])
+		seen[k]++
+		if seen[k] == 2 {
+			dups++
+		}
+	}
+	if dups < 100 {
+		t.Errorf("expected repeated 32-mers from planted repeats, got %d", dups)
+	}
+}
+
+func TestSimulateReadsComeFromGenome(t *testing.T) {
+	g := Genome(GenomeParams{Length: 2000, Seed: 4})
+	rs := Simulate(g, ReadParams{ReadLen: 50, Coverage: 5, Seed: 5})
+	if rs.NumReads() != 200 {
+		t.Fatalf("NumReads = %d, want 200", rs.NumReads())
+	}
+	gs := g.String()
+	grc := g.ReverseComplement().String()
+	fwd, rev := 0, 0
+	for i := 0; i < rs.NumReads(); i++ {
+		r := rs.Read(uint32(i)).String()
+		switch {
+		case contains(gs, r):
+			fwd++
+		case contains(grc, r):
+			rev++
+		default:
+			t.Fatalf("read %d not a substring of genome or its RC", i)
+		}
+	}
+	if fwd == 0 || rev == 0 {
+		t.Errorf("expected reads from both strands, got fwd=%d rev=%d", fwd, rev)
+	}
+}
+
+func contains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSimulateForwardOnly(t *testing.T) {
+	g := Genome(GenomeParams{Length: 1000, Seed: 6})
+	rs := Simulate(g, ReadParams{ReadLen: 40, Coverage: 3, Seed: 7, ForwardOnly: true})
+	gs := g.String()
+	for i := 0; i < rs.NumReads(); i++ {
+		if !contains(gs, rs.Read(uint32(i)).String()) {
+			t.Fatalf("forward-only read %d not in forward genome", i)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := Genome(GenomeParams{Length: 1000, Seed: 8})
+	clean := Simulate(g, ReadParams{ReadLen: 50, Coverage: 4, Seed: 9, ForwardOnly: true})
+	noisy := Simulate(g, ReadParams{ReadLen: 50, Coverage: 4, Seed: 9, ForwardOnly: true, ErrorRate: 0.05})
+	diffs := 0
+	for i := 0; i < clean.NumReads(); i++ {
+		a, b := clean.Read(uint32(i)), noisy.Read(uint32(i))
+		for j := range a {
+			if a[j] != b[j] {
+				diffs++
+			}
+		}
+	}
+	total := int(clean.TotalBases())
+	if diffs == 0 {
+		t.Fatal("error rate 5% should flip some bases")
+	}
+	rate := float64(diffs) / float64(total)
+	if rate < 0.02 || rate > 0.10 {
+		t.Errorf("observed error rate %.4f, want near 0.05", rate)
+	}
+}
+
+func TestSimulatePanicsOnShortGenome(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when read length exceeds genome")
+		}
+	}()
+	Simulate(make(dna.Seq, 10), ReadParams{ReadLen: 20, Coverage: 1})
+}
+
+func TestProfilesMirrorTable1(t *testing.T) {
+	if len(Profiles) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(Profiles))
+	}
+	wantLens := map[string]int{"H.Chr14": 101, "Bumblebee": 124, "Parakeet": 150, "H.Genome": 100}
+	wantLmin := map[string]int{"H.Chr14": 63, "Bumblebee": 85, "Parakeet": 111, "H.Genome": 63}
+	for _, p := range Profiles {
+		if p.ReadLen != wantLens[p.Name] {
+			t.Errorf("%s read length = %d, want %d", p.Name, p.ReadLen, wantLens[p.Name])
+		}
+		if p.MinOverlap != wantLmin[p.Name] {
+			t.Errorf("%s lmin = %d, want %d", p.Name, p.MinOverlap, wantLmin[p.Name])
+		}
+	}
+	// Base-count ratios should approximate Table I (1 : 7.36 : 20 : 27.4).
+	base := float64(HChr14.TotalBases())
+	ratios := []float64{1, 7.36, 20.0, 27.4}
+	for i, p := range Profiles {
+		got := float64(p.TotalBases()) / base
+		if got < ratios[i]*0.7 || got > ratios[i]*1.3 {
+			t.Errorf("%s base ratio = %.2f, want ~%.2f", p.Name, got, ratios[i])
+		}
+	}
+}
+
+func TestProfileByNameAndScaled(t *testing.T) {
+	p, ok := ProfileByName("Parakeet")
+	if !ok || p.ReadLen != 150 {
+		t.Fatalf("ProfileByName = %+v, %v", p, ok)
+	}
+	if _, ok := ProfileByName("E.Coli"); ok {
+		t.Error("unknown profile should not resolve")
+	}
+	s := p.Scaled(0.1)
+	if s.GenomeLen != p.GenomeLen/10 {
+		t.Errorf("Scaled genome = %d", s.GenomeLen)
+	}
+	tiny := p.Scaled(0.000001)
+	if tiny.GenomeLen < 4*tiny.ReadLen {
+		t.Error("Scaled should clamp to a workable genome size")
+	}
+}
+
+func TestProfileGenerate(t *testing.T) {
+	p := HChr14.Scaled(0.1)
+	genome, reads := p.Generate()
+	if len(genome) != p.GenomeLen {
+		t.Errorf("genome length = %d, want %d", len(genome), p.GenomeLen)
+	}
+	if reads.NumReads() != p.NumReads() {
+		t.Errorf("reads = %d, want %d", reads.NumReads(), p.NumReads())
+	}
+	if reads.MaxLen() != p.ReadLen {
+		t.Errorf("read length = %d, want %d", reads.MaxLen(), p.ReadLen)
+	}
+	// Deterministic.
+	_, reads2 := p.Generate()
+	if reads2.NumReads() != reads.NumReads() || !reads2.Read(0).Equal(reads.Read(0)) {
+		t.Error("Generate should be deterministic")
+	}
+}

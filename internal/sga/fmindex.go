@@ -1,0 +1,128 @@
+package sga
+
+// FMIndex is a BWT-based full-text index supporting backward search, the
+// core of SGA's overlap stage. The alphabet is tiny (sentinel, separator,
+// four bases), so occurrence counts are kept as per-symbol checkpoints
+// every occSample positions with a linear scan in between.
+type FMIndex struct {
+	bwt    []byte
+	sa     []int32 // full suffix array kept for locate (scaled datasets fit)
+	counts []int32 // counts[c] = number of text symbols strictly less than c
+	occChk [][]int32
+	k      int
+}
+
+const occSample = 128
+
+// NewFMIndex builds the index for text over symbols [0, K). text must end
+// with a unique smallest sentinel 0.
+func NewFMIndex(text []byte, K int) *FMIndex {
+	n := len(text)
+	sa := SuffixArray(text, K)
+	f := &FMIndex{
+		bwt:    make([]byte, n),
+		sa:     sa,
+		counts: make([]int32, K+1),
+		k:      K,
+	}
+	for i, p := range sa {
+		if p == 0 {
+			f.bwt[i] = text[n-1]
+		} else {
+			f.bwt[i] = text[p-1]
+		}
+	}
+	for _, c := range text {
+		f.counts[c+1]++
+	}
+	for c := 1; c <= K; c++ {
+		f.counts[c] += f.counts[c-1]
+	}
+	// Occurrence checkpoints.
+	numChk := n/occSample + 1
+	f.occChk = make([][]int32, numChk)
+	running := make([]int32, K)
+	for i := 0; i < n; i++ {
+		if i%occSample == 0 {
+			chk := make([]int32, K)
+			copy(chk, running)
+			f.occChk[i/occSample] = chk
+		}
+		running[f.bwt[i]]++
+	}
+	if n%occSample == 0 {
+		// No trailing checkpoint needed; Occ handles pos == n below.
+	}
+	f.occChk = append(f.occChk, nil) // sentinel slot, never dereferenced directly
+	final := make([]int32, K)
+	copy(final, running)
+	f.occChk[len(f.occChk)-1] = final
+	return f
+}
+
+// Len returns the text length.
+func (f *FMIndex) Len() int { return len(f.bwt) }
+
+// Occ returns the number of occurrences of symbol c in bwt[0:pos].
+func (f *FMIndex) Occ(c byte, pos int32) int32 {
+	if pos <= 0 {
+		return 0
+	}
+	if int(pos) >= len(f.bwt) {
+		return f.occChk[len(f.occChk)-1][c]
+	}
+	chk := pos / occSample
+	count := f.occChk[chk][c]
+	for i := chk * occSample; i < pos; i++ {
+		if f.bwt[i] == c {
+			count++
+		}
+	}
+	return count
+}
+
+// Interval is a half-open SA range [Lo, Hi) of suffixes sharing a common
+// prefix (the current backward-search pattern).
+type Interval struct{ Lo, Hi int32 }
+
+// Empty reports whether the interval holds no suffixes.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Size returns the number of suffixes in the interval.
+func (iv Interval) Size() int32 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Whole returns the interval covering the entire suffix array.
+func (f *FMIndex) Whole() Interval { return Interval{0, int32(len(f.bwt))} }
+
+// Extend performs one backward-search step: the interval of pattern P
+// becomes the interval of cP.
+func (f *FMIndex) Extend(iv Interval, c byte) Interval {
+	return Interval{
+		Lo: f.counts[c] + f.Occ(c, iv.Lo),
+		Hi: f.counts[c] + f.Occ(c, iv.Hi),
+	}
+}
+
+// Find returns the interval of an arbitrary pattern (backward search over
+// all of it); used by tests and diagnostics.
+func (f *FMIndex) Find(pattern []byte) Interval {
+	iv := f.Whole()
+	for i := len(pattern) - 1; i >= 0 && !iv.Empty(); i-- {
+		iv = f.Extend(iv, pattern[i])
+	}
+	return iv
+}
+
+// Locate returns the text position of the i-th suffix in SA order.
+func (f *FMIndex) Locate(i int32) int32 { return f.sa[i] }
+
+// ApproxBytes estimates the index's host-memory footprint.
+func (f *FMIndex) ApproxBytes() int64 {
+	occ := int64(len(f.occChk)) * int64(f.k) * 4
+	return int64(len(f.bwt)) + 4*int64(len(f.sa)) + occ
+}

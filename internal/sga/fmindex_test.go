@@ -1,0 +1,116 @@
+package sga
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomText(rng *rand.Rand, n, K int) []byte {
+	text := make([]byte, n)
+	for i := range text {
+		text[i] = byte(rng.Intn(K-1)) + 1
+	}
+	return append(text, 0)
+}
+
+func TestOccAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := randomText(rng, 1000, 5)
+	f := NewFMIndex(text, 5)
+	for c := byte(0); c < 5; c++ {
+		count := int32(0)
+		for pos := int32(0); pos <= int32(len(text)); pos++ {
+			if got := f.Occ(c, pos); got != count {
+				t.Fatalf("Occ(%d, %d) = %d, want %d", c, pos, got, count)
+			}
+			if int(pos) < len(f.bwt) && f.bwt[pos] == c {
+				count++
+			}
+		}
+	}
+	if f.Occ(1, -5) != 0 {
+		t.Error("Occ with negative pos should be 0")
+	}
+}
+
+func TestFindCountsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := randomText(rng, 600, 4)
+	f := NewFMIndex(text, 4)
+	for trial := 0; trial < 200; trial++ {
+		plen := rng.Intn(6) + 1
+		pattern := make([]byte, plen)
+		for i := range pattern {
+			pattern[i] = byte(rng.Intn(3)) + 1
+		}
+		want := bytes.Count(text, pattern)
+		// bytes.Count does not count overlapping occurrences; count
+		// manually instead.
+		want = 0
+		for i := 0; i+plen <= len(text); i++ {
+			if bytes.Equal(text[i:i+plen], pattern) {
+				want++
+			}
+		}
+		if got := int(f.Find(pattern).Size()); got != want {
+			t.Fatalf("Find(%v).Size = %d, want %d", pattern, got, want)
+		}
+	}
+}
+
+func TestFindLocatePositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	text := randomText(rng, 400, 4)
+	f := NewFMIndex(text, 4)
+	pattern := []byte{1, 2}
+	iv := f.Find(pattern)
+	var got []int
+	for i := iv.Lo; i < iv.Hi; i++ {
+		got = append(got, int(f.Locate(i)))
+	}
+	for _, p := range got {
+		if !bytes.Equal(text[p:p+2], pattern) {
+			t.Fatalf("Locate returned position %d with %v", p, text[p:p+2])
+		}
+	}
+	want := 0
+	for i := 0; i+2 <= len(text); i++ {
+		if bytes.Equal(text[i:i+2], pattern) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("located %d occurrences, want %d", len(got), want)
+	}
+}
+
+func TestFindAbsentPattern(t *testing.T) {
+	text := []byte{1, 1, 2, 2, 0}
+	f := NewFMIndex(text, 4)
+	if iv := f.Find([]byte{3}); !iv.Empty() || iv.Size() != 0 {
+		t.Errorf("absent symbol interval = %+v", iv)
+	}
+	if iv := f.Find([]byte{2, 1, 2}); !iv.Empty() {
+		t.Errorf("absent pattern interval = %+v", iv)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if (Interval{3, 3}).Size() != 0 || !(Interval{5, 2}).Empty() {
+		t.Error("interval emptiness wrong")
+	}
+	if (Interval{2, 7}).Size() != 5 {
+		t.Error("interval size wrong")
+	}
+}
+
+func TestApproxBytesPositive(t *testing.T) {
+	f := NewFMIndex([]byte{1, 2, 1, 0}, 4)
+	if f.ApproxBytes() <= 0 {
+		t.Error("ApproxBytes should be positive")
+	}
+	if f.Len() != 4 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}

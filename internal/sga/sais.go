@@ -1,0 +1,166 @@
+// Package sga implements the baseline string-graph assembler that Table
+// VI compares LaSAGNA against: an FM-index (BWT) exact overlapper in the
+// style of SGA (Simpson & Durbin 2012).
+//
+// The paper times SGA's preprocess, index, and overlap stages. This
+// package reproduces the same pipeline shape from scratch: reads (both
+// strands) are concatenated with separators, a suffix array is built with
+// SA-IS, the BWT and occurrence structure form an FM-index, and maximal
+// exact suffix-prefix overlaps are found by backward search — one
+// backward extension per base, plus one separator extension per candidate
+// overlap length.
+package sga
+
+// saisInt32 computes the suffix array of T, where T's values lie in
+// [0, K) and T ends with a unique, smallest sentinel 0. It is the
+// linear-time SA-IS algorithm (induced sorting of LMS substrings with
+// recursion on repeated names).
+func saisInt32(T []int32, K int) []int32 {
+	n := len(T)
+	SA := make([]int32, n)
+	if n == 0 {
+		return SA
+	}
+	if n == 1 {
+		SA[0] = 0
+		return SA
+	}
+	// Suffix types: S-type if T[i:] < T[i+1:], L-type otherwise.
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = T[i] < T[i+1] || (T[i] == T[i+1] && isS[i+1])
+	}
+	isLMS := func(i int32) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	// Bucket boundaries per symbol.
+	bktSize := make([]int32, K)
+	for _, c := range T {
+		bktSize[c]++
+	}
+	starts := make([]int32, K)
+	ends := make([]int32, K)
+	resetStarts := func() {
+		var sum int32
+		for c := 0; c < K; c++ {
+			starts[c] = sum
+			sum += bktSize[c]
+		}
+	}
+	resetEnds := func() {
+		var sum int32
+		for c := 0; c < K; c++ {
+			sum += bktSize[c]
+			ends[c] = sum
+		}
+	}
+
+	// induce sorts all suffixes given the LMS suffixes in lmsOrder.
+	induce := func(lmsOrder []int32) {
+		for i := range SA {
+			SA[i] = -1
+		}
+		resetEnds()
+		for i := len(lmsOrder) - 1; i >= 0; i-- {
+			j := lmsOrder[i]
+			c := T[j]
+			ends[c]--
+			SA[ends[c]] = j
+		}
+		resetStarts()
+		for i := 0; i < n; i++ {
+			j := SA[i]
+			if j > 0 && !isS[j-1] {
+				c := T[j-1]
+				SA[starts[c]] = j - 1
+				starts[c]++
+			}
+		}
+		resetEnds()
+		for i := n - 1; i >= 0; i-- {
+			j := SA[i]
+			if j > 0 && isS[j-1] {
+				c := T[j-1]
+				ends[c]--
+				SA[ends[c]] = j - 1
+			}
+		}
+	}
+
+	// LMS positions in text order.
+	var lms []int32
+	for i := int32(1); i < int32(n); i++ {
+		if isLMS(i) {
+			lms = append(lms, i)
+		}
+	}
+	if len(lms) == 0 {
+		// Strictly decreasing text: the induced sort with no LMS seeds
+		// cannot happen because the sentinel is always LMS.
+		panic("sga: no LMS positions; text missing sentinel?")
+	}
+	induce(lms)
+
+	// Collect LMS suffixes in their induced (sorted-substring) order.
+	sortedLMS := make([]int32, 0, len(lms))
+	for _, j := range SA {
+		if isLMS(j) {
+			sortedLMS = append(sortedLMS, j)
+		}
+	}
+
+	// Name LMS substrings by equality.
+	lmsEqual := func(a, b int32) bool {
+		if a == int32(n-1) || b == int32(n-1) {
+			return a == b
+		}
+		for d := int32(0); ; d++ {
+			aLMS := d > 0 && isLMS(a+d)
+			bLMS := d > 0 && isLMS(b+d)
+			if aLMS && bLMS {
+				return true
+			}
+			if aLMS != bLMS || T[a+d] != T[b+d] {
+				return false
+			}
+		}
+	}
+	names := make([]int32, n)
+	name := int32(0)
+	prev := int32(-1)
+	for _, j := range sortedLMS {
+		if prev >= 0 && !lmsEqual(prev, j) {
+			name++
+		}
+		names[j] = name
+		prev = j
+	}
+
+	if int(name)+1 < len(lms) {
+		// Repeated names: recurse on the reduced string.
+		T1 := make([]int32, len(lms))
+		for i, pos := range lms {
+			T1[i] = names[pos]
+		}
+		SA1 := saisInt32(T1, int(name)+1)
+		ordered := make([]int32, len(lms))
+		for i, r := range SA1 {
+			ordered[i] = lms[r]
+		}
+		induce(ordered)
+	} else {
+		induce(sortedLMS)
+	}
+	return SA
+}
+
+// SuffixArray computes the suffix array of text over symbols [0, K).
+// text must end with a unique smallest sentinel (value 0 occurring only
+// at the last position).
+func SuffixArray(text []byte, K int) []int32 {
+	T := make([]int32, len(text))
+	for i, c := range text {
+		T[i] = int32(c)
+	}
+	return saisInt32(T, K)
+}

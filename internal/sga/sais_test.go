@@ -1,0 +1,99 @@
+package sga
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSuffixArray sorts suffixes directly.
+func naiveSuffixArray(text []byte) []int32 {
+	sa := make([]int32, len(text))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(i, j int) bool {
+		return string(text[sa[i]:]) < string(text[sa[j]:])
+	})
+	return sa
+}
+
+func withSentinel(symbols []byte, K int) []byte {
+	out := make([]byte, 0, len(symbols)+1)
+	for _, s := range symbols {
+		out = append(out, s%byte(K-1)+1) // 1..K-1, reserving 0
+	}
+	return append(out, 0)
+}
+
+func TestSuffixArrayKnown(t *testing.T) {
+	// "banana" + sentinel with a=1, b=2, n=3.
+	text := []byte{2, 1, 3, 1, 3, 1, 0}
+	want := []int32{6, 5, 3, 1, 0, 4, 2}
+	got := SuffixArray(text, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SA[%d] = %d, want %d (full %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSuffixArrayAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300) + 1
+		K := rng.Intn(5) + 2
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte(rng.Intn(K-1)) + 1
+		}
+		text = append(text, 0)
+		got := SuffixArray(text, K)
+		want := naiveSuffixArray(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d K=%d): SA[%d] = %d, want %d", trial, n, K, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSuffixArrayProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 400 {
+			return true
+		}
+		text := withSentinel(raw, 6)
+		got := SuffixArray(text, 6)
+		want := naiveSuffixArray(text)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixArrayDegenerate(t *testing.T) {
+	// Homopolymer runs stress the LMS naming recursion.
+	for _, text := range [][]byte{
+		{0},
+		{1, 0},
+		{1, 1, 1, 1, 1, 0},
+		{2, 1, 2, 1, 2, 1, 0},
+		{1, 2, 1, 2, 1, 2, 0},
+	} {
+		got := SuffixArray(text, 3)
+		want := naiveSuffixArray(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("text %v: SA = %v, want %v", text, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package sga
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/contig"
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Text symbol encoding: the sentinel terminates the text, a separator
+// precedes every read strand, and bases occupy 2..5.
+const (
+	symSentinel  byte = 0
+	symSeparator byte = 1
+	symBase      byte = 2 // base code c encodes as symBase+c
+	alphabetK         = 6
+)
+
+// Config parameterizes the baseline assembler.
+type Config struct {
+	MinOverlap int
+	// IncludeSingletons and BreakCycles mirror the LaSAGNA traversal
+	// options so comparisons assemble identically shaped outputs.
+	IncludeSingletons bool
+	BreakCycles       bool
+}
+
+// Edge is a maximal exact overlap candidate: the Len-suffix of vertex U
+// equals the Len-prefix of vertex V.
+type Edge struct {
+	U, V uint32
+	Len  uint16
+}
+
+// Index is the FM-index over all read strands, with the position maps
+// needed to translate SA hits back to vertices.
+type Index struct {
+	fm *FMIndex
+	// vertexAfterSep[p] is the vertex whose sequence starts at p+1, for
+	// every separator position p; -1 elsewhere.
+	vertexAfterSep []int32
+	reads          *dna.ReadSet
+}
+
+// BuildIndex runs the preprocess (text construction) and index (SA-IS,
+// BWT, occurrence) stages.
+func BuildIndex(rs *dna.ReadSet) *Index {
+	textLen := int(2*rs.TotalBases()) + rs.NumVertices() + 1
+	text := make([]byte, 0, textLen)
+	vertexAfterSep := make([]int32, textLen)
+	for i := range vertexAfterSep {
+		vertexAfterSep[i] = -1
+	}
+	rcBuf := make(dna.Seq, rs.MaxLen())
+	for r := uint32(0); r < uint32(rs.NumReads()); r++ {
+		read := rs.Read(r)
+		for strand := uint32(0); strand < 2; strand++ {
+			seq := read
+			if strand == 1 {
+				rc := rcBuf[:len(read)]
+				read.ReverseComplementInto(rc)
+				seq = rc
+			}
+			vertexAfterSep[len(text)] = int32(dna.ForwardVertex(r) | strand)
+			text = append(text, symSeparator)
+			for _, c := range seq {
+				text = append(text, symBase+c)
+			}
+		}
+	}
+	text = append(text, symSentinel)
+	return &Index{
+		fm:             NewFMIndex(text, alphabetK),
+		vertexAfterSep: vertexAfterSep,
+		reads:          rs,
+	}
+}
+
+// ApproxBytes estimates the index footprint.
+func (ix *Index) ApproxBytes() int64 {
+	return ix.fm.ApproxBytes() + 4*int64(len(ix.vertexAfterSep))
+}
+
+// OverlapsFrom finds every exact suffix-prefix overlap of length in
+// [minOverlap, len(u)) from vertex u to any other vertex, excluding
+// containments (overlap spanning all of the target) and self-overlaps.
+//
+// The search walks u's sequence backward through the FM-index: after k
+// extensions the interval covers every occurrence of u's k-suffix; one
+// further extension by the separator symbol restricts it to occurrences
+// that begin a read strand, i.e. prefixes.
+func (ix *Index) OverlapsFrom(u uint32, minOverlap int, emit func(Edge)) {
+	seq := ix.reads.VertexSeq(u)
+	iv := ix.fm.Whole()
+	n := len(seq)
+	for k := 1; k < n; k++ { // k-suffix; k == n excluded (self-overlap partition)
+		iv = ix.fm.Extend(iv, symBase+seq[n-k])
+		if iv.Empty() {
+			return
+		}
+		if k < minOverlap {
+			continue
+		}
+		sep := ix.fm.Extend(iv, symSeparator)
+		for i := sep.Lo; i < sep.Hi; i++ {
+			pos := ix.fm.Locate(i)
+			v := ix.vertexAfterSep[pos]
+			if v < 0 {
+				continue
+			}
+			vv := uint32(v)
+			if vv == u || ix.reads.VertexLen(vv) <= k {
+				continue // self-overlap or containment
+			}
+			emit(Edge{U: u, V: vv, Len: uint16(k)})
+		}
+	}
+}
+
+// AllOverlaps runs OverlapsFrom for every vertex and returns the edges
+// sorted by descending overlap length (the order a greedy graph consumes
+// them in), with deterministic tie-breaking.
+func (ix *Index) AllOverlaps(minOverlap int) []Edge {
+	var edges []Edge
+	for v := uint32(0); v < uint32(ix.reads.NumVertices()); v++ {
+		ix.OverlapsFrom(v, minOverlap, func(e Edge) { edges = append(edges, e) })
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Len != edges[j].Len {
+			return edges[i].Len > edges[j].Len
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// EstimateIndexBytes predicts the index footprint for a read set without
+// building it: text (1 B/symbol), suffix array (4 B), separator map (4 B),
+// and occurrence checkpoints. The evaluation harness uses it to emulate
+// the out-of-memory failure the paper reports for SGA on the largest
+// dataset under the smaller host-memory budget (Table VI).
+func EstimateIndexBytes(rs *dna.ReadSet) int64 {
+	textLen := 2*rs.TotalBases() + int64(rs.NumVertices()) + 1
+	occ := (textLen/occSample + 2) * alphabetK * 4
+	return textLen*(1+4+4) + occ
+}
+
+// Result reports a baseline run, with per-stage times mirroring the SGA
+// stages the paper clocks (preprocess+index merged into Index here, then
+// Overlap; Assemble adds contig generation).
+type Result struct {
+	IndexTime   time.Duration
+	OverlapTime time.Duration
+	TotalTime   time.Duration
+	IndexBytes  int64
+	Edges       int
+	Contigs     []dna.Seq
+	ContigStats contig.Stats
+}
+
+// Assembler is the baseline pipeline.
+type Assembler struct {
+	cfg Config
+}
+
+// NewAssembler validates the configuration.
+func NewAssembler(cfg Config) (*Assembler, error) {
+	if cfg.MinOverlap < 1 {
+		return nil, fmt.Errorf("sga: MinOverlap must be >= 1")
+	}
+	return &Assembler{cfg: cfg}, nil
+}
+
+// Overlaps runs index + overlap and returns the candidate edges with
+// timing (the work Table VI compares against LaSAGNA's map+sort+reduce).
+func (a *Assembler) Overlaps(rs *dna.ReadSet) ([]Edge, *Result) {
+	res := &Result{}
+	t := stats.StartTimer()
+	ix := BuildIndex(rs)
+	res.IndexTime = t.Elapsed()
+	res.IndexBytes = ix.ApproxBytes()
+
+	t = stats.StartTimer()
+	edges := ix.AllOverlaps(a.cfg.MinOverlap)
+	res.OverlapTime = t.Elapsed()
+	res.TotalTime = res.IndexTime + res.OverlapTime
+	res.Edges = len(edges)
+	return edges, res
+}
+
+// Assemble runs the full baseline: index, overlap, greedy graph, contigs.
+// The greedy graph consumes candidates in descending overlap order, so on
+// identical inputs (and no fingerprint collisions) it accepts the same
+// per-vertex longest overlaps as LaSAGNA.
+func (a *Assembler) Assemble(rs *dna.ReadSet) (*Result, error) {
+	if rs.NumReads() == 0 {
+		return nil, fmt.Errorf("sga: empty read set")
+	}
+	edges, res := a.Overlaps(rs)
+	t := stats.StartTimer()
+	g := graph.New(rs.NumReads())
+	for _, e := range edges {
+		g.AddCandidate(e.U, e.V, e.Len)
+	}
+	paths := g.Traverse(rs.VertexLen, graph.TraverseOptions{
+		IncludeSingletons: a.cfg.IncludeSingletons,
+		BreakCycles:       a.cfg.BreakCycles,
+	})
+	// Contig generation reuses the shared compress machinery with a
+	// throwaway device (the baseline is CPU-only; the device only meters).
+	dev := gpu.NewDevice(gpu.K40, nil)
+	res.Contigs = contig.Generate(contig.Config{Device: dev}, paths, rs)
+	res.ContigStats = contig.Summarize(res.Contigs)
+	res.TotalTime += t.Elapsed()
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package sga
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/readsim"
+)
+
+// naiveOverlaps brute-forces every suffix-prefix overlap >= minOverlap.
+func naiveOverlaps(rs *dna.ReadSet, minOverlap int) map[Edge]bool {
+	out := map[Edge]bool{}
+	nv := uint32(rs.NumVertices())
+	seqs := make([]dna.Seq, nv)
+	for v := uint32(0); v < nv; v++ {
+		seqs[v] = rs.VertexSeq(v)
+	}
+	for u := uint32(0); u < nv; u++ {
+		for v := uint32(0); v < nv; v++ {
+			if u == v {
+				continue
+			}
+			maxL := len(seqs[u]) - 1
+			if m := len(seqs[v]) - 1; m < maxL {
+				maxL = m
+			}
+			for l := minOverlap; l <= maxL; l++ {
+				if seqs[u][len(seqs[u])-l:].Equal(seqs[v][:l]) {
+					out[Edge{U: u, V: v, Len: uint16(l)}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func overlappingReadSet() *dna.ReadSet {
+	rs := dna.NewReadSet(4, 64)
+	rs.Append(dna.MustParseSeq("ACGTTGCAGG"))
+	rs.Append(dna.MustParseSeq("TGCAGGATCC")) // 6-overlap with read 0
+	rs.Append(dna.MustParseSeq("GGATCCTTAA")) // 6-overlap with read 1
+	rs.Append(dna.MustParseSeq("TTTTTTTTTT")) // isolated
+	return rs
+}
+
+func TestOverlapsAgainstBruteForce(t *testing.T) {
+	rs := overlappingReadSet()
+	ix := BuildIndex(rs)
+	got := map[Edge]bool{}
+	for v := uint32(0); v < uint32(rs.NumVertices()); v++ {
+		ix.OverlapsFrom(v, 4, func(e Edge) {
+			if got[e] {
+				t.Errorf("duplicate edge %+v", e)
+			}
+			got[e] = true
+		})
+	}
+	want := naiveOverlaps(rs, 4)
+	for e := range want {
+		if !got[e] {
+			t.Errorf("missing edge %+v", e)
+		}
+	}
+	for e := range got {
+		if !want[e] {
+			t.Errorf("spurious edge %+v", e)
+		}
+	}
+}
+
+func TestOverlapsAgainstBruteForceRandom(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 500, Seed: 5})
+	rs := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 30, Coverage: 6, Seed: 6})
+	ix := BuildIndex(rs)
+	got := map[Edge]bool{}
+	for v := uint32(0); v < uint32(rs.NumVertices()); v++ {
+		ix.OverlapsFrom(v, 15, func(e Edge) { got[e] = true })
+	}
+	want := naiveOverlaps(rs, 15)
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("missing edge %+v", e)
+		}
+	}
+}
+
+func TestOverlapsExcludeContainment(t *testing.T) {
+	rs := dna.NewReadSet(2, 32)
+	rs.Append(dna.MustParseSeq("ACGTACGTACGT")) // contains read 1 entirely
+	rs.Append(dna.MustParseSeq("TACGT"))
+	ix := BuildIndex(rs)
+	ix.OverlapsFrom(0, 3, func(e Edge) {
+		if int(e.Len) >= rs.VertexLen(e.V) {
+			t.Errorf("containment edge emitted: %+v (target len %d)", e, rs.VertexLen(e.V))
+		}
+	})
+}
+
+func TestAllOverlapsSortedDescending(t *testing.T) {
+	rs := overlappingReadSet()
+	ix := BuildIndex(rs)
+	edges := ix.AllOverlaps(4)
+	if len(edges) == 0 {
+		t.Fatal("no edges found")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Len > edges[i-1].Len {
+			t.Fatal("edges not sorted by descending length")
+		}
+	}
+}
+
+func TestAssembleProducesGenomeSubstrings(t *testing.T) {
+	genome := readsim.Genome(readsim.GenomeParams{Length: 2000, Seed: 7})
+	rs := readsim.Simulate(genome, readsim.ReadParams{ReadLen: 50, Coverage: 10, Seed: 8})
+	a, err := NewAssembler(Config{MinOverlap: 25, BreakCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Assemble(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	gs, grc := genome.String(), genome.ReverseComplement().String()
+	for i, c := range res.Contigs {
+		s := c.String()
+		if !strings.Contains(gs, s) && !strings.Contains(grc, s) {
+			t.Errorf("contig %d not a genome substring", i)
+		}
+	}
+	if res.ContigStats.N50 < 100 {
+		t.Errorf("N50 = %d, expected real assembly", res.ContigStats.N50)
+	}
+	if res.IndexTime <= 0 || res.OverlapTime <= 0 || res.Edges == 0 {
+		t.Errorf("result metadata incomplete: %+v", res)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	if _, err := NewAssembler(Config{MinOverlap: 0}); err == nil {
+		t.Error("MinOverlap 0 should fail")
+	}
+	a, _ := NewAssembler(Config{MinOverlap: 5})
+	if _, err := a.Assemble(dna.NewReadSet(0, 0)); err == nil {
+		t.Error("empty read set should fail")
+	}
+}
+
+func TestIndexApproxBytes(t *testing.T) {
+	rs := overlappingReadSet()
+	ix := BuildIndex(rs)
+	if ix.ApproxBytes() <= 0 {
+		t.Error("index bytes should be positive")
+	}
+}

@@ -1,0 +1,301 @@
+// Package sgraph implements the full (non-greedy) string graph of
+// Section II-A.2: every suffix-prefix overlap becomes an edge, redundant
+// transitive edges are removed (Myers 2005), and contigs are spelled from
+// unambiguous unitig chains.
+//
+// The paper's pipeline uses the greedy heuristic (one out-edge per
+// vertex, longest overlap wins) because it updates a single bit-vector
+// instead of a general graph; this package provides the textbook
+// alternative the paper's background section describes, wired into the
+// pipeline as core.Config.FullGraph. On clean data both modes spell the
+// same genome; the full graph additionally survives orderings where the
+// greedy rule commits to a repeat-induced edge first.
+package sgraph
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dna"
+	"repro/internal/graph"
+)
+
+// Edge is one directed overlap edge in the full graph.
+type Edge struct {
+	To  uint32
+	Len uint16
+	// reduced marks the edge transitive (removable without information
+	// loss).
+	reduced bool
+}
+
+// Graph is a full string graph over 2*numReads vertices.
+type Graph struct {
+	numReads int
+	adj      [][]Edge
+	indeg    []int32 // in-degree over non-reduced edges, maintained lazily
+}
+
+// New creates an empty graph for numReads reads.
+func New(numReads int) *Graph {
+	return &Graph{
+		numReads: numReads,
+		adj:      make([][]Edge, 2*numReads),
+	}
+}
+
+// NumReads returns the read count.
+func (g *Graph) NumReads() int { return g.numReads }
+
+// NumVertices returns 2*NumReads.
+func (g *Graph) NumVertices() int { return 2 * g.numReads }
+
+// AddOverlap records the candidate overlap (u, v, l) and its complement
+// (v', u', l). Self-loops and hairpins are rejected, mirroring the greedy
+// graph's rules; duplicate edges (same u, v) keep the longest overlap.
+func (g *Graph) AddOverlap(u, v uint32, l uint16) bool {
+	if u == v || u == dna.ComplementVertex(v) {
+		return false
+	}
+	g.addEdge(u, v, l)
+	g.addEdge(dna.ComplementVertex(v), dna.ComplementVertex(u), l)
+	return true
+}
+
+func (g *Graph) addEdge(u, v uint32, l uint16) {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			if l > g.adj[u][i].Len {
+				g.adj[u][i].Len = l
+			}
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Len: l})
+}
+
+// NumEdges returns the number of directed edges, optionally counting
+// reduced ones.
+func (g *Graph) NumEdges(includeReduced bool) int64 {
+	var n int64
+	for _, es := range g.adj {
+		for _, e := range es {
+			if includeReduced || !e.reduced {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Out returns the live (non-reduced) out-edges of v.
+func (g *Graph) Out(v uint32) []Edge {
+	var out []Edge
+	for _, e := range g.adj[v] {
+		if !e.reduced {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// overhang of an edge from v: the bases v contributes before its
+// successor takes over.
+func overhang(vertexLen func(uint32) int, v uint32, e Edge) int {
+	return vertexLen(v) - int(e.Len)
+}
+
+// TransitiveReduce marks transitive edges following Myers' linear-time
+// sweep: for each vertex v, an out-neighbor x is redundant when some
+// other out-neighbor w reaches x with overhangs that add up to v's
+// direct edge to x (within fuzz). vertexLen supplies sequence lengths;
+// fuzz tolerates small length slack (0 for exact, error-free data).
+// Returns the number of directed edges marked.
+func (g *Graph) TransitiveReduce(vertexLen func(uint32) int, fuzz int) int64 {
+	const (
+		vacant = iota
+		inPlay
+		eliminated
+	)
+	mark := make([]uint8, g.NumVertices())
+	// direct[x] holds v's direct-edge overhang to x while v is processed.
+	direct := make(map[uint32]int)
+	var removed int64
+
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		es := g.adj[v]
+		if len(es) < 2 {
+			continue
+		}
+		// Ascending overhang order: nearer successors first.
+		sort.Slice(es, func(i, j int) bool {
+			oi, oj := overhang(vertexLen, v, es[i]), overhang(vertexLen, v, es[j])
+			if oi != oj {
+				return oi < oj
+			}
+			return es[i].To < es[j].To
+		})
+		longest := overhang(vertexLen, v, es[len(es)-1]) + fuzz
+		for _, e := range es {
+			mark[e.To] = inPlay
+			direct[e.To] = overhang(vertexLen, v, e)
+		}
+		for _, e := range es {
+			if mark[e.To] != inPlay {
+				continue
+			}
+			ov := overhang(vertexLen, v, e)
+			// Edges already marked transitive still witness eliminations:
+			// Myers marks during the sweep and removes only afterwards, so
+			// a witness chain may run through a marked edge.
+			for _, e2 := range g.adj[e.To] {
+				total := ov + overhang(vertexLen, e.To, e2)
+				if total > longest {
+					continue
+				}
+				if mark[e2.To] != inPlay {
+					continue
+				}
+				if d := direct[e2.To]; total >= d-fuzz && total <= d+fuzz {
+					mark[e2.To] = eliminated
+				}
+			}
+		}
+		for i := range es {
+			if mark[es[i].To] == eliminated {
+				es[i].reduced = true
+				removed++
+			}
+			mark[es[i].To] = vacant
+			delete(direct, es[i].To)
+		}
+	}
+	g.indeg = nil // invalidate cached degrees
+	return removed
+}
+
+// liveInDegrees computes in-degree over non-reduced edges.
+func (g *Graph) liveInDegrees() []int32 {
+	if g.indeg != nil {
+		return g.indeg
+	}
+	indeg := make([]int32, g.NumVertices())
+	for _, es := range g.adj {
+		for _, e := range es {
+			if !e.reduced {
+				indeg[e.To]++
+			}
+		}
+	}
+	g.indeg = indeg
+	return indeg
+}
+
+// liveOutDegree returns the number of non-reduced out-edges of v.
+func (g *Graph) liveOutDegree(v uint32) int {
+	n := 0
+	for _, e := range g.adj[v] {
+		if !e.reduced {
+			n++
+		}
+	}
+	return n
+}
+
+// soleOut returns the only live out-edge of v; ok is false when v has
+// zero or multiple live out-edges.
+func (g *Graph) soleOut(v uint32) (Edge, bool) {
+	var found Edge
+	n := 0
+	for _, e := range g.adj[v] {
+		if !e.reduced {
+			found = e
+			n++
+		}
+	}
+	return found, n == 1
+}
+
+// Unitigs extracts maximal unambiguous chains from the reduced graph:
+// walks that only follow an edge v->w when v has exactly one live
+// out-edge and w exactly one live in-edge. Each read joins at most one
+// unitig (a unitig and its reverse complement count once), so the paths
+// feed contig generation exactly like the greedy traversal does.
+func (g *Graph) Unitigs(vertexLen func(uint32) int, includeSingletons bool) []graph.Path {
+	indeg := g.liveInDegrees()
+	visited := bitvec.New(g.numReads)
+	var paths []graph.Path
+
+	// isChainStart reports whether v begins a maximal chain: it cannot be
+	// extended backwards unambiguously.
+	isChainStart := func(v uint32) bool {
+		if indeg[v] != 1 {
+			return true
+		}
+		// One predecessor: extendable backwards only if that predecessor
+		// has out-degree 1. Find it via the complement graph: u->v exists
+		// iff v'->u' exists, so v's predecessors are the complements of
+		// v''s successors' complements.
+		vc := dna.ComplementVertex(v)
+		for _, e := range g.adj[vc] {
+			if !e.reduced {
+				pred := dna.ComplementVertex(e.To)
+				return g.liveOutDegree(pred) != 1
+			}
+		}
+		return true
+	}
+
+	walk := func(start uint32) graph.Path {
+		var p graph.Path
+		cur := start
+		for {
+			visited.Set(dna.ReadOfVertex(cur))
+			e, ok := g.soleOut(cur)
+			if !ok || indeg[e.To] != 1 || visited.Get(dna.ReadOfVertex(e.To)) {
+				p = append(p, graph.PathStep{V: cur, Overhang: uint16(vertexLen(cur))})
+				return p
+			}
+			p = append(p, graph.PathStep{V: cur, Overhang: uint16(vertexLen(cur) - int(e.Len))})
+			cur = e.To
+		}
+	}
+
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		if visited.Get(dna.ReadOfVertex(v)) || g.liveOutDegree(v) == 0 {
+			continue
+		}
+		if !isChainStart(v) {
+			continue
+		}
+		paths = append(paths, walk(v))
+	}
+	// Residual cycles: every remaining vertex with edges sits on a cycle
+	// of simple edges; break each arbitrarily.
+	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
+		if visited.Get(dna.ReadOfVertex(v)) || g.liveOutDegree(v) == 0 {
+			continue
+		}
+		paths = append(paths, walk(v))
+	}
+	if includeSingletons {
+		for r := uint32(0); r < uint32(g.numReads); r++ {
+			if visited.Get(r) {
+				continue
+			}
+			fwd := dna.ForwardVertex(r)
+			paths = append(paths, graph.Path{{V: fwd, Overhang: uint16(vertexLen(fwd))}})
+			visited.Set(r)
+		}
+	}
+	return paths
+}
+
+// ApproxBytes estimates the host-memory footprint.
+func (g *Graph) ApproxBytes() int64 {
+	var edges int64
+	for _, es := range g.adj {
+		edges += int64(cap(es))
+	}
+	return edges*8 + int64(len(g.adj))*24
+}

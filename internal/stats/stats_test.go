@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemTrackerPeak(t *testing.T) {
+	var m MemTracker
+	m.Add(100)
+	m.Add(50)
+	m.Release(120)
+	if m.Current() != 30 {
+		t.Errorf("Current = %d, want 30", m.Current())
+	}
+	if m.Peak() != 150 {
+		t.Errorf("Peak = %d, want 150", m.Peak())
+	}
+	m.ResetPeak()
+	if m.Peak() != 30 {
+		t.Errorf("Peak after reset = %d, want 30", m.Peak())
+	}
+	m.Add(5)
+	if m.Peak() != 35 {
+		t.Errorf("Peak = %d, want 35", m.Peak())
+	}
+}
+
+func TestMemTrackerConcurrent(t *testing.T) {
+	var m MemTracker
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(3)
+				m.Release(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Current() != 0 {
+		t.Errorf("Current = %d, want 0", m.Current())
+	}
+	if m.Peak() < 3 {
+		t.Errorf("Peak = %d, want >= 3", m.Peak())
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{16*time.Hour + 21*time.Minute + 9*time.Second, "16h 21m 9s"},
+		{9*time.Minute + 36*time.Second, "9m 36s"},
+		{25 * time.Second, "25s"},
+		{0, "0s"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{-65 * time.Second, "-1m 5s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 * 1024 * 1024, "3.00 MiB"},
+		{int64(1.5 * 1024 * 1024 * 1024), "1.50 GiB"},
+		{-2048, "-2.00 KiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{45711162, "45,711,162"},
+		{1247518392, "1,247,518,392"},
+		{-4559, "-4,559"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.n); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTimerAndPhaseString(t *testing.T) {
+	tm := StartTimer()
+	if tm.Elapsed() < 0 {
+		t.Error("Elapsed should be non-negative")
+	}
+	p := PhaseStats{Name: "Sort", Wall: time.Second, PeakHost: 1024}
+	s := p.String()
+	for _, want := range []string{"Sort", "1s", "1.00 KiB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("PhaseStats.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package lasagna
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyProfile() DatasetProfile {
+	p := Datasets[0].Scaled(0.08) // ~3.2 kb genome, 101 bp reads
+	return p
+}
+
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig(t.TempDir())
+	cfg.MinOverlap = tinyProfile().MinOverlap
+	cfg.HostBlockPairs = 8192
+	cfg.DeviceBlockPairs = 1024
+	cfg.MapBatchReads = 256
+	return cfg
+}
+
+func TestPublicAssembleRoundTrip(t *testing.T) {
+	genome, reads := GenerateDataset(tinyProfile())
+	res, err := Assemble(tinyConfig(t), reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	gs, grc := genome.String(), genome.ReverseComplement().String()
+	for i, c := range res.Contigs {
+		if !strings.Contains(gs, c.String()) && !strings.Contains(grc, c.String()) {
+			t.Errorf("contig %d not a genome substring", i)
+		}
+	}
+}
+
+func TestPublicFileRoundTrip(t *testing.T) {
+	_, reads := GenerateDataset(tinyProfile())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fastq")
+	if err := WriteReads(path, reads); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReads(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumReads() != reads.NumReads() {
+		t.Fatalf("loaded %d reads, wrote %d", loaded.NumReads(), reads.NumReads())
+	}
+	res, err := AssembleFile(tinyConfig(t), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumReads != reads.NumReads() {
+		t.Errorf("NumReads = %d", res.NumReads)
+	}
+}
+
+func TestPublicDistributedAgreesWithSingle(t *testing.T) {
+	_, reads := GenerateDataset(tinyProfile())
+	sres, err := Assemble(tinyConfig(t), reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := DefaultClusterConfig(t.TempDir(), 2)
+	ccfg.MinOverlap = tinyProfile().MinOverlap
+	ccfg.HostBlockPairs = 8192
+	ccfg.DeviceBlockPairs = 1024
+	ccfg.MapBatchReads = 256
+	ccfg.InputBlockReads = 64
+	dres, err := AssembleDistributed(ccfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.AcceptedEdges != sres.AcceptedEdges || len(dres.Contigs) != len(sres.Contigs) {
+		t.Fatalf("distributed (%d edges, %d contigs) != single (%d edges, %d contigs)",
+			dres.AcceptedEdges, len(dres.Contigs), sres.AcceptedEdges, len(sres.Contigs))
+	}
+}
+
+func TestBaselineAgreesOnGreedyGraph(t *testing.T) {
+	// LaSAGNA's fingerprint overlaps (zero collisions at these scales)
+	// feed the same greedy discipline as the exact FM-index baseline, so
+	// both assemblers must accept the same number of edges and produce
+	// contigs with identical total length.
+	_, reads := GenerateDataset(tinyProfile())
+	cfg := tinyConfig(t)
+	cfg.VerifyOverlaps = true
+	lres, err := Assemble(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.FalsePositives != 0 {
+		t.Fatalf("fingerprint false positives: %d", lres.FalsePositives)
+	}
+	bres, err := AssembleBaseline(BaselineConfig{
+		MinOverlap:  tinyProfile().MinOverlap,
+		BreakCycles: true,
+	}, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(bres.Edges) != lres.CandidateEdges {
+		t.Errorf("baseline found %d overlap candidates, LaSAGNA %d",
+			bres.Edges, lres.CandidateEdges)
+	}
+	if bres.ContigStats.TotalBases != lres.ContigStats.TotalBases {
+		t.Errorf("baseline assembled %d bases, LaSAGNA %d",
+			bres.ContigStats.TotalBases, lres.ContigStats.TotalBases)
+	}
+	if bres.ContigStats.N50 != lres.ContigStats.N50 {
+		t.Errorf("baseline N50 %d, LaSAGNA %d", bres.ContigStats.N50, lres.ContigStats.N50)
+	}
+}
+
+func TestDatasetAndGPUCatalogs(t *testing.T) {
+	if len(Datasets) != 4 {
+		t.Errorf("Datasets = %d entries", len(Datasets))
+	}
+	if len(GPUs) != 5 {
+		t.Errorf("GPUs = %d entries", len(GPUs))
+	}
+	if K40.Name != "K40" || V100.Cores <= P100.Cores {
+		t.Error("GPU specs look wrong")
+	}
+	if s, err := ParseSeq("ACGT"); err != nil || len(s) != 4 {
+		t.Error("ParseSeq broken")
+	}
+}

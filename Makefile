@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench cover examples evaluation clean
+.PHONY: all build vet test race fuzz bench cover examples evaluation clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The pipeline runs partitions concurrently (Config.Workers); the race
+# detector is part of the default verification gate.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the parsers and the packed encoding; the seed
+# corpora live under testdata/fuzz/.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzPackedRoundTrip -fuzztime=10s ./internal/dna/
+	$(GO) test -run=NONE -fuzz=FuzzParseSeq -fuzztime=10s ./internal/dna/
+	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/fastq/
 
 # One benchmark per paper table/figure plus the ablations.
 bench:

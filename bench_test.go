@@ -72,6 +72,29 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineWorkers measures the wall-clock effect of the
+// partition-level worker pool (Config.Workers) on the largest bench-scale
+// dataset. The modeled seconds are identical across worker counts by
+// construction (see TestWorkersDeterminism); only the host wall clock
+// should fall as workers increase.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	p, rs := benchReads(b, 3)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(b, gpu.K40, p.MinOverlap)
+				cfg.Workers = workers
+				b.StartTimer()
+				if _, err := Assemble(cfg, rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable3 reproduces Table III (phase times, 64 GB + K20X).
 func BenchmarkTable3(b *testing.B) {
 	for i, p := range readsim.Profiles {

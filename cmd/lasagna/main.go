@@ -38,6 +38,7 @@ func main() {
 		fullGraph  = flag.Bool("fullgraph", false, "full string graph with transitive reduction instead of greedy")
 		bsp        = flag.Bool("parallel-traversal", false, "BSP pointer-jumping path traversal")
 		byFp       = flag.Bool("partition-by-fingerprint", false, "distributed shuffle by fingerprint range (with -nodes)")
+		workers    = flag.Int("workers", 0, "concurrent partition workers (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		reference  = flag.String("reference", "", "optional reference FASTA for a quality report")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		cfg.DeviceBlockPairs = *devBlock
 		cfg.IncludeSingletons = *singletons
 		cfg.PartitionByFingerprint = *byFp
+		cfg.WorkersPerNode = *workers
 		res, err := lasagna.AssembleDistributed(cfg, reads)
 		if err != nil {
 			fatal(err)
@@ -97,6 +99,9 @@ func main() {
 	cfg.PackedReads = *packed
 	cfg.FullGraph = *fullGraph
 	cfg.ParallelTraversal = *bsp
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
 	res, err := lasagna.Assemble(cfg, reads)
 	if err != nil {
 		fatal(err)

@@ -21,7 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitvec"
@@ -51,10 +53,17 @@ type Config struct {
 	// InputBlockReads is the size of the input blocks the master hands
 	// out during the map phase.
 	InputBlockReads int
-	GPU             gpu.Spec
-	DiskReadBps     float64
-	DiskWriteBps    float64
-	NetBps          float64
+	// WorkersPerNode bounds each node's partition-level concurrency (map
+	// batches in flight, partitions sorted/reduced at once), on top of the
+	// node-level parallelism the cluster already provides. 0 or 1 keeps
+	// each node serial; each in-flight unit holds its own allocation on
+	// the node's device, so per-node device capacity still bounds it.
+	// Output is identical for every value.
+	WorkersPerNode int
+	GPU            gpu.Spec
+	DiskReadBps    float64
+	DiskWriteBps   float64
+	NetBps         float64
 	// PartitionByFingerprint switches the shuffle from length-based to
 	// fingerprint-range-based ownership (the paper's future work,
 	// Section IV-D): every node reduces a slice of every partition, so
@@ -94,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if c.InputBlockReads <= 0 {
 		return fmt.Errorf("cluster: InputBlockReads must be positive")
+	}
+	if c.WorkersPerNode < 0 {
+		return fmt.Errorf("cluster: WorkersPerNode must be >= 0, got %d", c.WorkersPerNode)
 	}
 	single := core.Config{
 		Workspace:        c.Workspace,
@@ -282,6 +294,7 @@ func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
 		sfxW := kvio.NewPartitionWriters(n.dir, kvio.Suffix, n.meter)
 		pfxW := kvio.NewPartitionWriters(n.dir, kvio.Prefix, n.meter)
 		mapper := core.NewMapper(n.dev, &n.hostMem, c.cfg.MinOverlap, c.cfg.MapBatchReads, rs.MaxLen())
+		mapper.Workers = c.cfg.WorkersPerNode
 		for blk := range blocks {
 			// The block is read from the shared distributed file system
 			// (~2 bytes per base in FASTQ form).
@@ -435,28 +448,84 @@ func copyPairs(w *kvio.Writer, path string, serveMeter *costmodel.Meter) (int64,
 }
 
 func (c *Cluster) sortNode(n *node) error {
-	cfg := extsort.Config{
-		Device:           n.dev,
-		Meter:            n.meter,
-		HostMem:          &n.hostMem,
-		HostBlockPairs:   c.cfg.HostBlockPairs,
-		DeviceBlockPairs: c.cfg.DeviceBlockPairs,
-		TempDir:          n.dir,
+	type task struct {
+		l    int
+		kind kvio.Kind
 	}
+	var tasks []task
 	for l := range n.counts {
-		for _, kind := range []kvio.Kind{kvio.Suffix, kvio.Prefix} {
-			in := filepath.Join(n.dir, fmt.Sprintf("shuf_%s_%04d.kv", kind, l))
-			out := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", kind, l))
-			if _, err := extsort.SortFile(cfg, in, out); err != nil {
-				return fmt.Errorf("cluster: node %d sorting partition %d (%s): %w",
-					n.id, l, kind, err)
-			}
-			if err := os.Remove(in); err != nil {
+		tasks = append(tasks, task{l, kvio.Suffix}, task{l, kvio.Prefix})
+	}
+	return runNodeTasks(c.cfg.WorkersPerNode, len(tasks), func(i int) error {
+		t := tasks[i]
+		// Private scratch per concurrent sort: run/merge file names repeat
+		// across SortFile calls, so parallel sorts must not share TempDir.
+		tmpDir := filepath.Join(n.dir, fmt.Sprintf("sort_%s_%04d", t.kind, t.l))
+		if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmpDir)
+		cfg := extsort.Config{
+			Device:           n.dev,
+			Meter:            n.meter,
+			HostMem:          &n.hostMem,
+			HostBlockPairs:   c.cfg.HostBlockPairs,
+			DeviceBlockPairs: c.cfg.DeviceBlockPairs,
+			TempDir:          tmpDir,
+		}
+		in := filepath.Join(n.dir, fmt.Sprintf("shuf_%s_%04d.kv", t.kind, t.l))
+		out := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", t.kind, t.l))
+		if _, err := extsort.SortFile(cfg, in, out); err != nil {
+			return fmt.Errorf("cluster: node %d sorting partition %d (%s): %w",
+				n.id, t.l, t.kind, err)
+		}
+		return os.Remove(in)
+	})
+}
+
+// runNodeTasks runs n independent tasks on up to workers goroutines
+// (workers <= 1 runs them inline) and returns the first error.
+func runNodeTasks(workers, n int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
 				return err
 			}
 		}
+		return nil
 	}
-	return nil
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := task(i); err != nil {
+					failed.Store(true)
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
 }
 
 // reducePhase runs overlap finding on all nodes in parallel, then applies
@@ -480,7 +549,13 @@ func (c *Cluster) reducePhase(rs *dna.ReadSet, res *Result) error {
 			HostMem:     &n.hostMem,
 			WindowPairs: maxInt(c.cfg.HostBlockPairs/2, 1),
 		}
+		lengths := make([]int, 0, len(n.counts))
 		for l := range n.counts {
+			lengths = append(lengths, l)
+		}
+		sort.Ints(lengths)
+		return runNodeTasks(c.cfg.WorkersPerNode, len(lengths), func(i int) error {
+			l := lengths[i]
 			sfx := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", kvio.Suffix, l))
 			pfx := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", kvio.Prefix, l))
 			var list []cand
@@ -498,8 +573,8 @@ func (c *Cluster) reducePhase(rs *dna.ReadSet, res *Result) error {
 			candidates[l][n.id] = list
 			res.CandidateEdges += int64(len(list))
 			candMu.Unlock()
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return err

@@ -211,3 +211,43 @@ func TestClusterErrors(t *testing.T) {
 		t.Error("reads shorter than MinOverlap should fail")
 	}
 }
+
+// TestWorkersPerNodeDeterminism asserts that per-node partition
+// concurrency does not change the distributed output. Modeled cost is
+// deliberately NOT compared: the map phase hands out input blocks by
+// dynamic load balancing (Section III-E.1), so which node maps which
+// block — and therefore the per-node meter maxima — depends on
+// scheduling even without per-node workers. Output does not, because the
+// shuffle reassembles the same partitions wherever the tuples landed.
+func TestWorkersPerNodeDeterminism(t *testing.T) {
+	_, reads := testData(t)
+	var base *Result
+	for _, w := range []int{1, 4} {
+		cfg := clusterConfig(t, 3)
+		cfg.WorkersPerNode = w
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatalf("WorkersPerNode=%d: %v", w, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.CandidateEdges != base.CandidateEdges || res.AcceptedEdges != base.AcceptedEdges {
+			t.Errorf("WorkersPerNode=%d: edges %d/%d, want %d/%d",
+				w, res.CandidateEdges, res.AcceptedEdges, base.CandidateEdges, base.AcceptedEdges)
+		}
+		if len(res.Contigs) != len(base.Contigs) {
+			t.Fatalf("WorkersPerNode=%d: %d contigs, want %d", w, len(res.Contigs), len(base.Contigs))
+		}
+		for i := range base.Contigs {
+			if !res.Contigs[i].Equal(base.Contigs[i]) {
+				t.Fatalf("WorkersPerNode=%d: contig %d differs", w, i)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/costmodel"
@@ -23,6 +24,14 @@ type Config struct {
 	// Workspace is the scratch directory for partition files, sort runs,
 	// and outputs. It must exist.
 	Workspace string
+	// Workers bounds the pipeline's partition-level concurrency: map
+	// batches in flight, partitions sorted at once, and partitions reduced
+	// at once. Each in-flight unit holds its own device batch allocation,
+	// so device-memory capacity still bounds effective concurrency
+	// whatever the setting. 0 means runtime.GOMAXPROCS(0); 1 reproduces
+	// the serial pipeline exactly. Output and modeled cost are byte-
+	// identical for every value (see DESIGN.md, "Concurrency model").
+	Workers int
 	// MinOverlap is l_min: candidate overlaps shorter than this are
 	// discarded during partitioning.
 	MinOverlap int
@@ -88,6 +97,7 @@ type Config struct {
 func DefaultConfig(workspace string) Config {
 	return Config{
 		Workspace:         workspace,
+		Workers:           runtime.GOMAXPROCS(0),
 		MinOverlap:        63,
 		HostBlockPairs:    1 << 20,
 		DeviceBlockPairs:  1 << 16,
@@ -104,6 +114,9 @@ func DefaultConfig(workspace string) Config {
 func (c Config) Validate() error {
 	if c.Workspace == "" {
 		return fmt.Errorf("core: empty workspace")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
 	if c.MinOverlap < 1 {
 		return fmt.Errorf("core: MinOverlap must be >= 1, got %d", c.MinOverlap)
@@ -128,6 +141,14 @@ func (c Config) Validate() error {
 // Profile returns the cost-model profile for the configured hardware.
 func (c Config) Profile() costmodel.Profile {
 	return c.GPU.CostProfile(c.DiskReadBps, c.DiskWriteBps)
+}
+
+// workers resolves the Workers knob: 0 means one worker per CPU.
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // PhaseName identifies a pipeline phase in results.

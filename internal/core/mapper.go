@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/dna"
 	"repro/internal/fingerprint"
@@ -22,6 +23,12 @@ type Mapper struct {
 	HostMem    *stats.MemTracker // may be nil
 	MinOverlap int
 	BatchReads int
+	// Workers is the number of map batches processed concurrently. Each
+	// in-flight batch holds its own device allocation, so device-memory
+	// capacity bounds effective concurrency. Values <= 1 run the batches
+	// serially. Whatever the setting, tuples reach the partition writers
+	// in batch order, so the partition files are byte-identical.
+	Workers int
 	// NaiveKernel switches the fingerprint kernels to the per-read-thread
 	// formulation Section III-A rejects; used by the ablation benchmarks.
 	NaiveKernel bool
@@ -42,68 +49,191 @@ func NewMapper(dev *gpu.Device, hostMem *stats.MemTracker, minOverlap, batchRead
 }
 
 // MapRange maps reads [start, end) of rs into the partition writers.
+// Batches are fingerprinted by up to Workers concurrent goroutines, but
+// their tuples are written strictly in batch order by the calling
+// goroutine, so the partition files do not depend on Workers.
 func (m *Mapper) MapRange(rs dna.ReadSource, start, end int,
 	sfxW, pfxW *kvio.PartitionWriters) error {
-	workers := runtime.GOMAXPROCS(0)
-	maxLen := rs.MaxLen()
-	for batchStart := start; batchStart < end; batchStart += m.BatchReads {
-		batchEnd := batchStart + m.BatchReads
-		if batchEnd > end {
-			batchEnd = end
-		}
-		batchReads := batchEnd - batchStart
-		var batchBases int64
-		for r := batchStart; r < batchEnd; r++ {
-			batchBases += int64(rs.Len(uint32(r)))
-		}
-		// Device holds the batch (both strands) plus per-block scan
-		// buffers.
-		scanBytes := int64(workers) * int64(maxLen) * 4 * 16
-		alloc, err := m.Dev.Alloc(2*batchBases + scanBytes)
-		if err != nil {
-			return fmt.Errorf("core: map batch of %d reads does not fit on device: %w",
-				batchReads, err)
-		}
-		m.Dev.CopyToDevice(batchBases)
-
-		chunks := workers
-		if chunks > batchReads {
-			chunks = batchReads
-		}
-		per := (batchReads + chunks - 1) / chunks
-		results := make([][]mapTuple, chunks)
-		m.Dev.LaunchBlocks(chunks, func(ci int) {
-			results[ci] = m.runBlock(rs, batchStart+ci*per, minInt(batchStart+(ci+1)*per, batchEnd))
-		})
-
-		var tupleBytes int64
-		for _, out := range results {
-			tupleBytes += int64(len(out)) * mapTupleBytes
-		}
-		if m.HostMem != nil {
-			m.HostMem.Add(tupleBytes)
-		}
-		m.Dev.CopyFromDevice(tupleBytes)
-		alloc.Free()
-
-		err = nil
-		for _, out := range results {
-			for _, t := range out {
-				if t.kind == kvio.Suffix {
-					err = sfxW.Write(int(t.length), t.pair)
-				} else {
-					err = pfxW.Write(int(t.length), t.pair)
-				}
-				if err != nil {
-					break
-				}
+	if end <= start {
+		return nil
+	}
+	numBatches := (end - start + m.BatchReads - 1) / m.BatchReads
+	workers := m.Workers
+	if workers > numBatches {
+		workers = numBatches
+	}
+	if workers <= 1 {
+		for i := 0; i < numBatches; i++ {
+			lo, hi := m.batchBounds(start, end, i)
+			tuples, bytes, err := m.mapBatch(rs, lo, hi)
+			if err != nil {
+				return err
+			}
+			err = m.writeBatch(tuples, sfxW, pfxW)
+			if m.HostMem != nil {
+				m.HostMem.Release(bytes)
 			}
 			if err != nil {
-				break
+				return err
 			}
 		}
+		return nil
+	}
+
+	type batchResult struct {
+		idx    int
+		tuples []mapTuple
+		bytes  int64
+		err    error
+	}
+	jobs := make(chan int)
+	results := make(chan batchResult, workers)
+	abort := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				lo, hi := m.batchBounds(start, end, idx)
+				tuples, bytes, err := m.mapBatch(rs, lo, hi)
+				select {
+				case results <- batchResult{idx, tuples, bytes, err}:
+				case <-abort:
+					if m.HostMem != nil {
+						m.HostMem.Release(bytes)
+					}
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := 0; i < numBatches; i++ {
+			select {
+			case jobs <- i:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	// The calling goroutine is the single writer: it reorders completed
+	// batches and streams their tuples to the shared partition writers in
+	// exactly the serial pipeline's order.
+	pending := make(map[int]batchResult)
+	var firstErr error
+	next, received := 0, 0
+	for received < numBatches && firstErr == nil {
+		r := <-results
+		received++
+		if r.err != nil {
+			firstErr = r.err
+			break
+		}
+		pending[r.idx] = r
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			err := m.writeBatch(cur.tuples, sfxW, pfxW)
+			if m.HostMem != nil {
+				m.HostMem.Release(cur.bytes)
+			}
+			if err != nil {
+				firstErr = err
+				break
+			}
+			next++
+		}
+	}
+	close(abort)
+	wg.Wait()
+	close(results)
+	for r := range results {
 		if m.HostMem != nil {
-			m.HostMem.Release(tupleBytes)
+			m.HostMem.Release(r.bytes)
+		}
+	}
+	for _, r := range pending {
+		if m.HostMem != nil {
+			m.HostMem.Release(r.bytes)
+		}
+	}
+	return firstErr
+}
+
+// batchBounds returns the read range of batch idx within [start, end).
+func (m *Mapper) batchBounds(start, end, idx int) (int, int) {
+	lo := start + idx*m.BatchReads
+	hi := lo + m.BatchReads
+	if hi > end {
+		hi = end
+	}
+	return lo, hi
+}
+
+// mapBatch fingerprints reads [batchStart, batchEnd) on the device and
+// returns their partition tuples in read order, plus the host bytes the
+// tuple buffers occupy (already added to HostMem; the caller releases
+// them once the tuples are written or dropped).
+func (m *Mapper) mapBatch(rs dna.ReadSource, batchStart, batchEnd int) ([]mapTuple, int64, error) {
+	workers := runtime.GOMAXPROCS(0)
+	maxLen := rs.MaxLen()
+	batchReads := batchEnd - batchStart
+	var batchBases int64
+	for r := batchStart; r < batchEnd; r++ {
+		batchBases += int64(rs.Len(uint32(r)))
+	}
+	// Device holds the batch (both strands) plus per-block scan buffers.
+	scanBytes := int64(workers) * int64(maxLen) * 4 * 16
+	alloc, err := m.Dev.AllocWait(2*batchBases + scanBytes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: map batch of %d reads does not fit on device: %w",
+			batchReads, err)
+	}
+	m.Dev.CopyToDevice(batchBases)
+
+	chunks := workers
+	if chunks > batchReads {
+		chunks = batchReads
+	}
+	per := (batchReads + chunks - 1) / chunks
+	results := make([][]mapTuple, chunks)
+	m.Dev.LaunchBlocks(chunks, func(ci int) {
+		results[ci] = m.runBlock(rs, batchStart+ci*per, minInt(batchStart+(ci+1)*per, batchEnd))
+	})
+
+	var tupleBytes int64
+	total := 0
+	for _, out := range results {
+		tupleBytes += int64(len(out)) * mapTupleBytes
+		total += len(out)
+	}
+	if m.HostMem != nil {
+		m.HostMem.Add(tupleBytes)
+	}
+	m.Dev.CopyFromDevice(tupleBytes)
+	alloc.Free()
+
+	tuples := make([]mapTuple, 0, total)
+	for _, out := range results {
+		tuples = append(tuples, out...)
+	}
+	return tuples, tupleBytes, nil
+}
+
+// writeBatch streams one batch's tuples into the partition writers.
+func (m *Mapper) writeBatch(tuples []mapTuple, sfxW, pfxW *kvio.PartitionWriters) error {
+	for _, t := range tuples {
+		var err error
+		if t.kind == kvio.Suffix {
+			err = sfxW.Write(int(t.length), t.pair)
+		} else {
+			err = pfxW.Write(int(t.length), t.pair)
 		}
 		if err != nil {
 			return err

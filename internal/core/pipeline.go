@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/contig"
@@ -217,31 +220,11 @@ func (p *Pipeline) fullGraphTail(res *Result, rs dna.ReadSource, partDir string,
 	counts map[int]int64) (*Result, error) {
 	fg := sgraph.New(rs.NumReads())
 	err := p.runPhase(PhaseReduce, res, func() error {
-		cfg := overlap.Config{
-			Device:      p.dev,
-			Meter:       p.meter,
-			HostMem:     &p.hostMem,
-			WindowPairs: maxInt(p.cfg.HostBlockPairs/2, 1),
-		}
-		for l := rs.MaxLen() - 1; l >= p.cfg.MinOverlap; l-- {
-			if _, ok := counts[l]; !ok {
-				continue
-			}
-			sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
-			pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
-			length := uint16(l)
-			err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
-				res.CandidateEdges++
-				if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, int(length)) {
-					res.FalsePositives++
-					return nil
-				}
-				fg.AddOverlap(u, v, length)
-				return nil
-			})
-			if err != nil {
-				return fmt.Errorf("core: reducing partition %d: %w", l, err)
-			}
+		err := p.runReduce(rs, partDir, counts, res, func(u, v uint32, l uint16) {
+			fg.AddOverlap(u, v, l)
+		})
+		if err != nil {
+			return err
 		}
 		p.hostMem.Add(fg.ApproxBytes())
 		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
@@ -281,6 +264,7 @@ func (p *Pipeline) mapPhase(rs dna.ReadSource, partDir string) (map[int]int64, e
 	pfxW := kvio.NewPartitionWriters(partDir, kvio.Prefix, p.meter)
 	mapper := NewMapper(p.dev, &p.hostMem, p.cfg.MinOverlap, p.cfg.MapBatchReads, rs.MaxLen())
 	mapper.NaiveKernel = p.cfg.NaiveMapKernel
+	mapper.Workers = p.cfg.workers()
 	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
 		return nil, err
 	}
@@ -294,68 +278,255 @@ func (p *Pipeline) mapPhase(rs dna.ReadSource, partDir string) (map[int]int64, e
 	return counts, nil
 }
 
+// sortTask names one partition file to sort.
+type sortTask struct {
+	length int
+	kind   kvio.Kind
+}
+
 func (p *Pipeline) sortPhase(partDir string, counts map[int]int64, res *Result) error {
-	cfg := extsort.Config{
-		Device:           p.dev,
-		Meter:            p.meter,
-		HostMem:          &p.hostMem,
-		HostBlockPairs:   p.cfg.HostBlockPairs,
-		DeviceBlockPairs: p.cfg.DeviceBlockPairs,
-		TempDir:          partDir,
+	var tasks []sortTask
+	for _, l := range sortedLengthsDesc(counts) {
+		tasks = append(tasks, sortTask{l, kvio.Suffix}, sortTask{l, kvio.Prefix})
 	}
-	for l := range counts {
-		for _, kind := range []kvio.Kind{kvio.Suffix, kvio.Prefix} {
-			in := kvio.PartitionPath(partDir, kind, l)
-			out := in + ".sorted"
-			st, err := extsort.SortFile(cfg, in, out)
-			if err != nil {
-				return fmt.Errorf("core: sorting partition %d (%s): %w", l, kind, err)
-			}
-			if st.DiskPasses > res.SortDiskPasses {
-				res.SortDiskPasses = st.DiskPasses
-			}
-			if err := os.Remove(in); err != nil {
-				return err
-			}
+	var mu sync.Mutex // guards res.SortDiskPasses
+	return runTasks(p.cfg.workers(), len(tasks), func(i int) error {
+		t := tasks[i]
+		// Every concurrent sort gets a private scratch directory: run and
+		// merge files are named per sort, and partitions must not see each
+		// other's spills.
+		tmpDir := filepath.Join(partDir, fmt.Sprintf("sort_%s_%04d", t.kind, t.length))
+		if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+			return err
 		}
-	}
-	return nil
+		defer os.RemoveAll(tmpDir)
+		cfg := extsort.Config{
+			Device:           p.dev,
+			Meter:            p.meter,
+			HostMem:          &p.hostMem,
+			HostBlockPairs:   p.cfg.HostBlockPairs,
+			DeviceBlockPairs: p.cfg.DeviceBlockPairs,
+			TempDir:          tmpDir,
+		}
+		in := kvio.PartitionPath(partDir, t.kind, t.length)
+		out := in + ".sorted"
+		st, err := extsort.SortFile(cfg, in, out)
+		if err != nil {
+			return fmt.Errorf("core: sorting partition %d (%s): %w", t.length, t.kind, err)
+		}
+		mu.Lock()
+		if st.DiskPasses > res.SortDiskPasses {
+			res.SortDiskPasses = st.DiskPasses
+		}
+		mu.Unlock()
+		return os.Remove(in)
+	})
 }
 
 func (p *Pipeline) reducePhase(rs dna.ReadSource, partDir string, counts map[int]int64,
 	g *graph.Graph, res *Result) error {
+	// Descending length order makes the greedy graph keep the longest
+	// overlap per read (Section III-C).
+	return p.runReduce(rs, partDir, counts, res, func(u, v uint32, l uint16) {
+		g.AddCandidate(u, v, l)
+	})
+}
+
+// edgeCand is one verified candidate overlap buffered between a reduce
+// worker and the sequential graph builder.
+type edgeCand struct{ u, v uint32 }
+
+// edgeCandBytes is the in-memory footprint of one buffered candidate.
+const edgeCandBytes = 8
+
+// partReduction is one partition's reduce output, buffered until the
+// graph builder reaches its turn in the descending-length order.
+type partReduction struct {
+	idx        int
+	edges      []edgeCand
+	candidates int64
+	falsePos   int64
+	err        error
+}
+
+// runReduce streams every sorted partition (descending length) through the
+// overlap reducer and hands the surviving candidates to apply. Partitions
+// are reduced by up to Workers goroutines concurrently — each holding its
+// own device window allocation — but apply always runs on the calling
+// goroutine in strict descending-length order, so graph construction is
+// identical to the serial pipeline's. VerifyOverlaps filtering is a pure
+// function of the read set and is performed inside the workers.
+func (p *Pipeline) runReduce(rs dna.ReadSource, partDir string, counts map[int]int64,
+	res *Result, apply func(u, v uint32, l uint16)) error {
 	cfg := overlap.Config{
 		Device:      p.dev,
 		Meter:       p.meter,
 		HostMem:     &p.hostMem,
-		WindowPairs: p.cfg.HostBlockPairs / 2,
+		WindowPairs: maxInt(p.cfg.HostBlockPairs/2, 1),
 	}
-	if cfg.WindowPairs < 1 {
-		cfg.WindowPairs = 1
-	}
-	// Descending length order makes the greedy graph keep the longest
-	// overlap per read (Section III-C).
-	for l := rs.MaxLen() - 1; l >= p.cfg.MinOverlap; l-- {
-		if _, ok := counts[l]; !ok {
-			continue
-		}
+	lengths := sortedLengthsDesc(counts)
+	reduceOne := func(l int) partReduction {
 		sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
 		pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
-		length := uint16(l)
+		var out partReduction
 		err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
-			res.CandidateEdges++
-			if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, int(length)) {
-				res.FalsePositives++
+			out.candidates++
+			if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, l) {
+				out.falsePos++
 				return nil
 			}
-			g.AddCandidate(u, v, length)
+			out.edges = append(out.edges, edgeCand{u, v})
 			return nil
 		})
 		if err != nil {
-			return fmt.Errorf("core: reducing partition %d: %w", l, err)
+			out.err = fmt.Errorf("core: reducing partition %d: %w", l, err)
+		}
+		return out
+	}
+	applyOne := func(l int, r partReduction) {
+		res.CandidateEdges += r.candidates
+		res.FalsePositives += r.falsePos
+		for _, e := range r.edges {
+			apply(e.u, e.v, uint16(l))
 		}
 	}
-	return nil
+
+	workers := p.cfg.workers()
+	if workers > len(lengths) {
+		workers = len(lengths)
+	}
+	if workers <= 1 {
+		for _, l := range lengths {
+			r := reduceOne(l)
+			if r.err != nil {
+				return r.err
+			}
+			applyOne(l, r)
+		}
+		return nil
+	}
+
+	jobs := make(chan int)
+	results := make(chan partReduction, workers)
+	abort := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				r := reduceOne(lengths[idx])
+				r.idx = idx
+				p.hostMem.Add(int64(len(r.edges)) * edgeCandBytes)
+				select {
+				case results <- r:
+				case <-abort:
+					p.hostMem.Release(int64(len(r.edges)) * edgeCandBytes)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range lengths {
+			select {
+			case jobs <- i:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	pending := make(map[int]partReduction)
+	var firstErr error
+	next, received := 0, 0
+	for received < len(lengths) && firstErr == nil {
+		r := <-results
+		received++
+		if r.err != nil {
+			p.hostMem.Release(int64(len(r.edges)) * edgeCandBytes)
+			firstErr = r.err
+			break
+		}
+		pending[r.idx] = r
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			applyOne(lengths[next], cur)
+			p.hostMem.Release(int64(len(cur.edges)) * edgeCandBytes)
+			next++
+		}
+	}
+	close(abort)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		p.hostMem.Release(int64(len(r.edges)) * edgeCandBytes)
+	}
+	for _, r := range pending {
+		p.hostMem.Release(int64(len(r.edges)) * edgeCandBytes)
+	}
+	return firstErr
+}
+
+// sortedLengthsDesc returns the partition lengths in descending order,
+// the deterministic schedule shared by the sort and reduce phases.
+func sortedLengthsDesc(counts map[int]int64) []int {
+	lengths := make([]int, 0, len(counts))
+	for l := range counts {
+		lengths = append(lengths, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	return lengths
+}
+
+// runTasks runs n independent tasks on up to workers goroutines and
+// returns the first error. Remaining tasks are skipped after an error.
+func runTasks(workers, n int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := task(i); err != nil {
+					failed.Store(true)
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	return <-errs
 }
 
 // verifyOverlap checks that the l-suffix of vertex u equals the l-prefix

@@ -1,0 +1,54 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMeterConcurrentAllCounters audits every meter counter under
+// concurrent pipeline workers: totals must be exact (no lost updates)
+// regardless of how the charges interleave, which is what makes modeled
+// cost independent of the worker count.
+func TestMeterConcurrentAllCounters(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 1000
+	)
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.AddDiskRead(3)
+				m.AddDiskWrite(5)
+				m.AddNet(7)
+				m.AddHostMem(11)
+				m.AddDeviceMem(13)
+				m.AddDeviceOps(17)
+				m.AddPCIe(19)
+			}
+		}()
+	}
+	wg.Wait()
+	c := m.Snapshot()
+	n := int64(goroutines * iters)
+	for _, check := range []struct {
+		name string
+		got  int64
+		per  int64
+	}{
+		{"DiskReadBytes", c.DiskReadBytes, 3},
+		{"DiskWriteBytes", c.DiskWriteBytes, 5},
+		{"NetBytes", c.NetBytes, 7},
+		{"HostMemBytes", c.HostMemBytes, 11},
+		{"DeviceMemBytes", c.DeviceMemBytes, 13},
+		{"DeviceOps", c.DeviceOps, 17},
+		{"PCIeBytes", c.PCIeBytes, 19},
+	} {
+		if check.got != n*check.per {
+			t.Errorf("%s = %d, want %d", check.name, check.got, n*check.per)
+		}
+	}
+}

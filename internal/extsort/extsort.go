@@ -90,14 +90,18 @@ func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
 	defer in.Close()
 	st := Stats{Pairs: in.Count()}
 
-	// Pass 1: form sorted runs of up to m_h pairs each.
-	hostBytes := int64(2*cfg.HostBlockPairs) * hostPairBytes // block + merge scratch
+	// Pass 1: form sorted runs of up to m_h pairs each. Small partitions
+	// get correspondingly small buffers — the run structure is identical,
+	// but concurrent sorts of many tiny partitions must not each pin a
+	// full host block.
+	blockPairs := clampPairs(cfg.HostBlockPairs, in.Count())
+	hostBytes := int64(2*blockPairs) * hostPairBytes // block + merge scratch
 	if cfg.HostMem != nil {
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	block := make([]kv.Pair, cfg.HostBlockPairs)
-	scratch := make([]kv.Pair, cfg.HostBlockPairs)
+	block := make([]kv.Pair, blockPairs)
+	scratch := make([]kv.Pair, blockPairs)
 	var runs []string
 	for {
 		n, err := readFull(in, block)
@@ -107,7 +111,10 @@ func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
 		if err != nil && err != io.EOF {
 			return st, err
 		}
-		sorted := sortHostBlock(cfg, block[:n], scratch[:n])
+		sorted, serr := sortHostBlock(cfg, block[:n], scratch[:n])
+		if serr != nil {
+			return st, serr
+		}
 		runPath := filepath.Join(cfg.TempDir, fmt.Sprintf("run_%06d.kv", len(runs)))
 		if err := writeRun(runPath, sorted, cfg.Meter); err != nil {
 			return st, err
@@ -200,18 +207,23 @@ func writeRun(path string, ps []kv.Pair, meter *costmodel.Meter) error {
 // each chunk is radix-sorted on the device, then sorted chunks are
 // pairwise merged in host memory by streaming windows through the device.
 // The returned slice aliases either block or scratch.
-func sortHostBlock(cfg Config, block, scratch []kv.Pair) []kv.Pair {
+func sortHostBlock(cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
 	dev := cfg.Device
 	md := cfg.DeviceBlockPairs
 	// Radix-sort each device chunk. The device holds the chunk plus the
-	// radix double-buffer.
+	// radix double-buffer. AllocWait lets concurrent partition sorts share
+	// the device: capacity, not caller count, bounds how many chunks are
+	// resident at once.
 	for start := 0; start < len(block); start += md {
 		end := start + md
 		if end > len(block) {
 			end = len(block)
 		}
 		chunk := block[start:end]
-		alloc := dev.MustAlloc(2 * int64(len(chunk)) * kv.PairBytes)
+		alloc, err := dev.AllocWait(2 * int64(len(chunk)) * kv.PairBytes)
+		if err != nil {
+			return nil, err
+		}
 		dev.CopyToDevice(int64(len(chunk)) * kv.PairBytes)
 		dev.SortPairs(chunk)
 		dev.CopyFromDevice(int64(len(chunk)) * kv.PairBytes)
@@ -235,12 +247,12 @@ func sortHostBlock(cfg Config, block, scratch []kv.Pair) []kv.Pair {
 				return nil
 			}
 			if err := mergeInMemory(cfg, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
-				panic(err) // emit cannot fail; unreachable
+				return nil, err
 			}
 		}
 		src, dst = dst, src
 	}
-	return src
+	return src, nil
 }
 
 // mergeInMemory merges two sorted in-memory lists by streaming m_d-sized
@@ -282,7 +294,10 @@ func mergeInMemory(cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error
 			}
 		}
 		// GPU_MERGE of the equalized windows (line 16).
-		alloc := dev.MustAlloc(2 * int64(len(wa)+len(wb)) * kv.PairBytes)
+		alloc, err := dev.AllocWait(2 * int64(len(wa)+len(wb)) * kv.PairBytes)
+		if err != nil {
+			return err
+		}
 		dev.CopyToDevice(int64(len(wa)+len(wb)) * kv.PairBytes)
 		out = dev.MergePairsInto(out[:0], wa, wb)
 		dev.CopyFromDevice(int64(len(out)) * kv.PairBytes)
@@ -340,13 +355,17 @@ func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
 	if half < 1 {
 		half = 1
 	}
+	// A run shorter than a half-window never fills past its own length,
+	// so its buffer can be run-sized; the windows streamed are identical.
+	aCap := clampPairs(half, ra.Count())
+	bCap := clampPairs(half, rb.Count())
 	if cfg.HostMem != nil {
-		hostBytes := int64(2*half) * hostPairBytes
+		hostBytes := int64(aCap+bCap) * hostPairBytes
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	wa := newWindowStream(ra, half)
-	wb := newWindowStream(rb, half)
+	wa := newWindowStream(ra, aCap)
+	wb := newWindowStream(rb, bCap)
 	emit := func(ps []kv.Pair) error { return w.WriteBatch(ps) }
 
 	for {
@@ -414,6 +433,18 @@ func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
 		}
 	}
 	return w.Close()
+}
+
+// clampPairs caps a buffer size at the number of pairs actually present,
+// keeping at least one slot so fill can detect EOF.
+func clampPairs(window int, count int64) int {
+	if count < int64(window) {
+		window = int(count)
+		if window < 1 {
+			window = 1
+		}
+	}
+	return window
 }
 
 // windowStream maintains a sliding window of unconsumed pairs over a

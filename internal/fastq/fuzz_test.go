@@ -1,0 +1,100 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// parseAll drains a reader, returning the records parsed before the first
+// error (io.EOF counts as clean termination).
+func parseAll(data []byte) ([]Record, error) {
+	r := NewReader(bytes.NewReader(data))
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// FuzzReader throws arbitrary bytes at the FASTQ/FASTA auto-detecting
+// parser. The parser must never panic, and any input it fully accepts must
+// survive a write/re-parse round trip through both output formats —
+// records coming out of the parser are always canonical (trimmed names,
+// quality the same length as the sequence), so the writers must preserve
+// them exactly.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n@r2\nTT\n+\nII\n"))
+	f.Add([]byte(">c1\nACGTACGT\nACGT\n>c2\nTTTT\n"))
+	f.Add([]byte(">empty\n"))
+	f.Add([]byte("@bad\nACGT\n+\nII\n"))   // quality length mismatch
+	f.Add([]byte("@trunc\nACGT\n"))        // truncated record
+	f.Add([]byte("plain text, no header")) // unrecognized leading byte
+	f.Add([]byte("@r\nacgt\n+\n!!!!\n"))   // lowercase bases, low quality
+	f.Add([]byte(">crlf\r\nACGT\r\n"))     // CRLF line endings
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := parseAll(data)
+		if err != nil || len(recs) == 0 {
+			return // rejected input must just not panic
+		}
+
+		// Round trip through FASTQ.
+		var fq bytes.Buffer
+		w := NewFastqWriter(&fq)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := parseAll(fq.Bytes())
+		if err != nil {
+			t.Fatalf("FASTQ round trip failed to parse: %v", err)
+		}
+		compareRecords(t, "fastq", recs, again, true)
+
+		// Round trip through FASTA (quality is dropped by the format).
+		var fa bytes.Buffer
+		w = NewFastaWriter(&fa, 5) // tiny width forces multi-line sequences
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err = parseAll(fa.Bytes())
+		if err != nil {
+			t.Fatalf("FASTA round trip failed to parse: %v", err)
+		}
+		compareRecords(t, "fasta", recs, again, false)
+	})
+}
+
+func compareRecords(t *testing.T, format string, want, got []Record, quality bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s round trip: %d records, want %d", format, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("%s record %d: name %q, want %q", format, i, got[i].Name, want[i].Name)
+		}
+		if !got[i].Seq.Equal(want[i].Seq) {
+			t.Fatalf("%s record %d: sequence differs", format, i)
+		}
+		if quality && want[i].Quality != nil && !bytes.Equal(got[i].Quality, want[i].Quality) {
+			t.Fatalf("%s record %d: quality %q, want %q", format, i, got[i].Quality, want[i].Quality)
+		}
+	}
+}

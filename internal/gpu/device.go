@@ -26,12 +26,18 @@ func (e ErrOutOfMemory) Error() string {
 // Device is a simulated GPU. All pipeline batches must fit in its bounded
 // memory; all primitive calls execute on the host CPU but meter the bytes
 // and operations the modeled card would spend.
+//
+// The device is safe for concurrent use: multiple pipeline workers may
+// hold batch allocations simultaneously, and the capacity bound is what
+// gates their concurrency (AllocWait blocks until enough memory is free,
+// exactly as a CUDA allocator would backpressure concurrent streams).
 type Device struct {
 	spec  Spec
 	meter *costmodel.Meter
 	mem   stats.MemTracker
 
 	mu      sync.Mutex
+	freed   *sync.Cond // signaled whenever memory is released
 	inUse   int64
 	workers int
 }
@@ -78,6 +84,32 @@ func (d *Device) Alloc(n int64) (*Allocation, error) {
 	return &Allocation{dev: d, bytes: n}, nil
 }
 
+// AllocWait claims n bytes of device memory, blocking until concurrent
+// holders free enough capacity. It returns ErrOutOfMemory only when the
+// request can never be satisfied (n exceeds the device capacity outright).
+// Callers must not hold another allocation while waiting, or concurrent
+// waiters can deadlock; every pipeline stage allocates one batch at a
+// time, which guarantees progress.
+func (d *Device) AllocWait(n int64) (*Allocation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation %d", n)
+	}
+	if n > d.spec.MemBytes {
+		return nil, ErrOutOfMemory{Requested: n, InUse: 0, Capacity: d.spec.MemBytes}
+	}
+	d.mu.Lock()
+	if d.freed == nil {
+		d.freed = sync.NewCond(&d.mu)
+	}
+	for d.inUse+n > d.spec.MemBytes {
+		d.freed.Wait()
+	}
+	d.inUse += n
+	d.mu.Unlock()
+	d.mem.Add(n)
+	return &Allocation{dev: d, bytes: n}, nil
+}
+
 // MustAlloc is Alloc that panics on failure; for callers that have already
 // sized their batches against Capacity.
 func (d *Device) MustAlloc(n int64) *Allocation {
@@ -88,16 +120,21 @@ func (d *Device) MustAlloc(n int64) *Allocation {
 	return a
 }
 
-// Free releases the allocation. Freeing twice is a no-op.
+// Free releases the allocation and wakes any AllocWait callers. Freeing
+// twice (from the same goroutine) is a no-op.
 func (a *Allocation) Free() {
 	if a == nil || a.dev == nil {
 		return
 	}
-	a.dev.mu.Lock()
-	a.dev.inUse -= a.bytes
-	a.dev.mu.Unlock()
-	a.dev.mem.Release(a.bytes)
+	dev := a.dev
 	a.dev = nil
+	dev.mu.Lock()
+	dev.inUse -= a.bytes
+	if dev.freed != nil {
+		dev.freed.Broadcast()
+	}
+	dev.mu.Unlock()
+	dev.mem.Release(a.bytes)
 }
 
 // Bytes returns the allocation size.

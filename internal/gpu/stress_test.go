@@ -1,0 +1,153 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// tinyDevice returns a device with very little memory so that concurrent
+// allocators contend hard on the capacity bound.
+func tinyDevice(memBytes int64) *Device {
+	return NewDevice(Spec{Name: "tiny", Cores: 64, ClockMHz: 500,
+		MemBandwidthGBps: 10, MemBytes: memBytes}, nil)
+}
+
+// TestDeviceConcurrentAllocStress hammers Alloc/AllocWait/Free from many
+// goroutines against a tiny capacity and checks the invariants the
+// parallel pipeline relies on: InUse never exceeds capacity or goes
+// negative, over-capacity requests fail with ErrOutOfMemory (never a
+// panic), and after every goroutine finishes InUse returns to zero.
+func TestDeviceConcurrentAllocStress(t *testing.T) {
+	const (
+		capacity   = 1 << 12
+		goroutines = 16
+		iters      = 200
+	)
+	d := tinyDevice(capacity)
+	var oomSeen atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				n := int64(rng.Intn(capacity/2) + 1)
+				var a *Allocation
+				var err error
+				if i%2 == 0 {
+					a, err = d.AllocWait(n)
+				} else {
+					a, err = d.Alloc(n)
+				}
+				if err != nil {
+					var oom ErrOutOfMemory
+					if !errors.As(err, &oom) {
+						t.Errorf("unexpected error type %T: %v", err, err)
+						return
+					}
+					oomSeen.Add(1)
+					continue
+				}
+				if use := d.InUse(); use < n || use > capacity {
+					t.Errorf("InUse = %d with %d allocated (capacity %d)", use, n, capacity)
+				}
+				a.Free()
+				a.Free() // double free must stay a no-op under concurrency
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	if d.InUse() != 0 {
+		t.Fatalf("InUse = %d after all goroutines freed, want 0", d.InUse())
+	}
+	if d.MemTracker().Peak() > capacity {
+		t.Errorf("peak %d exceeds capacity %d", d.MemTracker().Peak(), capacity)
+	}
+	// The non-blocking half of the load races 16 goroutines for half the
+	// capacity each, so some Alloc calls must have hit the capacity bound.
+	if oomSeen.Load() == 0 {
+		t.Log("no ErrOutOfMemory observed; contention too low to exercise the bound")
+	}
+}
+
+// TestAllocWaitBlocksUntilFree proves AllocWait provides backpressure: a
+// request that cannot fit waits for an existing holder to free instead of
+// failing.
+func TestAllocWaitBlocksUntilFree(t *testing.T) {
+	d := tinyDevice(1 << 10)
+	hold, err := d.AllocWait(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan *Allocation)
+	go func() {
+		a, err := d.AllocWait(512)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- a
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("AllocWait returned while the device was full")
+	default:
+	}
+	hold.Free()
+	a := <-acquired
+	if d.InUse() != 512 {
+		t.Errorf("InUse = %d, want 512", d.InUse())
+	}
+	a.Free()
+	if d.InUse() != 0 {
+		t.Errorf("InUse = %d after free, want 0", d.InUse())
+	}
+}
+
+// TestAllocWaitImpossibleRequest checks that a request larger than the
+// whole device fails immediately with ErrOutOfMemory rather than blocking
+// forever.
+func TestAllocWaitImpossibleRequest(t *testing.T) {
+	d := tinyDevice(1 << 10)
+	_, err := d.AllocWait(1<<10 + 1)
+	var oom ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if oom.Requested != 1<<10+1 || oom.Capacity != 1<<10 {
+		t.Errorf("oom fields = %+v", oom)
+	}
+	if _, err := d.AllocWait(-1); err == nil {
+		t.Error("negative AllocWait should fail")
+	}
+}
+
+// TestAllocWaitManyWaiters saturates the device with far more blocking
+// waiters than capacity and verifies they all eventually complete without
+// deadlock or accounting drift.
+func TestAllocWaitManyWaiters(t *testing.T) {
+	const capacity = 1 << 8
+	d := tinyDevice(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a, err := d.AllocWait(capacity) // each waiter needs the whole device
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				a.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if d.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", d.InUse())
+	}
+}

@@ -70,13 +70,17 @@ func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 		return fmt.Errorf("overlap: WindowPairs must be positive, got %d", cfg.WindowPairs)
 	}
 	dev := cfg.Device
+	// A partition smaller than a window needs only a partition-sized
+	// buffer; the windows seen by the device are identical either way.
+	sCap := clampPairs(cfg.WindowPairs, sfxReader.Count())
+	pCap := clampPairs(cfg.WindowPairs, pfxReader.Count())
 	if cfg.HostMem != nil {
-		hostBytes := int64(2*cfg.WindowPairs) * hostPairBytes
+		hostBytes := int64(sCap+pCap) * hostPairBytes
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	ws := newWindowStream(sfxReader, cfg.WindowPairs)
-	wp := newWindowStream(pfxReader, cfg.WindowPairs)
+	ws := newWindowStream(sfxReader, sCap)
+	wp := newWindowStream(pfxReader, pCap)
 
 	var lb, ub, diff []int32
 	for {
@@ -115,7 +119,12 @@ func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 		}
 
 		// Device pass: vectorized bounds and counts (lines 8-10).
-		alloc := dev.MustAlloc(int64(len(cs)+len(cp))*kv.PairBytes + 3*4*int64(len(cs)))
+		// AllocWait lets concurrent partition reducers share the device;
+		// capacity bounds how many windows are resident at once.
+		alloc, err := dev.AllocWait(int64(len(cs)+len(cp))*kv.PairBytes + 3*4*int64(len(cs)))
+		if err != nil {
+			return err
+		}
 		dev.CopyToDevice(int64(len(cs)+len(cp)) * kv.PairBytes)
 		lb = dev.VecLowerBound(cs, cp, lb)
 		ub = dev.VecUpperBound(cs, cp, ub)
@@ -206,6 +215,18 @@ func collectRun(ws *windowStream, k kv.Key) ([]uint32, error) {
 			return vals, nil // a later key surfaced, or the stream ended
 		}
 	}
+}
+
+// clampPairs caps a window size at the number of pairs actually present,
+// keeping at least one slot so fill can detect EOF.
+func clampPairs(window int, count int64) int {
+	if count < int64(window) {
+		window = int(count)
+		if window < 1 {
+			window = 1
+		}
+	}
+	return window
 }
 
 // windowStream maintains a sliding window over a sequential reader.

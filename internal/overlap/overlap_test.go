@@ -246,7 +246,24 @@ func TestReduceHostMemAccounting(t *testing.T) {
 	if mem.Current() != 0 {
 		t.Errorf("host memory leaked: %d", mem.Current())
 	}
-	if mem.Peak() != int64(2*16)*hostPairBytes {
-		t.Errorf("peak = %d, want %d", mem.Peak(), int64(2*16)*hostPairBytes)
+	// Window buffers are clamped to the partition size: 2 pairs per side.
+	if mem.Peak() != int64(2+2)*hostPairBytes {
+		t.Errorf("peak = %d, want %d", mem.Peak(), int64(2+2)*hostPairBytes)
+	}
+
+	// A partition larger than the window charges the full window.
+	var big stats.MemTracker
+	keys := make([]uint64, 40)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	writeSorted(t, sp, pairsFromKeys(keys, 0))
+	writeSorted(t, pp, pairsFromKeys(keys, 100))
+	cfg.HostMem = &big
+	if err := ReducePaths(cfg, sp, pp, func(u, v uint32) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if big.Peak() != int64(2*16)*hostPairBytes {
+		t.Errorf("large-partition peak = %d, want %d", big.Peak(), int64(2*16)*hostPairBytes)
 	}
 }

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemTrackerConcurrentPeakBounds audits the tracker under the
+// parallel pipeline's access pattern: many goroutines adding and
+// releasing concurrently. The running total must return to zero and the
+// recorded peak must never exceed the true worst case nor undercut the
+// largest single holder.
+func TestMemTrackerConcurrentPeakBounds(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 1000
+		chunk      = int64(64)
+	)
+	var m MemTracker
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Add(chunk)
+				m.Add(chunk)
+				m.Release(chunk)
+				m.Release(chunk)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Current() != 0 {
+		t.Fatalf("Current = %d after balanced add/release, want 0", m.Current())
+	}
+	peak := m.Peak()
+	if peak < 2*chunk {
+		t.Errorf("Peak = %d, below one goroutine's working set %d", peak, 2*chunk)
+	}
+	if max := goroutines * 2 * chunk; peak > max {
+		t.Errorf("Peak = %d, above the theoretical maximum %d", peak, max)
+	}
+}

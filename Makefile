@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench cover examples evaluation clean
+.PHONY: all build vet test race lint fuzz bench cover examples evaluation clean
 
-all: build vet test race
+all: build vet lint test race
+
+# Fails when any file is not gofmt-formatted, listing the offenders.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -26,6 +31,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzPackedRoundTrip -fuzztime=10s ./internal/dna/
 	$(GO) test -run=NONE -fuzz=FuzzParseSeq -fuzztime=10s ./internal/dna/
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/fastq/
+	$(GO) test -run=NONE -fuzz=FuzzKVReader -fuzztime=10s ./internal/kvio/
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -47,3 +53,5 @@ evaluation:
 
 clean:
 	rm -f test_output.txt bench_output.txt
+	rm -rf work workspace scratch lasagna-workspace
+	$(GO) clean -fuzzcache

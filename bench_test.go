@@ -8,6 +8,7 @@
 package lasagna
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -176,7 +177,7 @@ func benchPartition(b *testing.B) (string, int64) {
 	sfxW := kvio.NewPartitionWriters(dir, kvio.Suffix, nil)
 	pfxW := kvio.NewPartitionWriters(dir, kvio.Prefix, nil)
 	mapper := core.NewMapper(dev, nil, p.MinOverlap, 2048, rs.MaxLen())
-	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
+	if err := mapper.MapRange(context.Background(), rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
 		b.Fatal(err)
 	}
 	counts := sfxW.Counts()
@@ -205,7 +206,7 @@ func sortPartition(b *testing.B, path string, mh, md int, card gpu.Spec) float64
 	}
 	cfg := extsort.Config{Device: dev, Meter: meter,
 		HostBlockPairs: mh, DeviceBlockPairs: md, TempDir: dir}
-	if _, err := extsort.SortFile(cfg, path, filepath.Join(dir, "out.kv")); err != nil {
+	if _, err := extsort.SortFile(context.Background(), cfg, path, filepath.Join(dir, "out.kv")); err != nil {
 		b.Fatal(err)
 	}
 	prof := card.CostProfile(costmodel.SSDDisk.ReadBps, costmodel.SSDDisk.WriteBps)

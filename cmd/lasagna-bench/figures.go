@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -40,7 +41,7 @@ func (h *harness) partitionFile() (string, int64, error) {
 	pfxW := kvio.NewPartitionWriters(dir, kvio.Prefix, nil)
 	mapper := core.NewMapper(dev, nil, p.MinOverlap, 4096, rs.MaxLen())
 	fmt.Fprintf(os.Stderr, "[fig] generating H.Genome-like partition data ...\n")
-	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
+	if err := mapper.MapRange(context.Background(), rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
 		return "", 0, err
 	}
 	counts := sfxW.Counts()
@@ -86,7 +87,7 @@ func (h *harness) sortOnce(partPath string, mh, md int, card gpu.Spec,
 		TempDir:          dir,
 	}
 	out := filepath.Join(dir, "sorted.kv")
-	st, err := extsort.SortFile(cfg, partPath, out)
+	st, err := extsort.SortFile(context.Background(), cfg, partPath, out)
 	if err != nil {
 		return 0, st, err
 	}

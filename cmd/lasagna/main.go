@@ -7,13 +7,17 @@
 //	lasagna -in reads.fastq -workspace ./work -lmin 63
 //	lasagna -in reads.fastq -workspace ./work -lmin 63 -nodes 8 -gpu K20X
 //	lasagna -in a.fastq.gz,b.fastq.gz -workspace ./work -dedupe -fullgraph -reference genome.fasta
+//	lasagna -in reads.fastq -workspace ./work -resume   # re-enter an interrupted run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/fastq"
@@ -40,6 +44,7 @@ func main() {
 		byFp       = flag.Bool("partition-by-fingerprint", false, "distributed shuffle by fingerprint range (with -nodes)")
 		workers    = flag.Int("workers", 0, "concurrent partition workers (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		reference  = flag.String("reference", "", "optional reference FASTA for a quality report")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from the workspace's manifest")
 	)
 	flag.Parse()
 	if *in == "" || *workspace == "" {
@@ -61,6 +66,11 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancel the pipeline between device batches; the
+	// stages committed so far stay resumable with -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *nodes > 1 {
 		cfg := lasagna.DefaultClusterConfig(*workspace, *nodes)
 		cfg.MinOverlap = *lmin
@@ -70,10 +80,12 @@ func main() {
 		cfg.IncludeSingletons = *singletons
 		cfg.PartitionByFingerprint = *byFp
 		cfg.WorkersPerNode = *workers
-		res, err := lasagna.AssembleDistributed(cfg, reads)
+		cfg.Resume = *resume
+		res, err := lasagna.AssembleDistributedContext(ctx, cfg, reads)
 		if err != nil {
 			fatal(err)
 		}
+		reportResumed(res.CachedStages)
 		fmt.Printf("distributed assembly on %d simulated %s nodes\n", *nodes, spec.Name)
 		for _, ps := range res.Phases {
 			fmt.Println("  " + ps.String())
@@ -99,13 +111,15 @@ func main() {
 	cfg.PackedReads = *packed
 	cfg.FullGraph = *fullGraph
 	cfg.ParallelTraversal = *bsp
+	cfg.Resume = *resume
 	if *workers != 0 {
 		cfg.Workers = *workers
 	}
-	res, err := lasagna.Assemble(cfg, reads)
+	res, err := lasagna.AssembleContext(ctx, cfg, reads)
 	if err != nil {
 		fatal(err)
 	}
+	reportResumed(res.CachedStages)
 	fmt.Printf("single-node assembly on simulated %s\n", spec.Name)
 	for _, ps := range res.Phases {
 		fmt.Println("  " + ps.String())
@@ -122,6 +136,13 @@ func main() {
 	fmt.Printf("total: wall %s, modeled %s\n",
 		stats.FormatDuration(res.TotalWall), stats.FormatDuration(res.TotalModeled))
 	reportQuality(*reference, res.Contigs)
+}
+
+// reportResumed notes which stages a -resume run served from the manifest.
+func reportResumed(cached []string) {
+	if len(cached) > 0 {
+		fmt.Printf("resumed: %s served from the run manifest\n", strings.Join(cached, ", "))
+	}
 }
 
 // reportQuality prints a reference-based assembly evaluation when a

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	sfxW := kvio.NewPartitionWriters(workspace, kvio.Suffix, nil)
 	pfxW := kvio.NewPartitionWriters(workspace, kvio.Prefix, nil)
 	mapper := core.NewMapper(dev, nil, profile.MinOverlap, 2048, reads.MaxLen())
-	if err := mapper.MapRange(reads, 0, reads.NumReads(), sfxW, pfxW); err != nil {
+	if err := mapper.MapRange(context.Background(), reads, 0, reads.NumReads(), sfxW, pfxW); err != nil {
 		log.Fatal(err)
 	}
 	counts := sfxW.Counts()
@@ -75,7 +76,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			st, err := extsort.SortFile(extsort.Config{
+			st, err := extsort.SortFile(context.Background(), extsort.Config{
 				Device:           d,
 				Meter:            meter,
 				HostBlockPairs:   mh,

@@ -17,11 +17,17 @@
 package cluster
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +78,15 @@ type Config struct {
 	PartitionByFingerprint bool
 	IncludeSingletons      bool
 	BreakCycles            bool
+	// Resume re-enters an interrupted run from the nodes' private storage
+	// directories, mirroring core.Config.Resume: each node keeps a run
+	// manifest in its own dir, and a per-node stage (Map, Shuffle, Sort)
+	// is skipped only when every node committed and can still validate it
+	// (lockstep resume — the cluster never runs with nodes in inconsistent
+	// stages). Reduce and compress always re-run: their state is the
+	// cross-node token and in-memory candidate lists, which the paper's
+	// design never checkpoints.
+	Resume bool
 }
 
 // DefaultConfig mirrors core.DefaultConfig for an n-node SuperMic-style
@@ -146,6 +161,12 @@ type Cluster struct {
 	// serial meters the reduce phase's serialized component: greedy graph
 	// building and bit-vector token forwarding.
 	serial *costmodel.Meter
+
+	// FaultHook, when set, fires after a node commits a stage to its
+	// manifest, mirroring core.Pipeline.FaultHook. Returning an error
+	// aborts the run as a node crash at that point would; the node-restart
+	// tests inject crashes through it.
+	FaultHook func(nodeID int, stage core.PhaseName) error
 }
 
 // Result reports a distributed assembly.
@@ -161,6 +182,11 @@ type Result struct {
 	AcceptedEdges  int64
 	TotalWall      time.Duration
 	TotalModeled   time.Duration
+
+	// CachedStages lists the per-node stages a resumed run (Config.Resume)
+	// replayed from the node manifests instead of executing, in pipeline
+	// order. Lockstep resume keeps it identical across nodes.
+	CachedStages []string
 
 	// ReduceOverlapModeled (t_o) is the slowest node's modeled time for
 	// the parallel overlap-finding part of the reduce phase, and
@@ -267,9 +293,35 @@ func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Du
 	return nil
 }
 
+// nodeStages is the per-node stage graph covered by each node's run
+// manifest, in execution order. Reduce and compress are not checkpointed
+// (their state is cross-node and in-memory).
+var nodeStages = []core.PhaseName{core.PhaseMap, PhaseShuffle, core.PhaseSort}
+
+// fingerprint hashes the output-relevant cluster configuration for the
+// per-node manifests; execution knobs (WorkersPerNode, Workspace,
+// bandwidths, Resume) are excluded. The node count and identity are
+// folded in because both change what any single node's storage holds.
+func (c Config) fingerprint(nodeID int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cluster|nodes=%d|node=%d|min=%d|mh=%d|md=%d|mb=%d|blk=%d|gpu=%s/%d",
+		c.Nodes, nodeID, c.MinOverlap, c.HostBlockPairs, c.DeviceBlockPairs,
+		c.MapBatchReads, c.InputBlockReads, c.GPU.Name, c.GPU.MemBytes)
+	fmt.Fprintf(h, "|fpart=%t|sing=%t|cyc=%t",
+		c.PartitionByFingerprint, c.IncludeSingletons, c.BreakCycles)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Assemble runs the distributed pipeline over the read set, which plays
 // the role of the shared distributed file system holding the input.
 func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
+	return c.AssembleContext(context.Background(), rs)
+}
+
+// AssembleContext is Assemble under a cancellation context: cancelling
+// ctx aborts every node's phase work between device batches with
+// ctx.Err(), draining all node goroutines.
+func (c *Cluster) AssembleContext(ctx context.Context, rs *dna.ReadSet) (*Result, error) {
 	res := &Result{NumReads: rs.NumReads()}
 	if rs.NumReads() == 0 {
 		return res, fmt.Errorf("cluster: empty read set")
@@ -279,38 +331,97 @@ func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
 			c.cfg.MinOverlap, rs.MaxLen())
 	}
 
-	// Map: master hands out input blocks; nodes fingerprint and partition
-	// into their private storage (Section III-E.1).
-	blocks := make(chan [2]int, rs.NumReads()/c.cfg.InputBlockReads+1)
-	for start := 0; start < rs.NumReads(); start += c.cfg.InputBlockReads {
-		end := start + c.cfg.InputBlockReads
-		if end > rs.NumReads() {
-			end = rs.NumReads()
-		}
-		blocks <- [2]int{start, end}
+	// Per-node stage runners over each node's private storage, with
+	// lockstep resume: every node must have committed (and still validate)
+	// a stage for any node to skip it, so nodes never run in inconsistent
+	// stages.
+	inputHash := core.InputFingerprint(rs)
+	runners := make([]*core.StageRunner, len(c.nodes))
+	resumeAt := len(nodeStages)
+	maxAt := 0
+	for i, n := range c.nodes {
+		runners[i] = core.NewStageRunner(n.dir, c.cfg.fingerprint(n.id), inputHash,
+			c.cfg.Resume, nodeStages)
+		resumeAt = min(resumeAt, runners[i].ResumeAt())
+		maxAt = max(maxAt, runners[i].ResumeAt())
 	}
-	close(blocks)
+	if resumeAt != maxAt {
+		// The nodes crashed mid-stage and diverged: a node that already
+		// committed the stage has cleaned up its inputs (Sort deletes the
+		// shuffled partitions), so it cannot re-run it in lockstep with the
+		// stragglers. Fall back to a full re-run rather than trust a state
+		// no node can recover from.
+		resumeAt = 0
+	}
+	for i, n := range c.nodes {
+		runners[i].LimitResume(resumeAt)
+		if c.FaultHook != nil {
+			id := n.id
+			runners[i].SetFaultHook(func(stage core.PhaseName) error {
+				return c.FaultHook(id, stage)
+			})
+		}
+	}
+	if resumeAt == 0 {
+		// Starting from scratch: stale files from an interrupted or
+		// invalidated run must not leak into this one.
+		for _, n := range c.nodes {
+			if err := os.RemoveAll(n.dir); err != nil {
+				return res, err
+			}
+			if err := os.MkdirAll(n.dir, 0o755); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Map: the master's block list is assigned statically round-robin, so
+	// each node's partition files are a deterministic function of (input,
+	// config, node ID) — the property per-node resume checksums rely on.
+	// (Section III-E.1 describes dynamic handout; with uniform blocks the
+	// static schedule has the same balance and a reproducible layout.)
+	numBlocks := (rs.NumReads() + c.cfg.InputBlockReads - 1) / c.cfg.InputBlockReads
 	err := c.runPhase(core.PhaseMap, res, 0, func(n *node) error {
-		sfxW := kvio.NewPartitionWriters(n.dir, kvio.Suffix, n.meter)
-		pfxW := kvio.NewPartitionWriters(n.dir, kvio.Prefix, n.meter)
-		mapper := core.NewMapper(n.dev, &n.hostMem, c.cfg.MinOverlap, c.cfg.MapBatchReads, rs.MaxLen())
-		mapper.Workers = c.cfg.WorkersPerNode
-		for blk := range blocks {
-			// The block is read from the shared distributed file system
-			// (~2 bytes per base in FASTQ form).
-			var blockBases int64
-			for r := blk[0]; r < blk[1]; r++ {
-				blockBases += int64(rs.Len(uint32(r)))
-			}
-			n.meter.AddDiskRead(2 * blockBases)
-			if err := mapper.MapRange(rs, blk[0], blk[1], sfxW, pfxW); err != nil {
-				return err
-			}
-		}
-		if err := sfxW.Close(); err != nil {
-			return err
-		}
-		return pfxW.Close()
+		return runners[n.id].Run(core.Stage{
+			Name: core.PhaseMap,
+			Fresh: func() (core.StageOutcome, error) {
+				var out core.StageOutcome
+				sfxW := kvio.NewPartitionWriters(n.dir, kvio.Suffix, n.meter)
+				pfxW := kvio.NewPartitionWriters(n.dir, kvio.Prefix, n.meter)
+				mapper := core.NewMapper(n.dev, &n.hostMem, c.cfg.MinOverlap, c.cfg.MapBatchReads, rs.MaxLen())
+				mapper.Workers = c.cfg.WorkersPerNode
+				for b := n.id; b < numBlocks; b += len(c.nodes) {
+					start := b * c.cfg.InputBlockReads
+					end := min(start+c.cfg.InputBlockReads, rs.NumReads())
+					// The block is read from the shared distributed file
+					// system (~2 bytes per base in FASTQ form).
+					var blockBases int64
+					for r := start; r < end; r++ {
+						blockBases += int64(rs.Len(uint32(r)))
+					}
+					n.meter.AddDiskRead(2 * blockBases)
+					if err := mapper.MapRange(ctx, rs, start, end, sfxW, pfxW); err != nil {
+						return out, err
+					}
+				}
+				counts := sfxW.Counts()
+				if err := sfxW.Close(); err != nil {
+					return out, err
+				}
+				if err := pfxW.Close(); err != nil {
+					return out, err
+				}
+				for _, l := range sortedLengths(counts) {
+					out.Artifacts = append(out.Artifacts,
+						filepath.Base(kvio.PartitionPath(n.dir, kvio.Suffix, l)),
+						filepath.Base(kvio.PartitionPath(n.dir, kvio.Prefix, l)))
+				}
+				return out, nil
+			},
+			// Map leaves no in-memory state: the shuffle discovers peer
+			// partitions from the (validated) files themselves.
+			Cached: func(core.StageRecord) error { return nil },
+		})
 	})
 	if err != nil {
 		return res, err
@@ -319,27 +430,80 @@ func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
 	// Shuffle: every node aggregates its owned partitions from all peers
 	// (Section III-E.2). Cross-node reads are charged to the network.
 	err = c.runPhase(PhaseShuffle, res, 0, func(n *node) error {
-		if c.cfg.PartitionByFingerprint {
-			return c.shuffleNodeByFingerprint(rs.MaxLen(), n)
-		}
-		return c.shuffleNode(rs, n)
+		return runners[n.id].Run(core.Stage{
+			Name: PhaseShuffle,
+			Fresh: func() (core.StageOutcome, error) {
+				var out core.StageOutcome
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
+				var err error
+				if c.cfg.PartitionByFingerprint {
+					err = c.shuffleNodeByFingerprint(rs.MaxLen(), n)
+				} else {
+					err = c.shuffleNode(rs, n)
+				}
+				if err != nil {
+					return out, err
+				}
+				for _, l := range sortedLengths(n.counts) {
+					out.Artifacts = append(out.Artifacts,
+						shufName(kvio.Suffix, l), shufName(kvio.Prefix, l))
+				}
+				return out, nil
+			},
+			Cached: func(rec core.StageRecord) error {
+				counts, err := shuffleCountsFromRecord(rec)
+				if err != nil {
+					return err
+				}
+				n.counts = counts
+				return nil
+			},
+		})
 	})
 	if err != nil {
 		return res, err
 	}
 
-	// Sort: each node externally sorts its owned partitions.
+	// Sort: each node externally sorts its owned partitions, deleting the
+	// shuffled inputs only after the stage commits.
 	err = c.runPhase(core.PhaseSort, res, 0, func(n *node) error {
-		return c.sortNode(n)
+		return runners[n.id].Run(core.Stage{
+			Name: core.PhaseSort,
+			Fresh: func() (core.StageOutcome, error) {
+				var out core.StageOutcome
+				if err := c.sortNode(ctx, n); err != nil {
+					return out, err
+				}
+				for _, l := range sortedLengths(n.counts) {
+					out.Artifacts = append(out.Artifacts,
+						sortedName(kvio.Suffix, l), sortedName(kvio.Prefix, l))
+				}
+				out.Cleanup = func() error {
+					for l := range n.counts {
+						for _, kind := range []kvio.Kind{kvio.Suffix, kvio.Prefix} {
+							if err := os.Remove(filepath.Join(n.dir, shufName(kind, l))); err != nil && !os.IsNotExist(err) {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				return out, nil
+			},
+			Cached: func(core.StageRecord) error { return nil },
+		})
 	})
 	if err != nil {
 		return res, err
 	}
+	res.CachedStages = runners[0].CachedStages()
 
 	// Reduce: overlap finding in parallel, then greedy graph building
 	// serialized by the bit-vector token in descending length order
 	// (Section III-E.3).
-	if err := c.reducePhase(rs, res); err != nil {
+	if err := c.reducePhase(ctx, rs, res); err != nil {
 		return res, err
 	}
 
@@ -352,6 +516,47 @@ func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
 		return c.compressOnMaster(rs, res)
 	})
 	return res, err
+}
+
+// shufName / sortedName name a node's post-shuffle and post-sort partition
+// files (relative to the node dir).
+func shufName(k kvio.Kind, l int) string {
+	return fmt.Sprintf("shuf_%s_%04d.kv", k, l)
+}
+
+func sortedName(k kvio.Kind, l int) string {
+	return fmt.Sprintf("sorted_%s_%04d.kv", k, l)
+}
+
+// shuffleCountsFromRecord rebuilds a node's owned-partition counts from a
+// committed Shuffle record: each suffix artifact holds exactly its
+// partition's pairs, so the counts (zero-sized partitions included) fall
+// out of the recorded sizes.
+func shuffleCountsFromRecord(rec core.StageRecord) (map[int]int64, error) {
+	counts := map[int]int64{}
+	prefix := "shuf_" + kvio.Suffix.String() + "_"
+	for _, a := range rec.Artifacts {
+		base := path.Base(a.Path)
+		if !strings.HasPrefix(base, prefix) || !strings.HasSuffix(base, ".kv") {
+			continue
+		}
+		l, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, prefix), ".kv"))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: manifest shuffle artifact %q: %w", a.Path, err)
+		}
+		counts[l] = a.Bytes / kv.PairBytes
+	}
+	return counts, nil
+}
+
+// sortedLengths returns the map's keys in ascending order.
+func sortedLengths(counts map[int]int64) []int {
+	lengths := make([]int, 0, len(counts))
+	for l := range counts {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	return lengths
 }
 
 // shuffleNode pulls every peer's copy of the partitions n owns into n's
@@ -447,7 +652,7 @@ func copyPairs(w *kvio.Writer, path string, serveMeter *costmodel.Meter) (int64,
 	}
 }
 
-func (c *Cluster) sortNode(n *node) error {
+func (c *Cluster) sortNode(ctx context.Context, n *node) error {
 	type task struct {
 		l    int
 		kind kvio.Kind
@@ -457,6 +662,9 @@ func (c *Cluster) sortNode(n *node) error {
 		tasks = append(tasks, task{l, kvio.Suffix}, task{l, kvio.Prefix})
 	}
 	return runNodeTasks(c.cfg.WorkersPerNode, len(tasks), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := tasks[i]
 		// Private scratch per concurrent sort: run/merge file names repeat
 		// across SortFile calls, so parallel sorts must not share TempDir.
@@ -473,13 +681,13 @@ func (c *Cluster) sortNode(n *node) error {
 			DeviceBlockPairs: c.cfg.DeviceBlockPairs,
 			TempDir:          tmpDir,
 		}
-		in := filepath.Join(n.dir, fmt.Sprintf("shuf_%s_%04d.kv", t.kind, t.l))
-		out := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", t.kind, t.l))
-		if _, err := extsort.SortFile(cfg, in, out); err != nil {
+		in := filepath.Join(n.dir, shufName(t.kind, t.l))
+		out := filepath.Join(n.dir, sortedName(t.kind, t.l))
+		if _, err := extsort.SortFile(ctx, cfg, in, out); err != nil {
 			return fmt.Errorf("cluster: node %d sorting partition %d (%s): %w",
 				n.id, t.l, t.kind, err)
 		}
-		return os.Remove(in)
+		return nil
 	})
 }
 
@@ -531,7 +739,7 @@ func runNodeTasks(workers, n int, task func(i int) error) error {
 // reducePhase runs overlap finding on all nodes in parallel, then applies
 // candidates to the shared greedy discipline strictly in descending
 // partition order, forwarding the out-degree bit-vector between owners.
-func (c *Cluster) reducePhase(rs *dna.ReadSet, res *Result) error {
+func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result) error {
 	maxLen := rs.MaxLen()
 	type cand struct{ u, v uint32 }
 	// candidates[l][nodeID]: with length partitioning only the owner's
@@ -547,7 +755,7 @@ func (c *Cluster) reducePhase(rs *dna.ReadSet, res *Result) error {
 			Device:      n.dev,
 			Meter:       n.meter,
 			HostMem:     &n.hostMem,
-			WindowPairs: maxInt(c.cfg.HostBlockPairs/2, 1),
+			WindowPairs: max(c.cfg.HostBlockPairs/2, 1),
 		}
 		lengths := make([]int, 0, len(n.counts))
 		for l := range n.counts {
@@ -556,10 +764,10 @@ func (c *Cluster) reducePhase(rs *dna.ReadSet, res *Result) error {
 		sort.Ints(lengths)
 		return runNodeTasks(c.cfg.WorkersPerNode, len(lengths), func(i int) error {
 			l := lengths[i]
-			sfx := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", kvio.Suffix, l))
-			pfx := filepath.Join(n.dir, fmt.Sprintf("sorted_%s_%04d.kv", kvio.Prefix, l))
+			sfx := filepath.Join(n.dir, sortedName(kvio.Suffix, l))
+			pfx := filepath.Join(n.dir, sortedName(kvio.Prefix, l))
 			var list []cand
-			err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
+			err := overlap.ReducePaths(ctx, cfg, sfx, pfx, func(u, v uint32) error {
 				list = append(list, cand{u, v})
 				return nil
 			})
@@ -669,11 +877,4 @@ func (c *Cluster) compressOnMaster(rs *dna.ReadSet, res *Result) error {
 		return err
 	}
 	return f.Close()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var errNodeCrash = errors.New("injected node crash")
+
+// TestClusterResumeAfterNodeCrash kills the simulated cluster right after
+// one node commits a stage, then restarts it with Resume: every node must
+// re-enter from its private storage directory, skip the globally-committed
+// stages in lockstep, and produce the same contigs a cold run does.
+func TestClusterResumeAfterNodeCrash(t *testing.T) {
+	_, reads := testData(t)
+
+	ref, err := New(clusterConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, crashAfter := range nodeStages {
+		t.Run(fmt.Sprintf("crash_after_%s", crashAfter), func(t *testing.T) {
+			cfg := clusterConfig(t, 3)
+			cl, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.FaultHook = func(nodeID int, stage core.PhaseName) error {
+				// Node 1 dies right after committing the stage; nodes that
+				// already passed this point keep their manifests.
+				if nodeID == 1 && stage == crashAfter {
+					return errNodeCrash
+				}
+				return nil
+			}
+			if _, err := cl.Assemble(reads); !errors.Is(err, errNodeCrash) {
+				t.Fatalf("interrupted run error = %v, want injected crash", err)
+			}
+
+			cfg.Resume = true
+			cl2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cl2.Assemble(reads)
+			if err != nil {
+				t.Fatalf("resumed run failed: %v", err)
+			}
+			if len(res.CachedStages) < i+1 {
+				t.Errorf("CachedStages = %v, want at least the %d stages committed before the crash",
+					res.CachedStages, i+1)
+			}
+			if res.AcceptedEdges != want.AcceptedEdges || res.CandidateEdges != want.CandidateEdges {
+				t.Errorf("edges after resume: %d/%d, cold run %d/%d",
+					res.AcceptedEdges, res.CandidateEdges, want.AcceptedEdges, want.CandidateEdges)
+			}
+			if len(res.Contigs) != len(want.Contigs) {
+				t.Fatalf("%d contigs after resume, cold run %d", len(res.Contigs), len(want.Contigs))
+			}
+			for j := range res.Contigs {
+				if !res.Contigs[j].Equal(want.Contigs[j]) {
+					t.Fatalf("contig %d differs from cold run", j)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterResumeInvalidatedByNodeCountChange re-runs an interrupted
+// 3-node job as 2 nodes: the per-node fingerprints change, so nothing may
+// be replayed from the stale manifests.
+func TestClusterResumeInvalidatedByNodeCountChange(t *testing.T) {
+	_, reads := testData(t)
+	dir := t.TempDir()
+	cfg := DefaultConfig(dir, 3)
+	cfg.MinOverlap = 30
+	cfg.HostBlockPairs = 4096
+	cfg.DeviceBlockPairs = 512
+	cfg.MapBatchReads = 128
+	cfg.InputBlockReads = 64
+
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FaultHook = func(nodeID int, stage core.PhaseName) error {
+		if stage == core.PhaseSort && nodeID == 2 {
+			return errNodeCrash
+		}
+		return nil
+	}
+	if _, err := cl.Assemble(reads); !errors.Is(err, errNodeCrash) {
+		t.Fatalf("interrupted run error = %v", err)
+	}
+
+	cfg.Nodes = 2
+	cfg.Resume = true
+	cl2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl2.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CachedStages) != 0 {
+		t.Errorf("node-count change still replayed stages %v", res.CachedStages)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs produced")
+	}
+}

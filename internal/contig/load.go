@@ -1,0 +1,23 @@
+package contig
+
+import (
+	"repro/internal/dna"
+	"repro/internal/fastq"
+)
+
+// LoadFASTA reads contig sequences back from a FASTA file previously
+// written by the pipeline's compress stage. Resumed runs use it to
+// restore Result.Contigs from the committed artifact without re-running
+// traversal; Summarize over the returned slice reproduces the original
+// run's statistics.
+func LoadFASTA(path string) ([]dna.Seq, error) {
+	rs, _, err := fastq.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	contigs := make([]dna.Seq, rs.NumReads())
+	for i := range contigs {
+		contigs[i] = rs.Read(uint32(i))
+	}
+	return contigs, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (give or take the runtime's own background goroutines), failing
+// the test if workers are still parked after the deadline.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudges finalizers and parked goroutines along
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("%d goroutines still running (baseline %d):\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// cancelAfterStage runs an assembly that cancels its own context as soon as
+// the given stage commits, so the next stage observes cancellation
+// mid-pipeline. It asserts the run fails with context.Canceled and that no
+// worker goroutines leak.
+func cancelAfterStage(t *testing.T, stage PhaseName, workers int) {
+	t.Helper()
+	_, reads := testGenomeReads(t, 2000, 48, 10)
+	baseline := runtime.NumGoroutine()
+
+	cfg := smallConfig(t)
+	cfg.Workers = workers
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.FaultHook = func(s PhaseName) error {
+		if s == stage {
+			cancel()
+		}
+		return nil
+	}
+	_, err = p.AssembleContext(ctx, reads)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, baseline)
+
+	// The committed stages stay resumable after the cancellation.
+	cfg.Resume = true
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p2.Assemble(reads)
+	if err != nil {
+		t.Fatalf("resume after cancel failed: %v", err)
+	}
+	if len(res.CachedStages) == 0 {
+		t.Error("no stages replayed after cancelled run")
+	}
+}
+
+func TestCancelMidSort(t *testing.T) {
+	cancelAfterStage(t, PhaseMap, 4) // cancel once Map commits: Sort sees it
+}
+
+func TestCancelMidSortSerial(t *testing.T) {
+	cancelAfterStage(t, PhaseMap, 1)
+}
+
+func TestCancelMidReduce(t *testing.T) {
+	cancelAfterStage(t, PhaseSort, 4) // cancel once Sort commits: Reduce sees it
+}
+
+func TestCancelBeforeStart(t *testing.T) {
+	_, reads := testGenomeReads(t, 1000, 40, 6)
+	baseline := runtime.NumGoroutine()
+	cfg := smallConfig(t)
+	cfg.MinOverlap = 25
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.AssembleContext(ctx, reads); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -56,6 +56,15 @@ type Config struct {
 	BreakCycles bool
 	// KeepIntermediate retains partition and sorted files after the run.
 	KeepIntermediate bool
+	// Resume re-enters an interrupted run mid-pipeline: when the workspace
+	// holds a run manifest whose config fingerprint, input hash, and
+	// resume-point artifacts all validate, the committed stages are
+	// skipped and their counters replayed from the manifest. Output is
+	// byte-identical to a cold run. Any mismatch — changed configuration,
+	// different reads, corrupted or missing artifacts — falls back to a
+	// full re-run; stale state is never trusted. See DESIGN.md, "Stage
+	// graph and resume".
+	Resume bool
 	// FullGraph switches the reduce phase from the paper's greedy graph
 	// to the full string graph of Section II-A.2: every candidate overlap
 	// becomes an edge, transitive edges are removed (Myers 2005), and

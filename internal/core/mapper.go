@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,8 +52,11 @@ func NewMapper(dev *gpu.Device, hostMem *stats.MemTracker, minOverlap, batchRead
 // MapRange maps reads [start, end) of rs into the partition writers.
 // Batches are fingerprinted by up to Workers concurrent goroutines, but
 // their tuples are written strictly in batch order by the calling
-// goroutine, so the partition files do not depend on Workers.
-func (m *Mapper) MapRange(rs dna.ReadSource, start, end int,
+// goroutine, so the partition files do not depend on Workers. Cancelling
+// ctx aborts between batches with ctx.Err(); cancellation surfaces as an
+// error from within a batch job, so every dispatched job still delivers
+// exactly one result and the pool drains without leaking goroutines.
+func (m *Mapper) MapRange(ctx context.Context, rs dna.ReadSource, start, end int,
 	sfxW, pfxW *kvio.PartitionWriters) error {
 	if end <= start {
 		return nil
@@ -65,7 +69,7 @@ func (m *Mapper) MapRange(rs dna.ReadSource, start, end int,
 	if workers <= 1 {
 		for i := 0; i < numBatches; i++ {
 			lo, hi := m.batchBounds(start, end, i)
-			tuples, bytes, err := m.mapBatch(rs, lo, hi)
+			tuples, bytes, err := m.mapBatch(ctx, rs, lo, hi)
 			if err != nil {
 				return err
 			}
@@ -96,7 +100,7 @@ func (m *Mapper) MapRange(rs dna.ReadSource, start, end int,
 			defer wg.Done()
 			for idx := range jobs {
 				lo, hi := m.batchBounds(start, end, idx)
-				tuples, bytes, err := m.mapBatch(rs, lo, hi)
+				tuples, bytes, err := m.mapBatch(ctx, rs, lo, hi)
 				select {
 				case results <- batchResult{idx, tuples, bytes, err}:
 				case <-abort:
@@ -180,7 +184,10 @@ func (m *Mapper) batchBounds(start, end, idx int) (int, int) {
 // returns their partition tuples in read order, plus the host bytes the
 // tuple buffers occupy (already added to HostMem; the caller releases
 // them once the tuples are written or dropped).
-func (m *Mapper) mapBatch(rs dna.ReadSource, batchStart, batchEnd int) ([]mapTuple, int64, error) {
+func (m *Mapper) mapBatch(ctx context.Context, rs dna.ReadSource, batchStart, batchEnd int) ([]mapTuple, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	workers := runtime.GOMAXPROCS(0)
 	maxLen := rs.MaxLen()
 	batchReads := batchEnd - batchStart
@@ -190,7 +197,7 @@ func (m *Mapper) mapBatch(rs dna.ReadSource, batchStart, batchEnd int) ([]mapTup
 	}
 	// Device holds the batch (both strands) plus per-block scan buffers.
 	scanBytes := int64(workers) * int64(maxLen) * 4 * 16
-	alloc, err := m.Dev.AllocWait(2*batchBases + scanBytes)
+	alloc, err := m.Dev.AllocWait(ctx, 2*batchBases+scanBytes)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: map batch of %d reads does not fit on device: %w",
 			batchReads, err)
@@ -204,7 +211,7 @@ func (m *Mapper) mapBatch(rs dna.ReadSource, batchStart, batchEnd int) ([]mapTup
 	per := (batchReads + chunks - 1) / chunks
 	results := make([][]mapTuple, chunks)
 	m.Dev.LaunchBlocks(chunks, func(ci int) {
-		results[ci] = m.runBlock(rs, batchStart+ci*per, minInt(batchStart+(ci+1)*per, batchEnd))
+		results[ci] = m.runBlock(rs, batchStart+ci*per, min(batchStart+(ci+1)*per, batchEnd))
 	})
 
 	var tupleBytes int64
@@ -282,11 +289,4 @@ func (m *Mapper) runBlock(rs dna.ReadSource, lo, hi int) []mapTuple {
 		}
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +33,12 @@ type Pipeline struct {
 	dev     *gpu.Device
 	meter   *costmodel.Meter
 	hostMem stats.MemTracker
+
+	// FaultHook, when set, fires after every stage commit (manifest
+	// written, consumed inputs cleaned up). Returning an error aborts the
+	// run at exactly the point a crash would, leaving the committed stages
+	// resumable; the kill-and-restart tests inject crashes through it.
+	FaultHook FaultHook
 }
 
 // Result reports one assembly run.
@@ -47,6 +57,11 @@ type Result struct {
 	ReducedEdges      int64 // transitive edges removed (FullGraph mode)
 	FalsePositives    int64 // verified-mismatch candidates (VerifyOverlaps)
 	SortDiskPasses    int   // max disk passes over any partition
+
+	// CachedStages lists the stages a resumed run (Config.Resume) replayed
+	// from the run manifest instead of executing, in pipeline order. Empty
+	// on a cold run. Cached stages contribute no PhaseStats.
+	CachedStages []string
 
 	TotalWall    time.Duration
 	TotalModeled time.Duration
@@ -106,6 +121,11 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 // AssembleFile loads a FASTQ/FASTA file (the Load phase of Tables II/III)
 // and assembles it.
 func (p *Pipeline) AssembleFile(path string) (*Result, error) {
+	return p.AssembleFileContext(context.Background(), path)
+}
+
+// AssembleFileContext is AssembleFile under a cancellation context.
+func (p *Pipeline) AssembleFileContext(ctx context.Context, path string) (*Result, error) {
 	res := &Result{}
 	var rs *dna.ReadSet
 	err := p.runPhase(PhaseLoad, res, func() error {
@@ -123,15 +143,30 @@ func (p *Pipeline) AssembleFile(path string) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
-	return p.assembleInto(res, rs)
+	return p.assembleInto(ctx, res, rs)
 }
 
 // Assemble runs the pipeline over an in-memory read set.
 func (p *Pipeline) Assemble(rs dna.ReadSource) (*Result, error) {
-	return p.assembleInto(&Result{}, rs)
+	return p.AssembleContext(context.Background(), rs)
 }
 
-func (p *Pipeline) assembleInto(res *Result, rs dna.ReadSource) (*Result, error) {
+// AssembleContext runs the pipeline under a cancellation context:
+// cancelling ctx aborts the run between device batches with ctx.Err(),
+// draining every worker goroutine (including allocator waiters). The
+// stages committed before the cancellation remain resumable.
+func (p *Pipeline) AssembleContext(ctx context.Context, rs dna.ReadSource) (*Result, error) {
+	return p.assembleInto(ctx, &Result{}, rs)
+}
+
+// assembleInto drives the stage graph: Map -> Sort -> Reduce -> Compress,
+// each stage consuming the previous stage's on-disk artifacts and
+// committing its own (plus the run manifest) before the next begins. With
+// Config.Resume, stages the manifest already covers are replayed from
+// their records instead of executed; because Compress always rebuilds the
+// overlap graph from the persisted edge list, a resumed run's output is
+// byte-identical to a cold one.
+func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSource) (*Result, error) {
 	if rs.NumReads() == 0 {
 		return res, fmt.Errorf("core: empty read set")
 	}
@@ -159,19 +194,48 @@ func (p *Pipeline) assembleInto(res *Result, rs dna.ReadSource) (*Result, error)
 	defer p.hostMem.Release(rs.ApproxBytes())
 
 	partDir := filepath.Join(p.cfg.Workspace, "partitions")
+	edgePath := filepath.Join(p.cfg.Workspace, edgeFileName)
+
+	runner := NewStageRunner(p.cfg.Workspace, p.cfg.fingerprint(), InputFingerprint(rs),
+		p.cfg.Resume, pipelineStages)
+	runner.SetFaultHook(p.FaultHook)
+	if runner.ResumeAt() == 0 {
+		// Starting from scratch: partitions left by an interrupted or
+		// invalidated run must not leak into this one.
+		if err := os.RemoveAll(partDir); err != nil {
+			return res, err
+		}
+	}
 	if err := os.MkdirAll(partDir, 0o755); err != nil {
 		return res, err
-	}
-	if !p.cfg.KeepIntermediate {
-		defer os.RemoveAll(partDir)
 	}
 
 	// Map: fingerprints + partitioning.
 	var counts map[int]int64
-	err := p.runPhase(PhaseMap, res, func() error {
-		var err error
-		counts, err = p.mapPhase(rs, partDir)
-		return err
+	err := runner.Run(Stage{
+		Name: PhaseMap,
+		Fresh: func() (StageOutcome, error) {
+			var out StageOutcome
+			err := p.runPhase(PhaseMap, res, func() error {
+				var err error
+				counts, err = p.mapPhase(ctx, rs, partDir)
+				return err
+			})
+			if err != nil {
+				return out, err
+			}
+			for _, l := range sortedLengthsDesc(counts) {
+				out.Artifacts = append(out.Artifacts,
+					relPartitionPath(kvio.Suffix, l, false),
+					relPartitionPath(kvio.Prefix, l, false))
+			}
+			return out, nil
+		},
+		Cached: func(rec StageRecord) error {
+			var err error
+			counts, err = partitionCountsFromRecord(rec)
+			return err
+		},
 	})
 	if err != nil {
 		return res, err
@@ -181,72 +245,170 @@ func (p *Pipeline) assembleInto(res *Result, rs dna.ReadSource) (*Result, error)
 		res.PairsGenerated += 2 * n // n suffix + n prefix tuples per length
 	}
 
-	// Sort: external sort of every partition, both kinds.
-	err = p.runPhase(PhaseSort, res, func() error {
-		return p.sortPhase(partDir, counts, res)
+	// Sort: external sort of every partition, both kinds. The raw
+	// partitions are deleted only after the stage commits, so a crash
+	// mid-sort leaves the Map artifacts intact for resume.
+	err = runner.Run(Stage{
+		Name: PhaseSort,
+		Fresh: func() (StageOutcome, error) {
+			var out StageOutcome
+			err := p.runPhase(PhaseSort, res, func() error {
+				return p.sortPhase(ctx, partDir, counts, res)
+			})
+			if err != nil {
+				return out, err
+			}
+			for _, l := range sortedLengthsDesc(counts) {
+				out.Artifacts = append(out.Artifacts,
+					relPartitionPath(kvio.Suffix, l, true),
+					relPartitionPath(kvio.Prefix, l, true))
+			}
+			out.Meta = map[string]int64{metaSortDiskPasses: int64(res.SortDiskPasses)}
+			out.Cleanup = func() error {
+				for l := range counts {
+					if err := os.Remove(kvio.PartitionPath(partDir, kvio.Suffix, l)); err != nil {
+						return err
+					}
+					if err := os.Remove(kvio.PartitionPath(partDir, kvio.Prefix, l)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return out, nil
+		},
+		Cached: func(rec StageRecord) error {
+			res.SortDiskPasses = int(rec.Meta[metaSortDiskPasses])
+			return nil
+		},
 	})
 	if err != nil {
 		return res, err
 	}
 
-	if p.cfg.FullGraph {
-		return p.fullGraphTail(res, rs, partDir, counts)
-	}
-
-	// Reduce: suffix-prefix matching into the greedy graph.
-	g := graph.New(rs.NumReads())
-	p.hostMem.Add(g.ApproxBytes())
-	defer p.hostMem.Release(g.ApproxBytes())
-	err = p.runPhase(PhaseReduce, res, func() error {
-		return p.reducePhase(rs, partDir, counts, g, res)
+	// Reduce: suffix-prefix matching. Both graph modes persist their
+	// accepted edge list to the edge artifact; the in-memory graph is
+	// rebuilt from it by Compress, on cold and resumed runs alike.
+	err = runner.Run(Stage{
+		Name: PhaseReduce,
+		Fresh: func() (StageOutcome, error) {
+			var out StageOutcome
+			err := p.runPhase(PhaseReduce, res, func() error {
+				return p.reducePhase(ctx, rs, partDir, counts, edgePath, res)
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Artifacts = []string{edgeFileName}
+			out.Meta = map[string]int64{
+				metaCandidateEdges: res.CandidateEdges,
+				metaFalsePositives: res.FalsePositives,
+				metaAcceptedEdges:  res.AcceptedEdges,
+				metaReducedEdges:   res.ReducedEdges,
+			}
+			return out, nil
+		},
+		Cached: func(rec StageRecord) error {
+			res.CandidateEdges = rec.Meta[metaCandidateEdges]
+			res.FalsePositives = rec.Meta[metaFalsePositives]
+			res.AcceptedEdges = rec.Meta[metaAcceptedEdges]
+			res.ReducedEdges = rec.Meta[metaReducedEdges]
+			return nil
+		},
 	})
 	if err != nil {
 		return res, err
 	}
-	res.AcceptedEdges = g.NumEdges()
 
-	// Compress: traverse paths and generate contigs.
-	err = p.runPhase(PhaseCompress, res, func() error {
-		return p.compressPhase(rs, g, res)
+	// Compress: rebuild the graph from the edge artifact, traverse paths,
+	// and generate contigs.
+	err = runner.Run(Stage{
+		Name: PhaseCompress,
+		Fresh: func() (StageOutcome, error) {
+			var out StageOutcome
+			err := p.runPhase(PhaseCompress, res, func() error {
+				return p.compressPhase(rs, edgePath, res)
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Artifacts = []string{contigFileName}
+			return out, nil
+		},
+		Cached: func(rec StageRecord) error {
+			res.ContigPath = filepath.Join(p.cfg.Workspace, contigFileName)
+			contigs, err := contig.LoadFASTA(res.ContigPath)
+			if err != nil {
+				return err
+			}
+			res.Contigs = contigs
+			res.ContigStats = contig.Summarize(contigs)
+			return nil
+		},
 	})
-	return res, err
-}
+	if err != nil {
+		return res, err
+	}
 
-// fullGraphTail runs the reduce and compress phases in FullGraph mode:
-// all candidate overlaps enter a full string graph, transitive edges are
-// removed, and unitig chains are spelled out (Section II-A.2 rather than
-// the paper's greedy heuristic).
-func (p *Pipeline) fullGraphTail(res *Result, rs dna.ReadSource, partDir string,
-	counts map[int]int64) (*Result, error) {
-	fg := sgraph.New(rs.NumReads())
-	err := p.runPhase(PhaseReduce, res, func() error {
-		err := p.runReduce(rs, partDir, counts, res, func(u, v uint32, l uint16) {
-			fg.AddOverlap(u, v, l)
-		})
-		if err != nil {
-			return err
+	res.CachedStages = runner.CachedStages()
+	if !p.cfg.KeepIntermediate {
+		if err := os.RemoveAll(partDir); err != nil {
+			return res, err
 		}
-		p.hostMem.Add(fg.ApproxBytes())
-		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
-		res.AcceptedEdges = fg.NumEdges(false)
-		return nil
-	})
-	if err != nil {
-		return res, err
+		if err := os.Remove(edgePath); err != nil && !os.IsNotExist(err) {
+			return res, err
+		}
 	}
-	defer p.hostMem.Release(fg.ApproxBytes())
-	err = p.runPhase(PhaseCompress, res, func() error {
-		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
-		return p.writeContigs(rs, paths, res)
-	})
-	return res, err
+	return res, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// pipelineStages is the single-node stage graph, in execution order.
+var pipelineStages = []PhaseName{PhaseMap, PhaseSort, PhaseReduce, PhaseCompress}
+
+// Manifest meta keys for the counters a resumed run restores.
+const (
+	metaSortDiskPasses = "sortDiskPasses"
+	metaCandidateEdges = "candidateEdges"
+	metaFalsePositives = "falsePositives"
+	metaAcceptedEdges  = "acceptedEdges"
+	metaReducedEdges   = "reducedEdges"
+)
+
+// contigFileName is the Compress stage's artifact (workspace-relative).
+const contigFileName = "contigs.fasta"
+
+// relPartitionPath names a partition file relative to the workspace.
+func relPartitionPath(k kvio.Kind, length int, sorted bool) string {
+	name := filepath.Base(kvio.PartitionPath("", k, length))
+	if sorted {
+		name += ".sorted"
 	}
-	return b
+	return path.Join("partitions", name)
+}
+
+// partitionCountsFromRecord rebuilds the per-length tuple counts from a
+// committed Map record: each suffix artifact holds exactly its partition's
+// pairs, so the counts fall out of the recorded sizes. Disk listings are
+// never consulted — the record is authoritative even after the files were
+// consumed by Sort.
+func partitionCountsFromRecord(rec StageRecord) (map[int]int64, error) {
+	prefix := kvio.Suffix.String() + "_"
+	counts := make(map[int]int64)
+	for _, a := range rec.Artifacts {
+		base := path.Base(a.Path)
+		if !strings.HasPrefix(base, prefix) || !strings.HasSuffix(base, ".kv") {
+			continue
+		}
+		l, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, prefix), ".kv"))
+		if err != nil {
+			return nil, fmt.Errorf("core: manifest Map artifact %q: %w", a.Path, err)
+		}
+		counts[l] = a.Bytes / kv.PairBytes
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("core: manifest Map record lists no partitions")
+	}
+	return counts, nil
 }
 
 // mapTuple is one (length, side, fingerprint, vertex) emission from the
@@ -259,13 +421,13 @@ type mapTuple struct {
 
 const mapTupleBytes = 32
 
-func (p *Pipeline) mapPhase(rs dna.ReadSource, partDir string) (map[int]int64, error) {
+func (p *Pipeline) mapPhase(ctx context.Context, rs dna.ReadSource, partDir string) (map[int]int64, error) {
 	sfxW := kvio.NewPartitionWriters(partDir, kvio.Suffix, p.meter)
 	pfxW := kvio.NewPartitionWriters(partDir, kvio.Prefix, p.meter)
 	mapper := NewMapper(p.dev, &p.hostMem, p.cfg.MinOverlap, p.cfg.MapBatchReads, rs.MaxLen())
 	mapper.NaiveKernel = p.cfg.NaiveMapKernel
 	mapper.Workers = p.cfg.workers()
-	if err := mapper.MapRange(rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
+	if err := mapper.MapRange(ctx, rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
 		return nil, err
 	}
 	counts := sfxW.Counts()
@@ -284,13 +446,16 @@ type sortTask struct {
 	kind   kvio.Kind
 }
 
-func (p *Pipeline) sortPhase(partDir string, counts map[int]int64, res *Result) error {
+func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int]int64, res *Result) error {
 	var tasks []sortTask
 	for _, l := range sortedLengthsDesc(counts) {
 		tasks = append(tasks, sortTask{l, kvio.Suffix}, sortTask{l, kvio.Prefix})
 	}
 	var mu sync.Mutex // guards res.SortDiskPasses
 	return runTasks(p.cfg.workers(), len(tasks), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := tasks[i]
 		// Every concurrent sort gets a private scratch directory: run and
 		// merge files are named per sort, and partitions must not see each
@@ -310,7 +475,7 @@ func (p *Pipeline) sortPhase(partDir string, counts map[int]int64, res *Result) 
 		}
 		in := kvio.PartitionPath(partDir, t.kind, t.length)
 		out := in + ".sorted"
-		st, err := extsort.SortFile(cfg, in, out)
+		st, err := extsort.SortFile(ctx, cfg, in, out)
 		if err != nil {
 			return fmt.Errorf("core: sorting partition %d (%s): %w", t.length, t.kind, err)
 		}
@@ -319,17 +484,64 @@ func (p *Pipeline) sortPhase(partDir string, counts map[int]int64, res *Result) 
 			res.SortDiskPasses = st.DiskPasses
 		}
 		mu.Unlock()
-		return os.Remove(in)
+		return nil
 	})
 }
 
-func (p *Pipeline) reducePhase(rs dna.ReadSource, partDir string, counts map[int]int64,
-	g *graph.Graph, res *Result) error {
+// reducePhase runs the configured reduce mode and persists the accepted
+// edge list to edgePath. In greedy mode candidates feed the paper's
+// bit-vector graph; in FullGraph mode every candidate enters the full
+// string graph and transitive edges are removed before persisting.
+func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir string,
+	counts map[int]int64, edgePath string, res *Result) error {
+	if p.cfg.FullGraph {
+		fg := sgraph.New(rs.NumReads())
+		err := p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
+			fg.AddOverlap(u, v, l)
+		})
+		if err != nil {
+			return err
+		}
+		p.hostMem.Add(fg.ApproxBytes())
+		defer p.hostMem.Release(fg.ApproxBytes())
+		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
+		res.AcceptedEdges = fg.NumEdges(false)
+		edges := fg.DirectedEdges()
+		i := 0
+		_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
+			if i >= len(edges) {
+				return persistedEdge{}, false
+			}
+			e := edges[i]
+			i++
+			return persistedEdge{U: e.U, V: e.V, Len: e.Len}, true
+		})
+		return err
+	}
+
 	// Descending length order makes the greedy graph keep the longest
 	// overlap per read (Section III-C).
-	return p.runReduce(rs, partDir, counts, res, func(u, v uint32, l uint16) {
+	g := graph.New(rs.NumReads())
+	p.hostMem.Add(g.ApproxBytes())
+	defer p.hostMem.Release(g.ApproxBytes())
+	err := p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
 		g.AddCandidate(u, v, l)
 	})
+	if err != nil {
+		return err
+	}
+	res.AcceptedEdges = g.NumEdges()
+	edges := g.Edges()
+	i := 0
+	_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
+		if i >= len(edges) {
+			return persistedEdge{}, false
+		}
+		e := edges[i]
+		i++
+		return persistedEdge{U: e.U, V: e.V, Len: e.Len}, true
+	})
+	return err
 }
 
 // edgeCand is one verified candidate overlap buffered between a reduce
@@ -356,20 +568,23 @@ type partReduction struct {
 // goroutine in strict descending-length order, so graph construction is
 // identical to the serial pipeline's. VerifyOverlaps filtering is a pure
 // function of the read set and is performed inside the workers.
-func (p *Pipeline) runReduce(rs dna.ReadSource, partDir string, counts map[int]int64,
-	res *Result, apply func(u, v uint32, l uint16)) error {
+// Cancellation surfaces as an error from within a worker's job (via the
+// reducer's ctx checks), preserving the one-result-per-job invariant that
+// keeps the pool deadlock-free.
+func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir string,
+	counts map[int]int64, res *Result, apply func(u, v uint32, l uint16)) error {
 	cfg := overlap.Config{
 		Device:      p.dev,
 		Meter:       p.meter,
 		HostMem:     &p.hostMem,
-		WindowPairs: maxInt(p.cfg.HostBlockPairs/2, 1),
+		WindowPairs: max(p.cfg.HostBlockPairs/2, 1),
 	}
 	lengths := sortedLengthsDesc(counts)
 	reduceOne := func(l int) partReduction {
 		sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
 		pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
 		var out partReduction
-		err := overlap.ReducePaths(cfg, sfx, pfx, func(u, v uint32) error {
+		err := overlap.ReducePaths(ctx, cfg, sfx, pfx, func(u, v uint32) error {
 			out.candidates++
 			if p.cfg.VerifyOverlaps && !p.verifyOverlap(rs, u, v, l) {
 				out.falsePos++
@@ -391,10 +606,7 @@ func (p *Pipeline) runReduce(rs dna.ReadSource, partDir string, counts map[int]i
 		}
 	}
 
-	workers := p.cfg.workers()
-	if workers > len(lengths) {
-		workers = len(lengths)
-	}
+	workers := min(p.cfg.workers(), len(lengths))
 	if workers <= 1 {
 		for _, l := range lengths {
 			r := reduceOne(l)
@@ -540,7 +752,34 @@ func (p *Pipeline) verifyOverlap(rs dna.ReadSource, u, v uint32, l int) bool {
 	return su[len(su)-l:].Equal(sv[:l])
 }
 
-func (p *Pipeline) compressPhase(rs dna.ReadSource, g *graph.Graph, res *Result) error {
+// compressPhase rebuilds the configured graph from the persisted edge
+// list, traverses paths, and generates contigs. Loading from disk rather
+// than reusing Reduce's in-memory graph is deliberate: it is the single
+// code path shared by cold and resumed runs, so resumed output is
+// byte-identical by construction.
+func (p *Pipeline) compressPhase(rs dna.ReadSource, edgePath string, res *Result) error {
+	if p.cfg.FullGraph {
+		fg := sgraph.New(rs.NumReads())
+		err := readEdgeFile(edgePath, p.meter, func(e persistedEdge) {
+			fg.InstallEdge(e.U, e.V, e.Len)
+		})
+		if err != nil {
+			return err
+		}
+		p.hostMem.Add(fg.ApproxBytes())
+		defer p.hostMem.Release(fg.ApproxBytes())
+		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
+		return p.writeContigs(rs, paths, res)
+	}
+	g := graph.New(rs.NumReads())
+	p.hostMem.Add(g.ApproxBytes())
+	defer p.hostMem.Release(g.ApproxBytes())
+	err := readEdgeFile(edgePath, p.meter, func(e persistedEdge) {
+		g.InstallEdge(graph.Edge{U: e.U, V: e.V, Len: e.Len})
+	})
+	if err != nil {
+		return err
+	}
 	opts := graph.TraverseOptions{
 		IncludeSingletons: p.cfg.IncludeSingletons,
 		BreakCycles:       p.cfg.BreakCycles,
@@ -560,7 +799,7 @@ func (p *Pipeline) writeContigs(rs dna.ReadSource, paths []graph.Path, res *Resu
 	res.Contigs = contig.Generate(contig.Config{Device: p.dev}, paths, rs)
 	res.ContigStats = contig.Summarize(res.Contigs)
 
-	res.ContigPath = filepath.Join(p.cfg.Workspace, "contigs.fasta")
+	res.ContigPath = filepath.Join(p.cfg.Workspace, contigFileName)
 	f, err := os.Create(res.ContigPath)
 	if err != nil {
 		return err

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// A Stage is one node of the pipeline's stage graph: a named unit of work
+// that consumes the previous stage's on-disk artifacts and commits its own
+// before the next stage starts. Fresh runs the stage from scratch and
+// declares what it left on disk; Cached restores the stage's in-memory
+// side effects (counters, derived state) from a committed record when a
+// resumed run skips the work.
+type Stage struct {
+	Name PhaseName
+	// Fresh executes the stage and returns its committed outputs.
+	Fresh func() (StageOutcome, error)
+	// Cached replays a committed stage from its manifest record. It must
+	// leave the pipeline in the same in-memory state Fresh would have.
+	Cached func(rec StageRecord) error
+}
+
+// StageOutcome is what a freshly-run stage commits to the manifest.
+type StageOutcome struct {
+	// Artifacts lists the stage's output files, relative to the runner's
+	// root directory. They are checksummed at commit time.
+	Artifacts []string
+	// Meta carries counters a resumed run needs to restore Result fields.
+	Meta map[string]int64
+	// Cleanup runs after the manifest commits; it is where a stage deletes
+	// its predecessor's consumed inputs. Deferring the deletes until after
+	// the commit means a crash mid-stage always leaves the previous
+	// stage's artifacts intact and resumable.
+	Cleanup func() error
+}
+
+// FaultHook is called after each stage commits (manifest written, consumed
+// inputs cleaned up). Returning an error aborts the run at exactly the
+// point a crash would: the committed stages are resumable, everything
+// later never started. Tests use it to exercise kill-and-restart recovery.
+type FaultHook func(stage PhaseName) error
+
+// StageRunner executes a fixed sequence of stages, persisting a run
+// manifest after each commit and skipping the stages a validated manifest
+// already covers.
+type StageRunner struct {
+	root     string // artifact paths are relative to this directory
+	path     string // manifest file
+	manifest *Manifest
+	resumeAt int // stages before this index replay from the manifest
+	pos      int // next stage index to execute
+	fault    FaultHook
+	cached   []string // names of stages served from the manifest
+}
+
+// NewStageRunner prepares a runner rooted at dir. When resume is true and
+// dir holds a manifest whose version, config hash, and input hash all
+// match, the runner plans to skip the manifest's contiguous prefix of
+// committed stages — provided the artifacts of the last committed stage
+// (the ones the next stage will consume) still checksum-validate. Any
+// mismatch, including a corrupted or missing artifact, falls back to a
+// full re-run; stale state is never trusted.
+func NewStageRunner(dir, cfgHash, inputHash string, resume bool, names []PhaseName) *StageRunner {
+	r := &StageRunner{
+		root: dir,
+		path: filepath.Join(dir, ManifestName),
+		manifest: &Manifest{
+			Version:    manifestVersion,
+			ConfigHash: cfgHash,
+			InputHash:  inputHash,
+		},
+	}
+	if !resume {
+		return r
+	}
+	m, err := loadManifest(r.path)
+	if err != nil || m.Version != manifestVersion ||
+		m.ConfigHash != cfgHash || m.InputHash != inputHash {
+		return r
+	}
+	// Longest prefix of the planned stage sequence the manifest committed,
+	// in order.
+	done := 0
+	for done < len(names) && done < len(m.Stages) {
+		if m.Stages[done].Name != string(names[done]) || m.Stages[done].Status != stageDone {
+			break
+		}
+		done++
+	}
+	if done == 0 {
+		return r
+	}
+	// Only the resume point's artifacts must still be intact: earlier
+	// stages' outputs were legitimately consumed by their successors
+	// (e.g. Sort deletes Map's raw partitions after committing).
+	if err := validateArtifacts(dir, m.Stages[done-1]); err != nil {
+		return r
+	}
+	m.Stages = m.Stages[:done]
+	r.manifest = m
+	r.resumeAt = done
+	return r
+}
+
+// ResumeAt reports how many leading stages the runner will replay from the
+// manifest instead of executing.
+func (r *StageRunner) ResumeAt() int { return r.resumeAt }
+
+// LimitResume lowers the resume point to at most k replayed stages,
+// discarding later committed records. The cluster uses it for lockstep
+// resume: a stage is skipped only when every node can skip it, so the
+// global resume point is the minimum over the per-node plans.
+func (r *StageRunner) LimitResume(k int) {
+	if k < r.resumeAt {
+		r.manifest.Stages = r.manifest.Stages[:k]
+		r.resumeAt = k
+	}
+}
+
+// SetFaultHook installs a post-commit fault injection hook.
+func (r *StageRunner) SetFaultHook(h FaultHook) { r.fault = h }
+
+// CachedStages returns the names of stages served from the manifest so
+// far, in execution order.
+func (r *StageRunner) CachedStages() []string { return r.cached }
+
+// Record returns the committed record of the named stage, if present.
+func (r *StageRunner) Record(name PhaseName) (StageRecord, bool) {
+	return r.manifest.stageRecordByName(string(name))
+}
+
+// Run executes (or replays) the next stage in the sequence. Stages must be
+// submitted in the order planned at construction.
+func (r *StageRunner) Run(s Stage) error {
+	idx := r.pos
+	r.pos++
+	if idx < r.resumeAt {
+		rec := r.manifest.Stages[idx]
+		if rec.Name != string(s.Name) {
+			return fmt.Errorf("core: stage order mismatch: manifest has %s at %d, pipeline ran %s",
+				rec.Name, idx, s.Name)
+		}
+		if err := s.Cached(rec); err != nil {
+			return fmt.Errorf("core: replaying cached stage %s: %w", s.Name, err)
+		}
+		r.cached = append(r.cached, string(s.Name))
+		return nil
+	}
+	out, err := s.Fresh()
+	if err != nil {
+		return err
+	}
+	rec := StageRecord{Name: string(s.Name), Status: stageDone, Meta: out.Meta}
+	for _, rel := range out.Artifacts {
+		a, err := describeArtifact(r.root, rel)
+		if err != nil {
+			return fmt.Errorf("core: committing stage %s: %w", s.Name, err)
+		}
+		rec.Artifacts = append(rec.Artifacts, a)
+	}
+	r.manifest.Stages = append(r.manifest.Stages, rec)
+	if err := r.manifest.save(r.path); err != nil {
+		return fmt.Errorf("core: committing stage %s: %w", s.Name, err)
+	}
+	if out.Cleanup != nil {
+		if err := out.Cleanup(); err != nil {
+			return err
+		}
+	}
+	if r.fault != nil {
+		if err := r.fault(s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

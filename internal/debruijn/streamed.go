@@ -1,6 +1,7 @@
 package debruijn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -90,7 +91,7 @@ func BuildStreamed(cfg Config, scfg StreamConfig, rs *dna.ReadSet) (*Graph, Stre
 
 	// Sort: the two-level hybrid external sort.
 	sorted := filepath.Join(scfg.TempDir, "kmers.sorted.kv")
-	st.SortStats, err = extsort.SortFile(extsort.Config{
+	st.SortStats, err = extsort.SortFile(context.Background(), extsort.Config{
 		Device:           scfg.Device,
 		Meter:            scfg.Meter,
 		HostMem:          scfg.HostMem,

@@ -1,6 +1,7 @@
 package extsort
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestSortFileMissingInput(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
-	if _, err := SortFile(cfg, filepath.Join(dir, "nope.kv"), filepath.Join(dir, "out.kv")); err == nil {
+	if _, err := SortFile(context.Background(), cfg, filepath.Join(dir, "nope.kv"), filepath.Join(dir, "out.kv")); err == nil {
 		t.Error("missing input should fail")
 	}
 }
@@ -23,7 +24,7 @@ func TestSortFileCorruptInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
-	if _, err := SortFile(cfg, in, filepath.Join(dir, "out.kv")); err == nil {
+	if _, err := SortFile(context.Background(), cfg, in, filepath.Join(dir, "out.kv")); err == nil {
 		t.Error("corrupt input should fail")
 	}
 }
@@ -39,7 +40,7 @@ func TestSortFileUnusableTempDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: blocked}
-	if _, err := SortFile(cfg, in, filepath.Join(blocked, "out.kv")); err == nil {
+	if _, err := SortFile(context.Background(), cfg, in, filepath.Join(blocked, "out.kv")); err == nil {
 		t.Error("unusable temp dir should fail")
 	}
 }
@@ -47,7 +48,7 @@ func TestSortFileUnusableTempDir(t *testing.T) {
 func TestSortFileInvalidConfig(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Device: nil, HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
-	if _, err := SortFile(cfg, "x", "y"); err == nil {
+	if _, err := SortFile(context.Background(), cfg, "x", "y"); err == nil {
 		t.Error("invalid config should fail before touching files")
 	}
 }

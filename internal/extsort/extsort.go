@@ -21,6 +21,7 @@
 package extsort
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/bits"
@@ -78,8 +79,11 @@ type Stats struct {
 	DiskPasses  int // total passes over the data (1 + MergeRounds)
 }
 
-// SortFile externally sorts the pairs in inPath into outPath.
-func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
+// SortFile externally sorts the pairs in inPath into outPath. The sort
+// honours ctx: cancellation between blocks and inside the device merge
+// loops aborts with ctx.Err() without leaving goroutines parked on the
+// device allocator.
+func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -104,6 +108,9 @@ func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
 	scratch := make([]kv.Pair, blockPairs)
 	var runs []string
 	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		n, err := readFull(in, block)
 		if n == 0 {
 			break
@@ -111,7 +118,7 @@ func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
 		if err != nil && err != io.EOF {
 			return st, err
 		}
-		sorted, serr := sortHostBlock(cfg, block[:n], scratch[:n])
+		sorted, serr := sortHostBlock(ctx, cfg, block[:n], scratch[:n])
 		if serr != nil {
 			return st, serr
 		}
@@ -148,7 +155,7 @@ func SortFile(cfg Config, inPath, outPath string) (Stats, error) {
 			}
 			gen++
 			merged := filepath.Join(cfg.TempDir, fmt.Sprintf("merge_%06d.kv", gen))
-			if err := mergeRunFiles(cfg, runs[i], runs[i+1], merged); err != nil {
+			if err := mergeRunFiles(ctx, cfg, runs[i], runs[i+1], merged); err != nil {
 				return st, err
 			}
 			if err := os.Remove(runs[i]); err != nil {
@@ -207,7 +214,7 @@ func writeRun(path string, ps []kv.Pair, meter *costmodel.Meter) error {
 // each chunk is radix-sorted on the device, then sorted chunks are
 // pairwise merged in host memory by streaming windows through the device.
 // The returned slice aliases either block or scratch.
-func sortHostBlock(cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
+func sortHostBlock(ctx context.Context, cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
 	dev := cfg.Device
 	md := cfg.DeviceBlockPairs
 	// Radix-sort each device chunk. The device holds the chunk plus the
@@ -220,7 +227,7 @@ func sortHostBlock(cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
 			end = len(block)
 		}
 		chunk := block[start:end]
-		alloc, err := dev.AllocWait(2 * int64(len(chunk)) * kv.PairBytes)
+		alloc, err := dev.AllocWait(ctx, 2*int64(len(chunk))*kv.PairBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +253,7 @@ func sortHostBlock(cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
 				out = append(out, ps...)
 				return nil
 			}
-			if err := mergeInMemory(cfg, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
+			if err := mergeInMemory(ctx, cfg, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
 				return nil, err
 			}
 		}
@@ -258,7 +265,7 @@ func sortHostBlock(cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
 // mergeInMemory merges two sorted in-memory lists by streaming m_d-sized
 // windows through the device, following Algorithm 1 with M = m_d. The
 // merged output is handed to emit in sorted order.
-func mergeInMemory(cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error {
+func mergeInMemory(ctx context.Context, cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error {
 	dev := cfg.Device
 	half := cfg.DeviceBlockPairs / 2
 	if half < 1 {
@@ -294,7 +301,7 @@ func mergeInMemory(cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error
 			}
 		}
 		// GPU_MERGE of the equalized windows (line 16).
-		alloc, err := dev.AllocWait(2 * int64(len(wa)+len(wb)) * kv.PairBytes)
+		alloc, err := dev.AllocWait(ctx, 2*int64(len(wa)+len(wb))*kv.PairBytes)
 		if err != nil {
 			return err
 		}
@@ -324,18 +331,11 @@ func window(ps []kv.Pair, n int) []kv.Pair {
 	return ps[:n]
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // mergeRunFiles merges two sorted run files into one (Algorithm 1 at the
 // disk level, M = m_h). Windows of m_h/2 pairs stream from each run into
 // host memory; equalized windows are merged through the device via
 // mergeInMemory.
-func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
+func mergeRunFiles(ctx context.Context, cfg Config, pathA, pathB, outPath string) error {
 	ra, err := kvio.NewReader(pathA, cfg.Meter)
 	if err != nil {
 		return err
@@ -369,6 +369,10 @@ func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
 	emit := func(ps []kv.Pair) error { return w.WriteBatch(ps) }
 
 	for {
+		if err := ctx.Err(); err != nil {
+			w.Close()
+			return err
+		}
 		if err := wa.fill(); err != nil {
 			w.Close()
 			return err
@@ -392,7 +396,7 @@ func mergeRunFiles(cfg Config, pathA, pathB, outPath string) error {
 					a = a[:kv.UpperBound(a, k)]
 				}
 			}
-			if err := mergeInMemory(cfg, a, b, emit); err != nil {
+			if err := mergeInMemory(ctx, cfg, a, b, emit); err != nil {
 				w.Close()
 				return err
 			}

@@ -1,6 +1,7 @@
 package extsort
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -78,7 +79,7 @@ func runSort(t *testing.T, cfg Config, input []kv.Pair) ([]kv.Pair, Stats) {
 	in := filepath.Join(dir, "in.kv")
 	out := filepath.Join(dir, "out.kv")
 	writePairs(t, in, input)
-	st, err := SortFile(cfg, in, out)
+	st, err := SortFile(context.Background(), cfg, in, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestSortFileProperty(t *testing.T) {
 		if err := writePairsErr(in, input); err != nil {
 			return false
 		}
-		if _, err := SortFile(cfg, in, out); err != nil {
+		if _, err := SortFile(context.Background(), cfg, in, out); err != nil {
 			return false
 		}
 		got, err := readPairsErr(out)

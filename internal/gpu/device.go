@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,23 +86,40 @@ func (d *Device) Alloc(n int64) (*Allocation, error) {
 }
 
 // AllocWait claims n bytes of device memory, blocking until concurrent
-// holders free enough capacity. It returns ErrOutOfMemory only when the
-// request can never be satisfied (n exceeds the device capacity outright).
-// Callers must not hold another allocation while waiting, or concurrent
-// waiters can deadlock; every pipeline stage allocates one batch at a
-// time, which guarantees progress.
-func (d *Device) AllocWait(n int64) (*Allocation, error) {
+// holders free enough capacity or ctx is cancelled. It returns
+// ErrOutOfMemory only when the request can never be satisfied (n exceeds
+// the device capacity outright), and ctx.Err() when cancelled — waiters
+// never stay parked on the allocator after cancellation, which is what
+// lets pipeline worker pools drain cleanly. Callers must not hold another
+// allocation while waiting, or concurrent waiters can deadlock; every
+// pipeline stage allocates one batch at a time, which guarantees progress.
+func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("gpu: negative allocation %d", n)
 	}
 	if n > d.spec.MemBytes {
 		return nil, ErrOutOfMemory{Requested: n, InUse: 0, Capacity: d.spec.MemBytes}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	if d.freed == nil {
 		d.freed = sync.NewCond(&d.mu)
 	}
+	// Wake every waiter when ctx fires so each can observe the
+	// cancellation; sync.Cond cannot select on a channel directly.
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.freed.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stop()
 	for d.inUse+n > d.spec.MemBytes {
+		if err := ctx.Err(); err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
 		d.freed.Wait()
 	}
 	d.inUse += n

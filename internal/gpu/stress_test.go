@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -39,7 +40,7 @@ func TestDeviceConcurrentAllocStress(t *testing.T) {
 				var a *Allocation
 				var err error
 				if i%2 == 0 {
-					a, err = d.AllocWait(n)
+					a, err = d.AllocWait(context.Background(), n)
 				} else {
 					a, err = d.Alloc(n)
 				}
@@ -79,13 +80,13 @@ func TestDeviceConcurrentAllocStress(t *testing.T) {
 // failing.
 func TestAllocWaitBlocksUntilFree(t *testing.T) {
 	d := tinyDevice(1 << 10)
-	hold, err := d.AllocWait(1 << 10)
+	hold, err := d.AllocWait(context.Background(), 1<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	acquired := make(chan *Allocation)
 	go func() {
-		a, err := d.AllocWait(512)
+		a, err := d.AllocWait(context.Background(), 512)
 		if err != nil {
 			t.Error(err)
 		}
@@ -112,7 +113,7 @@ func TestAllocWaitBlocksUntilFree(t *testing.T) {
 // forever.
 func TestAllocWaitImpossibleRequest(t *testing.T) {
 	d := tinyDevice(1 << 10)
-	_, err := d.AllocWait(1<<10 + 1)
+	_, err := d.AllocWait(context.Background(), 1<<10+1)
 	var oom ErrOutOfMemory
 	if !errors.As(err, &oom) {
 		t.Fatalf("err = %v, want ErrOutOfMemory", err)
@@ -120,8 +121,85 @@ func TestAllocWaitImpossibleRequest(t *testing.T) {
 	if oom.Requested != 1<<10+1 || oom.Capacity != 1<<10 {
 		t.Errorf("oom fields = %+v", oom)
 	}
-	if _, err := d.AllocWait(-1); err == nil {
+	if _, err := d.AllocWait(context.Background(), -1); err == nil {
 		t.Error("negative AllocWait should fail")
+	}
+}
+
+// TestAllocWaitCancelUnblocksWaiter proves a parked waiter leaves the
+// allocator promptly when its context is cancelled, without disturbing the
+// holder's accounting — the property that lets cancelled pipelines drain
+// their worker pools instead of leaking goroutines.
+func TestAllocWaitCancelUnblocksWaiter(t *testing.T) {
+	d := tinyDevice(1 << 10)
+	hold, err := d.AllocWait(context.Background(), 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error)
+	go func() {
+		_, err := d.AllocWait(ctx, 512)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("AllocWait returned early: %v", err)
+	default:
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d.InUse() != 1<<10 {
+		t.Errorf("InUse = %d, cancellation must not change accounting", d.InUse())
+	}
+	hold.Free()
+	if d.InUse() != 0 {
+		t.Errorf("InUse = %d after free, want 0", d.InUse())
+	}
+}
+
+// TestAllocWaitCancelledBeforeCall returns immediately with ctx.Err() even
+// when capacity is available.
+func TestAllocWaitCancelledBeforeCall(t *testing.T) {
+	d := tinyDevice(1 << 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.AllocWait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d.InUse() != 0 {
+		t.Errorf("InUse = %d, want 0", d.InUse())
+	}
+}
+
+// TestAllocWaitManyWaitersCancelled parks many impossible-to-satisfy
+// waiters behind a holder and cancels them all; every one must return with
+// the context error.
+func TestAllocWaitManyWaitersCancelled(t *testing.T) {
+	d := tinyDevice(1 << 8)
+	hold, err := d.AllocWait(context.Background(), 1<<8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		go func() {
+			_, err := d.AllocWait(ctx, 1<<8)
+			errs <- err
+		}()
+	}
+	cancel()
+	for g := 0; g < 32; g++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter %d: err = %v, want context.Canceled", g, err)
+		}
+	}
+	hold.Free()
+	if d.InUse() != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", d.InUse())
 	}
 }
 
@@ -137,7 +215,7 @@ func TestAllocWaitManyWaiters(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				a, err := d.AllocWait(capacity) // each waiter needs the whole device
+				a, err := d.AllocWait(context.Background(), capacity) // each waiter needs the whole device
 				if err != nil {
 					t.Error(err)
 					return

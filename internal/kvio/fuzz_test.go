@@ -1,0 +1,88 @@
+package kvio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+// FuzzKVReader feeds arbitrary bytes through the reader path as if they
+// were a partition file left behind by a crashed or misbehaving writer.
+// The invariants: never panic, never silently return fewer pairs than the
+// file claims, reject any size that is not a whole number of records, and
+// decode whole records byte-exactly.
+func FuzzKVReader(f *testing.F) {
+	f.Add([]byte{})                                   // empty file
+	f.Add(make([]byte, kv.PairBytes))                 // one zero pair
+	f.Add(make([]byte, 3*kv.PairBytes))               // several pairs
+	f.Add(make([]byte, kv.PairBytes-1))               // short of one record
+	f.Add(make([]byte, 2*kv.PairBytes+7))             // torn tail
+	f.Add(bytes.Repeat([]byte{0xa5}, 4*kv.PairBytes)) // patterned payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.kv")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		wantPairs := int64(len(data)) / kv.PairBytes
+		corrupt := int64(len(data))%kv.PairBytes != 0
+
+		n, err := CountFile(path)
+		if corrupt {
+			if err == nil {
+				t.Fatalf("CountFile accepted corrupt size %d", len(data))
+			}
+		} else if err != nil || n != wantPairs {
+			t.Fatalf("CountFile = %d, %v; want %d, nil", n, err, wantPairs)
+		}
+
+		r, err := NewReader(path, nil)
+		if corrupt {
+			if err == nil {
+				r.Close()
+				t.Fatalf("NewReader accepted corrupt size %d", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("NewReader on valid size %d: %v", len(data), err)
+		}
+		defer r.Close()
+		if r.Count() != wantPairs {
+			t.Fatalf("Count = %d, want %d", r.Count(), wantPairs)
+		}
+
+		var got int64
+		buf := make([]kv.Pair, 7)
+		for {
+			k, err := r.ReadBatch(buf)
+			for i := 0; i < k; i++ {
+				var rec [kv.PairBytes]byte
+				buf[i].Encode(rec[:])
+				off := (got + int64(i)) * kv.PairBytes
+				if !bytes.Equal(rec[:], data[off:off+kv.PairBytes]) {
+					t.Fatalf("pair %d did not round-trip", got+int64(i))
+				}
+			}
+			got += int64(k)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("ReadBatch after %d pairs: %v", got, err)
+			}
+		}
+		if got != wantPairs {
+			t.Fatalf("read %d pairs, want %d", got, wantPairs)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("Remaining = %d after drain", r.Remaining())
+		}
+	})
+}

@@ -105,8 +105,8 @@ func NewReader(path string, meter *costmodel.Meter) (*Reader, error) {
 	}
 	if info.Size()%kv.PairBytes != 0 {
 		f.Close()
-		return nil, fmt.Errorf("kvio: %s size %d is not a multiple of record size %d",
-			path, info.Size(), kv.PairBytes)
+		return nil, fmt.Errorf("kvio: %s is corrupt or truncated: size %d is not a multiple of record size %d (%d trailing bytes)",
+			path, info.Size(), kv.PairBytes, info.Size()%kv.PairBytes)
 	}
 	return &Reader{
 		f:     f,
@@ -136,7 +136,8 @@ func (r *Reader) ReadBatch(dst []kv.Pair) (int, error) {
 				break
 			}
 			if err == io.ErrUnexpectedEOF {
-				return n, fmt.Errorf("kvio: truncated record in %s", r.f.Name())
+				return n, fmt.Errorf("kvio: %s is corrupt or truncated: partial record after %d whole pairs",
+					r.f.Name(), r.read+int64(n))
 			}
 			return n, err
 		}
@@ -157,7 +158,8 @@ func (r *Reader) ReadBatch(dst []kv.Pair) (int, error) {
 func (r *Reader) Close() error { return r.f.Close() }
 
 // CountFile returns the number of pairs stored at path (0 if the file does
-// not exist).
+// not exist). A size that is not a whole number of records is reported as
+// corruption rather than silently rounded down.
 func CountFile(path string) (int64, error) {
 	info, err := os.Stat(path)
 	if os.IsNotExist(err) {
@@ -165,6 +167,10 @@ func CountFile(path string) (int64, error) {
 	}
 	if err != nil {
 		return 0, err
+	}
+	if info.Size()%kv.PairBytes != 0 {
+		return 0, fmt.Errorf("kvio: %s is corrupt or truncated: size %d is not a multiple of record size %d",
+			path, info.Size(), kv.PairBytes)
 	}
 	return info.Size() / kv.PairBytes, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/costmodel"
@@ -154,6 +155,86 @@ func TestCountFile(t *testing.T) {
 	}
 	if n, err := CountFile(path); n != 7 || err != nil {
 		t.Errorf("n=%d err=%v, want 7", n, err)
+	}
+}
+
+func TestReaderCorruptSizeErrorIsDescriptive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.kv")
+	if err := os.WriteFile(path, make([]byte, 2*kv.PairBytes+5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(path, nil)
+	if err == nil {
+		t.Fatal("expected error for non-multiple file size")
+	}
+	msg := err.Error()
+	for _, want := range []string{path, "corrupt or truncated", "not a multiple"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestCountFileRejectsCorruptSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.kv")
+	if err := os.WriteFile(path, make([]byte, kv.PairBytes-1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountFile(path)
+	if err == nil {
+		t.Fatal("expected error for non-multiple file size")
+	}
+	if n != 0 {
+		t.Errorf("n = %d on corrupt file, want 0", n)
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Errorf("error %q not descriptive", err)
+	}
+}
+
+func TestReadBatchTruncatedMidStream(t *testing.T) {
+	// A file that shrinks to a partial record after the reader opened it
+	// (e.g. a crashed writer's torn tail) must surface a descriptive error,
+	// never a silent short read.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(randomPairs(rand.New(rand.NewSource(5)), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := os.Truncate(path, 2*kv.PairBytes+7); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	buf := make([]kv.Pair, 1) // small batches defeat bufio prefetch masking
+	for {
+		n, err := r.ReadBatch(buf)
+		got += n
+		if err == io.EOF {
+			t.Fatalf("silent short read: EOF after %d pairs of 3", got)
+		}
+		if err != nil {
+			if !strings.Contains(err.Error(), "corrupt or truncated") {
+				t.Errorf("error %q not descriptive", err)
+			}
+			break
+		}
+	}
+	if got != 2 {
+		t.Errorf("read %d whole pairs before error, want 2", got)
 	}
 }
 

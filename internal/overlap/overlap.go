@@ -22,6 +22,7 @@
 package overlap
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,7 +51,8 @@ type Emit func(u, v uint32) error
 
 // ReducePaths streams the sorted suffix and prefix partition files and
 // emits every fingerprint match. Both files must be sorted by fingerprint.
-func ReducePaths(cfg Config, sfxPath, pfxPath string, emit Emit) error {
+// Cancellation of ctx aborts between window rounds with ctx.Err().
+func ReducePaths(ctx context.Context, cfg Config, sfxPath, pfxPath string, emit Emit) error {
 	sr, err := kvio.NewReader(sfxPath, cfg.Meter)
 	if err != nil {
 		return err
@@ -61,11 +63,11 @@ func ReducePaths(cfg Config, sfxPath, pfxPath string, emit Emit) error {
 		return err
 	}
 	defer pr.Close()
-	return Reduce(cfg, sr, pr, emit)
+	return Reduce(ctx, cfg, sr, pr, emit)
 }
 
 // Reduce is ReducePaths over already-open readers.
-func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
+func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 	if cfg.WindowPairs < 1 {
 		return fmt.Errorf("overlap: WindowPairs must be positive, got %d", cfg.WindowPairs)
 	}
@@ -84,6 +86,9 @@ func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 
 	var lb, ub, diff []int32
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := ws.fill(); err != nil {
 			return err
 		}
@@ -121,7 +126,7 @@ func Reduce(cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 		// Device pass: vectorized bounds and counts (lines 8-10).
 		// AllocWait lets concurrent partition reducers share the device;
 		// capacity bounds how many windows are resident at once.
-		alloc, err := dev.AllocWait(int64(len(cs)+len(cp))*kv.PairBytes + 3*4*int64(len(cs)))
+		alloc, err := dev.AllocWait(ctx, int64(len(cs)+len(cp))*kv.PairBytes+3*4*int64(len(cs)))
 		if err != nil {
 			return err
 		}

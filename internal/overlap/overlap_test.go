@@ -1,6 +1,7 @@
 package overlap
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -60,7 +61,7 @@ func runReduce(t *testing.T, windowPairs int, sfx, pfx []kv.Pair) map[edge]int {
 	writeSorted(t, pp, pfx)
 	got := map[edge]int{}
 	cfg := Config{Device: bigDevice(), WindowPairs: windowPairs}
-	err := ReducePaths(cfg, sp, pp, func(u, v uint32) error {
+	err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error {
 		got[edge{u, v}]++
 		return nil
 	})
@@ -187,7 +188,7 @@ func TestReduceProperty(t *testing.T) {
 		// Window must be >= the longest duplicate run for exactness; with
 		// keyRange >= 1 and up to 255 pairs, 256 suffices.
 		cfg := Config{Device: bigDevice(), WindowPairs: 256}
-		if err := ReducePaths(cfg, sp, pp, func(u, v uint32) error {
+		if err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error {
 			got[edge{u, v}]++
 			return nil
 		}); err != nil {
@@ -214,7 +215,7 @@ func TestReduceEmitError(t *testing.T) {
 	writeSorted(t, sp, pairsFromKeys([]uint64{1}, 0))
 	writeSorted(t, pp, pairsFromKeys([]uint64{1}, 1))
 	cfg := Config{Device: bigDevice(), WindowPairs: 8}
-	err := ReducePaths(cfg, sp, pp, func(u, v uint32) error {
+	err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error {
 		return fmt.Errorf("stop")
 	})
 	if err == nil || err.Error() != "stop" {
@@ -228,7 +229,7 @@ func TestReduceInvalidWindow(t *testing.T) {
 	writeSorted(t, sp, nil)
 	writeSorted(t, pp, nil)
 	cfg := Config{Device: bigDevice(), WindowPairs: 0}
-	if err := ReducePaths(cfg, sp, pp, func(u, v uint32) error { return nil }); err == nil {
+	if err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error { return nil }); err == nil {
 		t.Error("expected error for zero window")
 	}
 }
@@ -240,7 +241,7 @@ func TestReduceHostMemAccounting(t *testing.T) {
 	writeSorted(t, sp, pairsFromKeys([]uint64{1, 2}, 0))
 	writeSorted(t, pp, pairsFromKeys([]uint64{2, 3}, 5))
 	cfg := Config{Device: bigDevice(), WindowPairs: 16, HostMem: &mem}
-	if err := ReducePaths(cfg, sp, pp, func(u, v uint32) error { return nil }); err != nil {
+	if err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if mem.Current() != 0 {
@@ -260,7 +261,7 @@ func TestReduceHostMemAccounting(t *testing.T) {
 	writeSorted(t, sp, pairsFromKeys(keys, 0))
 	writeSorted(t, pp, pairsFromKeys(keys, 100))
 	cfg.HostMem = &big
-	if err := ReducePaths(cfg, sp, pp, func(u, v uint32) error { return nil }); err != nil {
+	if err := ReducePaths(context.Background(), cfg, sp, pp, func(u, v uint32) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if big.Peak() != int64(2*16)*hostPairBytes {

@@ -74,6 +74,32 @@ func (g *Graph) addEdge(u, v uint32, l uint16) {
 	g.adj[u] = append(g.adj[u], Edge{To: v, Len: l})
 }
 
+// InstallEdge appends a single directed edge verbatim, without the
+// duplicate-merging or complement bookkeeping of AddOverlap. It exists
+// for rebuilding a reduced graph from a persisted edge list: replaying
+// DirectedEdges() through InstallEdge reproduces the live adjacency
+// structure (and hence Unitigs output) exactly.
+func (g *Graph) InstallEdge(u, v uint32, l uint16) {
+	g.adj[u] = append(g.adj[u], Edge{To: v, Len: l})
+	g.indeg = nil
+}
+
+// DirectedEdges returns every live (non-reduced) directed edge in vertex
+// order, preserving each vertex's adjacency order. After TransitiveReduce
+// the adjacency lists are deterministically sorted, so the returned list
+// is a stable serialization of the reduced graph.
+func (g *Graph) DirectedEdges() []graph.Edge {
+	var out []graph.Edge
+	for u, es := range g.adj {
+		for _, e := range es {
+			if !e.reduced {
+				out = append(out, graph.Edge{U: uint32(u), V: e.To, Len: e.Len})
+			}
+		}
+	}
+	return out
+}
+
 // NumEdges returns the number of directed edges, optionally counting
 // reduced ones.
 func (g *Graph) NumEdges(includeReduced bool) int64 {

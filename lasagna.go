@@ -25,6 +25,8 @@
 package lasagna
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dna"
@@ -87,30 +89,49 @@ func DefaultClusterConfig(workspace string, nodes int) ClusterConfig {
 
 // Assemble runs the full single-node pipeline over an in-memory read set.
 func Assemble(cfg Config, reads *ReadSet) (*Result, error) {
+	return AssembleContext(context.Background(), cfg, reads)
+}
+
+// AssembleContext is Assemble under a cancellation context: cancelling ctx
+// aborts the run between device batches with ctx.Err(), draining every
+// worker goroutine. Stages committed before the cancellation can be resumed
+// with Config.Resume.
+func AssembleContext(ctx context.Context, cfg Config, reads *ReadSet) (*Result, error) {
 	p, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.Assemble(reads)
+	return p.AssembleContext(ctx, reads)
 }
 
 // AssembleFile loads a FASTQ/FASTA file and assembles it, reporting the
 // load as its own phase.
 func AssembleFile(cfg Config, path string) (*Result, error) {
+	return AssembleFileContext(context.Background(), cfg, path)
+}
+
+// AssembleFileContext is AssembleFile under a cancellation context.
+func AssembleFileContext(ctx context.Context, cfg Config, path string) (*Result, error) {
 	p, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.AssembleFile(path)
+	return p.AssembleFileContext(ctx, path)
 }
 
 // AssembleDistributed runs the simulated multi-node pipeline.
 func AssembleDistributed(cfg ClusterConfig, reads *ReadSet) (*ClusterResult, error) {
+	return AssembleDistributedContext(context.Background(), cfg, reads)
+}
+
+// AssembleDistributedContext is AssembleDistributed under a cancellation
+// context.
+func AssembleDistributedContext(ctx context.Context, cfg ClusterConfig, reads *ReadSet) (*ClusterResult, error) {
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return c.Assemble(reads)
+	return c.AssembleContext(ctx, reads)
 }
 
 // AssembleBaseline runs the SGA-style FM-index baseline (index + overlap

@@ -2,14 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint fuzz bench cover examples evaluation clean
+.PHONY: all build vet test race lint fuzz bench cover examples evaluation trace clean
 
 all: build vet lint test race
 
-# Fails when any file is not gofmt-formatted, listing the offenders.
+# Fails when any file is not gofmt-formatted (listing the offenders) or
+# when go vet flags anything.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
@@ -51,7 +53,14 @@ examples:
 evaluation:
 	$(GO) run ./cmd/lasagna-bench -exp all -scale 1.0
 
+# Assemble a small synthetic dataset with full observability on, leaving
+# trace.json (Perfetto-loadable; CI uploads it as an artifact).
+trace:
+	$(GO) run ./cmd/readgen -genome-len 20000 -read-len 80 -coverage 10 -out work/trace-reads.fastq
+	$(GO) run ./cmd/lasagna -in work/trace-reads.fastq -workspace work/trace-demo \
+		-lmin 40 -workers 2 -trace trace.json -v
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt trace.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

@@ -8,19 +8,28 @@
 //	lasagna -in reads.fastq -workspace ./work -lmin 63 -nodes 8 -gpu K20X
 //	lasagna -in a.fastq.gz,b.fastq.gz -workspace ./work -dedupe -fullgraph -reference genome.fasta
 //	lasagna -in reads.fastq -workspace ./work -resume   # re-enter an interrupted run
+//
+// Observability (composes with every mode above, including -resume):
+//
+//	lasagna -in reads.fastq -workspace ./work -trace trace.json   # Perfetto-loadable span trace
+//	lasagna -in reads.fastq -workspace ./work -debug-addr localhost:6060 -v
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro"
+	"repro/internal/costmodel"
 	"repro/internal/fastq"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 )
@@ -45,10 +54,19 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent partition workers (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		reference  = flag.String("reference", "", "optional reference FASTA for a quality report")
 		resume     = flag.Bool("resume", false, "resume an interrupted run from the workspace's manifest")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar, metrics, and pprof debug endpoints on this address (e.g. localhost:6060)")
+		verbose    = flag.Bool("v", false, "verbose logging: debug-level stage, resume, and worker-pool events")
+		quiet      = flag.Bool("quiet", false, "log errors only")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 	if *in == "" || *workspace == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "lasagna: -log-format must be text or json, got %q\n", *logFormat)
 		os.Exit(2)
 	}
 	spec, ok := findGPU(*gpuName)
@@ -58,6 +76,35 @@ func main() {
 	}
 	if err := os.MkdirAll(*workspace, 0o755); err != nil {
 		fatal(err)
+	}
+
+	// Observability: the logger always exists (level gates the volume);
+	// the tracer only when a trace file was requested; the metrics
+	// registry whenever anything will read it (trace runs snapshot it into
+	// the manifest, the debug endpoint serves it live).
+	level := slog.LevelWarn
+	switch {
+	case *quiet:
+		level = slog.LevelError
+	case *verbose:
+		level = slog.LevelDebug
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	var registry *obs.Registry
+	if *traceOut != "" || *debugAddr != "" {
+		registry = obs.NewRegistry()
+	}
+	observer := obs.New(obs.NewLogger(os.Stderr, level, *logFormat == "json"), tracer, registry)
+	if *debugAddr != "" {
+		dbg, err := obs.NewDebugServer(*debugAddr, registry)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "lasagna: debug endpoint on http://%s/debug/ (vars, metrics, pprof)\n", dbg.Addr())
 	}
 
 	inputs := strings.Split(*in, ",")
@@ -81,7 +128,9 @@ func main() {
 		cfg.PartitionByFingerprint = *byFp
 		cfg.WorkersPerNode = *workers
 		cfg.Resume = *resume
+		cfg.Obs = observer
 		res, err := lasagna.AssembleDistributedContext(ctx, cfg, reads)
+		writeTrace(tracer, *traceOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +144,7 @@ func main() {
 		fmt.Printf("contigs written to %s\n", res.ContigPath)
 		fmt.Printf("total: wall %s, modeled %s\n",
 			stats.FormatDuration(res.TotalWall), stats.FormatDuration(res.TotalModeled))
+		reportModeled(res.Modeled)
 		reportQuality(*reference, res.Contigs)
 		return
 	}
@@ -115,7 +165,9 @@ func main() {
 	if *workers != 0 {
 		cfg.Workers = *workers
 	}
+	cfg.Obs = observer
 	res, err := lasagna.AssembleContext(ctx, cfg, reads)
+	writeTrace(tracer, *traceOut)
 	if err != nil {
 		fatal(err)
 	}
@@ -135,7 +187,35 @@ func main() {
 	fmt.Printf("contigs written to %s\n", res.ContigPath)
 	fmt.Printf("total: wall %s, modeled %s\n",
 		stats.FormatDuration(res.TotalWall), stats.FormatDuration(res.TotalModeled))
+	reportModeled(res.Modeled)
 	reportQuality(*reference, res.Contigs)
+}
+
+// writeTrace flushes the collected span trace (nil-safe, so observability
+// off costs nothing). It runs even after a failed or interrupted run: a
+// partial trace of the stages that did execute is exactly what a crash
+// investigation wants.
+func writeTrace(tracer *obs.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	if err := tracer.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "lasagna: writing trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "lasagna: trace written to %s\n", path)
+}
+
+// reportModeled prints the per-tier modeled-time attribution from the
+// run's final counter snapshot — the same costmodel.Breakdown arithmetic
+// the trace spans carry.
+func reportModeled(b costmodel.Breakdown) {
+	sec := func(s float64) string {
+		return stats.FormatDuration(time.Duration(s * float64(time.Second)))
+	}
+	fmt.Printf("modeled tiers: disk read %s, disk write %s, net %s, host mem %s, device mem %s, device ops %s, pcie %s\n",
+		sec(b.DiskReadSec), sec(b.DiskWriteSec), sec(b.NetSec), sec(b.HostMemSec),
+		sec(b.DeviceMemSec), sec(b.DeviceOpsSec), sec(b.PCIeSec))
 }
 
 // reportResumed notes which stages a -resume run served from the manifest.

@@ -43,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kv"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/stats"
 )
@@ -87,6 +88,10 @@ type Config struct {
 	// cross-node token and in-memory candidate lists, which the paper's
 	// design never checkpoints.
 	Resume bool
+	// Obs is the observability sink shared by the coordinator and every
+	// node. In the trace the coordinator is pid 0 and node i is pid i+1.
+	// Nil disables all instrumentation.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors core.DefaultConfig for an n-node SuperMic-style
@@ -183,6 +188,14 @@ type Result struct {
 	TotalWall      time.Duration
 	TotalModeled   time.Duration
 
+	// Counters sums every node meter plus the serialized-reduce meter at
+	// the end of the run; Modeled is its per-tier breakdown under the
+	// cluster's GPU profile. Note TotalModeled is a max-over-nodes per
+	// phase, so Modeled.Total() (aggregate work) exceeds it whenever the
+	// cluster ran in parallel.
+	Counters costmodel.Counters
+	Modeled  costmodel.Breakdown
+
 	// CachedStages lists the per-node stages a resumed run (Config.Resume)
 	// replayed from the node manifests instead of executing, in pipeline
 	// order. Lockstep resume keeps it identical across nodes.
@@ -214,21 +227,36 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, serial: costmodel.NewMeter()}
+	cfg.Obs.Tracer().NameProcess(0, "coordinator")
 	for i := 0; i < cfg.Nodes; i++ {
 		dir := filepath.Join(cfg.Workspace, fmt.Sprintf("node%02d", i))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 		meter := costmodel.NewMeter()
+		dev := gpu.NewDevice(cfg.GPU, meter)
+		if cfg.Obs != nil {
+			dev.SetHooks(obs.DeviceHooks(cfg.Obs, int64(i)+1))
+			tr := cfg.Obs.Tracer()
+			tr.NameProcess(int64(i)+1, fmt.Sprintf("node%02d", i))
+			tr.NameThread(nodeTrack(i), "stages")
+			for w := 0; w < cfg.WorkersPerNode; w++ {
+				tr.NameThread(nodeTrack(i).Worker(w), fmt.Sprintf("worker %d", w))
+			}
+		}
 		c.nodes = append(c.nodes, &node{
 			id:    i,
 			dir:   dir,
-			dev:   gpu.NewDevice(cfg.GPU, meter),
+			dev:   dev,
 			meter: meter,
 		})
 	}
 	return c, nil
 }
+
+// track returns node n's stage lane in the trace (the coordinator owns
+// pid 0, so node i maps to pid i+1).
+func nodeTrack(id int) obs.Track { return obs.Track{Pid: int64(id) + 1} }
 
 // owner returns the node that owns partition l (round-robin by length,
 // Section III-E.2).
@@ -248,14 +276,20 @@ func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Du
 		n.dev.MemTracker().ResetPeak()
 		before[i] = snap{n.meter.Snapshot()}
 	}
+	c.cfg.Obs.Log().Debug("phase start", "phase", string(name), "nodes", len(c.nodes))
+	phaseSpan := c.cfg.Obs.Tracer().Begin(obs.Track{}, "stage", string(name))
 	timer := stats.StartTimer()
 	errs := make([]error, len(c.nodes))
+	walls := make([]time.Duration, len(c.nodes))
+	starts := make([]time.Time, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
+			starts[i] = time.Now()
 			errs[i] = fn(n)
+			walls[i] = time.Since(starts[i])
 		}(i, n)
 	}
 	wg.Wait()
@@ -276,7 +310,17 @@ func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Du
 		}
 		ps.DiskRead += delta.DiskReadBytes
 		ps.DiskWrite += delta.DiskWriteBytes
+		ps.NetBytes += delta.NetBytes
+		ps.PCIeBytes += delta.PCIeBytes
+		ps.DeviceOps += delta.DeviceOps
+		c.cfg.Obs.Tracer().Complete(nodeTrack(n.id), "stage", string(name),
+			starts[i], walls[i], map[string]any{
+				"counters": delta, "modeled": delta.Breakdown(prof),
+			})
+		c.cfg.Obs.Log().Debug("node phase done", "phase", string(name),
+			"node", n.id, "wall", walls[i], "modeled", modeled[i], "err", errs[i])
 	}
+	phaseSpan.End()
 	ps.Modeled += extraSerial
 	if res.NodeModeled == nil {
 		res.NodeModeled = map[core.PhaseName][]time.Duration{}
@@ -287,9 +331,12 @@ func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Du
 	res.TotalModeled += ps.Modeled
 	for _, err := range errs {
 		if err != nil {
+			c.cfg.Obs.Log().Error("phase failed", "phase", string(name), "err", err)
 			return err
 		}
 	}
+	c.cfg.Obs.Log().Info("phase done", "phase", string(name),
+		"wall", ps.Wall, "modeled", ps.Modeled)
 	return nil
 }
 
@@ -323,6 +370,14 @@ func (c *Cluster) Assemble(rs *dna.ReadSet) (*Result, error) {
 // ctx.Err(), draining all node goroutines.
 func (c *Cluster) AssembleContext(ctx context.Context, rs *dna.ReadSet) (*Result, error) {
 	res := &Result{NumReads: rs.NumReads()}
+	defer func() {
+		var total costmodel.Counters
+		for _, n := range c.nodes {
+			total = total.Add(n.meter.Snapshot())
+		}
+		res.Counters = total.Add(c.serial.Snapshot())
+		res.Modeled = res.Counters.Breakdown(c.cfg.profile())
+	}()
 	if rs.NumReads() == 0 {
 		return res, fmt.Errorf("cluster: empty read set")
 	}
@@ -330,6 +385,9 @@ func (c *Cluster) AssembleContext(ctx context.Context, rs *dna.ReadSet) (*Result
 		return res, fmt.Errorf("cluster: MinOverlap %d is not below the longest read length %d",
 			c.cfg.MinOverlap, rs.MaxLen())
 	}
+	c.cfg.Obs.Log().Info("cluster run start", "nodes", len(c.nodes),
+		"reads", rs.NumReads(), "gpu", c.cfg.GPU.Name)
+	defer c.cfg.Obs.Tracer().Begin(obs.Track{}, "run", "cluster assemble").End()
 
 	// Per-node stage runners over each node's private storage, with
 	// lockstep resume: every node must have committed (and still validate)
@@ -342,6 +400,7 @@ func (c *Cluster) AssembleContext(ctx context.Context, rs *dna.ReadSet) (*Result
 	for i, n := range c.nodes {
 		runners[i] = core.NewStageRunner(n.dir, c.cfg.fingerprint(n.id), inputHash,
 			c.cfg.Resume, nodeStages)
+		runners[i].SetObserver(c.cfg.Obs, nodeTrack(n.id))
 		resumeAt = min(resumeAt, runners[i].ResumeAt())
 		maxAt = max(maxAt, runners[i].ResumeAt())
 	}
@@ -390,6 +449,9 @@ func (c *Cluster) AssembleContext(ctx context.Context, rs *dna.ReadSet) (*Result
 				pfxW := kvio.NewPartitionWriters(n.dir, kvio.Prefix, n.meter)
 				mapper := core.NewMapper(n.dev, &n.hostMem, c.cfg.MinOverlap, c.cfg.MapBatchReads, rs.MaxLen())
 				mapper.Workers = c.cfg.WorkersPerNode
+				mapper.Obs = c.cfg.Obs
+				mapper.Track = nodeTrack(n.id)
+				mapper.Profile = c.cfg.profile()
 				for b := n.id; b < numBlocks; b += len(c.nodes) {
 					start := b * c.cfg.InputBlockReads
 					end := min(start+c.cfg.InputBlockReads, rs.NumReads())
@@ -680,6 +742,7 @@ func (c *Cluster) sortNode(ctx context.Context, n *node) error {
 			HostBlockPairs:   c.cfg.HostBlockPairs,
 			DeviceBlockPairs: c.cfg.DeviceBlockPairs,
 			TempDir:          tmpDir,
+			Obs:              c.cfg.Obs,
 		}
 		in := filepath.Join(n.dir, shufName(t.kind, t.l))
 		out := filepath.Join(n.dir, sortedName(t.kind, t.l))
@@ -756,6 +819,7 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 			Meter:       n.meter,
 			HostMem:     &n.hostMem,
 			WindowPairs: max(c.cfg.HostBlockPairs/2, 1),
+			Obs:         c.cfg.Obs,
 		}
 		lengths := make([]int, 0, len(n.counts))
 		for l := range n.counts {
@@ -792,6 +856,8 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 	// component). The wall-clock cost is tiny; the modeled cost is charged
 	// to the dedicated serial meter and added to the reduce phase.
 	serialBefore := c.serial.Snapshot()
+	serialSpan := c.cfg.Obs.Tracer().Begin(obs.Track{}, "stage", "ReduceSerial").
+		Metered(c.serial, c.cfg.profile())
 	token := bitvec.New(2 * rs.NumReads())
 	graphs := make(map[int]*graph.Graph, len(c.nodes))
 	for _, n := range c.nodes {
@@ -828,6 +894,7 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 		n.edges = graphs[n.id].Edges()
 		res.AcceptedEdges += int64(len(n.edges))
 	}
+	serialSpan.End()
 	serialTime := c.serial.Snapshot().Sub(serialBefore).Time(c.cfg.profile())
 	// Fold the serialized component into the recorded reduce phase.
 	last := &res.Phases[len(res.Phases)-1]

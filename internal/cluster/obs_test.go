@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/obs"
+)
+
+// TestClusterTracePerNodeTracks: a distributed run's trace must carry one
+// process per node (plus the coordinator), per-node stage spans with
+// counter deltas, and the coordinator's phase spans — the structure
+// Perfetto renders as parallel node swimlanes.
+func TestClusterTracePerNodeTracks(t *testing.T) {
+	_, reads := testData(t)
+	const nodes = 3
+	cfg := clusterConfig(t, nodes)
+	var logBuf bytes.Buffer
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.New(obs.NewLogger(&logBuf, slog.LevelDebug, false), tr, reg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AssembleContext(context.Background(), reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[int64]string{}
+	nodeStageSpans := map[int64]int{} // pid -> per-node stage span count
+	coordSpans := map[string]bool{}
+	for _, e := range tr.Events() {
+		switch {
+		case e.Phase == "M" && e.Name == "process_name":
+			names[e.Pid], _ = e.Args["name"].(string)
+		case e.Phase == "X" && e.Cat == "stage" && e.Pid == 0:
+			coordSpans[e.Name] = true
+		case e.Phase == "X" && e.Cat == "stage":
+			nodeStageSpans[e.Pid]++
+			if _, ok := e.Args["counters"].(costmodel.Counters); !ok {
+				t.Errorf("node stage span %s on pid %d missing counters", e.Name, e.Pid)
+			}
+		}
+	}
+	if names[0] != "coordinator" {
+		t.Errorf("pid 0 named %q, want coordinator", names[0])
+	}
+	for i := 0; i < nodes; i++ {
+		pid := int64(i) + 1
+		if names[pid] == "" {
+			t.Errorf("node pid %d has no process name", pid)
+		}
+		if nodeStageSpans[pid] == 0 {
+			t.Errorf("node pid %d has no stage spans", pid)
+		}
+	}
+	for _, phase := range []string{"Map", "Shuffle", "Sort", "Reduce", "Compress", "ReduceSerial"} {
+		if !coordSpans[phase] {
+			t.Errorf("coordinator missing phase span %s (have %v)", phase, coordSpans)
+		}
+	}
+
+	// Aggregate consistency: the summed per-node + serial counters are
+	// what Result reports.
+	if res.Counters == (costmodel.Counters{}) {
+		t.Error("cluster result carries no counters")
+	}
+	if res.Modeled.Total() <= 0 {
+		t.Error("cluster result carries no modeled breakdown")
+	}
+	logs := logBuf.String()
+	for _, want := range []string{"cluster run start", "phase done", "node phase done"} {
+		if !bytes.Contains([]byte(logs), []byte(want)) {
+			t.Errorf("cluster log missing %q", want)
+		}
+	}
+}

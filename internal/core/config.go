@@ -17,6 +17,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/gpu"
 	"repro/internal/kv"
+	"repro/internal/obs"
 )
 
 // Config parameterizes an assembly run.
@@ -98,6 +99,11 @@ type Config struct {
 	// positives into hard errors. The paper reports zero false positives
 	// with 128-bit fingerprints; this switch proves it per run.
 	VerifyOverlaps bool
+	// Obs is the observability sink: span tracing, structured logging,
+	// and the metrics registry. Nil (the default) disables all
+	// instrumentation; runs are byte-identical either way. Like the other
+	// execution knobs it is excluded from the resume fingerprint.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns a configuration sized for the scaled reproduction

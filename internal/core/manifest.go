@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dna"
+	"repro/internal/obs"
 )
 
 // manifestVersion guards the on-disk schema: a manifest written by an
@@ -32,6 +33,10 @@ type Manifest struct {
 	ConfigHash string        `json:"configHash"`
 	InputHash  string        `json:"inputHash"`
 	Stages     []StageRecord `json:"stages"`
+	// Metrics is the observability registry snapshot as of the last stage
+	// commit; absent when the run had no metrics registry. Informational
+	// only — resume validation never reads it.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // StageRecord is one committed stage.

@@ -6,11 +6,13 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/costmodel"
 	"repro/internal/dna"
 	"repro/internal/fingerprint"
 	"repro/internal/gpu"
 	"repro/internal/kv"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,6 +35,12 @@ type Mapper struct {
 	// NaiveKernel switches the fingerprint kernels to the per-read-thread
 	// formulation Section III-A rejects; used by the ablation benchmarks.
 	NaiveKernel bool
+	// Obs is the observability sink; nil disables instrumentation. Track
+	// is the owning driver lane in the trace — batch spans land on its
+	// worker lanes — and Profile prices the per-batch counter deltas.
+	Obs     *obs.Observer
+	Track   obs.Track
+	Profile costmodel.Profile
 
 	table *fingerprint.Table
 }
@@ -69,7 +77,7 @@ func (m *Mapper) MapRange(ctx context.Context, rs dna.ReadSource, start, end int
 	if workers <= 1 {
 		for i := 0; i < numBatches; i++ {
 			lo, hi := m.batchBounds(start, end, i)
-			tuples, bytes, err := m.mapBatch(ctx, rs, lo, hi)
+			tuples, bytes, err := m.mapBatchSpan(ctx, rs, 0, i, lo, hi)
 			if err != nil {
 				return err
 			}
@@ -94,13 +102,14 @@ func (m *Mapper) MapRange(ctx context.Context, rs dna.ReadSource, start, end int
 	results := make(chan batchResult, workers)
 	abort := make(chan struct{})
 	var wg sync.WaitGroup
+	m.Obs.Log().Debug("map worker pool start", "workers", workers, "batches", numBatches)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
 				lo, hi := m.batchBounds(start, end, idx)
-				tuples, bytes, err := m.mapBatch(ctx, rs, lo, hi)
+				tuples, bytes, err := m.mapBatchSpan(ctx, rs, w, idx, lo, hi)
 				select {
 				case results <- batchResult{idx, tuples, bytes, err}:
 				case <-abort:
@@ -110,7 +119,7 @@ func (m *Mapper) MapRange(ctx context.Context, rs dna.ReadSource, start, end int
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(jobs)
@@ -167,7 +176,19 @@ func (m *Mapper) MapRange(ctx context.Context, rs dna.ReadSource, start, end int
 			m.HostMem.Release(r.bytes)
 		}
 	}
+	m.Obs.Log().Debug("map worker pool drained", "err", firstErr)
 	return firstErr
+}
+
+// mapBatchSpan wraps mapBatch in a per-batch trace span on the worker's
+// lane, carrying the batch's meter delta.
+func (m *Mapper) mapBatchSpan(ctx context.Context, rs dna.ReadSource, worker, idx, lo, hi int) ([]mapTuple, int64, error) {
+	span := m.Obs.Tracer().Begin(m.Track.Worker(worker), "partition",
+		fmt.Sprintf("map batch %d", idx)).
+		Metered(m.Dev.Meter(), m.Profile).
+		Arg("reads", hi-lo)
+	defer span.End()
+	return m.mapBatch(ctx, rs, lo, hi)
 }
 
 // batchBounds returns the read range of batch idx within [start, end).

@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kv"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/sgraph"
 	"repro/internal/stats"
@@ -65,6 +66,13 @@ type Result struct {
 
 	TotalWall    time.Duration
 	TotalModeled time.Duration
+
+	// Counters is the run's final cost-meter snapshot and Modeled its
+	// per-tier modeled-seconds breakdown under the configured GPU profile;
+	// Modeled.Total() reconciles with TotalModeled's derivation, so report
+	// printers never recompute tier shares from raw bytes.
+	Counters costmodel.Counters
+	Modeled  costmodel.Breakdown
 }
 
 // PhaseByName returns the stats for the named phase.
@@ -83,8 +91,18 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	meter := costmodel.NewMeter()
-	return &Pipeline{cfg: cfg, dev: gpu.NewDevice(cfg.GPU, meter), meter: meter}, nil
+	dev := gpu.NewDevice(cfg.GPU, meter)
+	if cfg.Obs != nil {
+		// The single-node pipeline is pid 0 in the trace; cluster nodes
+		// take pids 1..N.
+		dev.SetHooks(obs.DeviceHooks(cfg.Obs, 0))
+	}
+	return &Pipeline{cfg: cfg, dev: dev, meter: meter}, nil
 }
+
+// track is the pipeline's stage-driver trace lane; worker lanes hang off
+// it via track.Worker.
+func (p *Pipeline) track() obs.Track { return obs.Track{} }
 
 // Device exposes the simulated device (for tests and diagnostics).
 func (p *Pipeline) Device() *gpu.Device { return p.dev }
@@ -95,13 +113,19 @@ func (p *Pipeline) Meter() *costmodel.Meter { return p.meter }
 // HostMem exposes the host-memory tracker.
 func (p *Pipeline) HostMem() *stats.MemTracker { return &p.hostMem }
 
-// runPhase measures fn as one pipeline phase.
+// runPhase measures fn as one pipeline phase. Stage spans run serially on
+// the driver lane, so their counter deltas sum exactly to the run's final
+// meter snapshot — the invariant the trace integration test asserts.
 func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error {
 	p.hostMem.ResetPeak()
 	p.dev.MemTracker().ResetPeak()
+	p.cfg.Obs.Log().Debug("stage start", "stage", string(name))
+	span := p.cfg.Obs.Tracer().Begin(p.track(), "stage", string(name)).
+		Metered(p.meter, p.cfg.Profile())
 	before := p.meter.Snapshot()
 	timer := stats.StartTimer()
 	err := fn()
+	span.End()
 	delta := p.meter.Snapshot().Sub(before)
 	ps := stats.PhaseStats{
 		Name:       string(name),
@@ -111,10 +135,19 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 		PeakDevice: p.dev.MemTracker().Peak(),
 		DiskRead:   delta.DiskReadBytes,
 		DiskWrite:  delta.DiskWriteBytes,
+		NetBytes:   delta.NetBytes,
+		PCIeBytes:  delta.PCIeBytes,
+		DeviceOps:  delta.DeviceOps,
 	}
 	res.Phases = append(res.Phases, ps)
 	res.TotalWall += ps.Wall
 	res.TotalModeled += ps.Modeled
+	if err != nil {
+		p.cfg.Obs.Log().Error("stage failed", "stage", string(name), "err", err)
+	} else {
+		p.cfg.Obs.Log().Info("stage done", "stage", string(name),
+			"wall", ps.Wall, "modeled", ps.Modeled)
+	}
 	return err
 }
 
@@ -124,8 +157,24 @@ func (p *Pipeline) AssembleFile(path string) (*Result, error) {
 	return p.AssembleFileContext(context.Background(), path)
 }
 
+// beginRun names the trace tracks and opens the root run span; the
+// returned func ends it. Called once per assembly entry point.
+func (p *Pipeline) beginRun() func() {
+	tr := p.cfg.Obs.Tracer()
+	tr.NameProcess(0, "lasagna")
+	tr.NameThread(p.track(), "stages")
+	for w := 0; w < p.cfg.workers(); w++ {
+		tr.NameThread(p.track().Worker(w), fmt.Sprintf("worker %d", w))
+	}
+	p.cfg.Obs.Log().Info("run start", "workers", p.cfg.workers(),
+		"gpu", p.cfg.GPU.Name)
+	span := tr.Begin(p.track(), "run", "assemble").Metered(p.meter, p.cfg.Profile())
+	return span.End
+}
+
 // AssembleFileContext is AssembleFile under a cancellation context.
 func (p *Pipeline) AssembleFileContext(ctx context.Context, path string) (*Result, error) {
+	defer p.beginRun()()
 	res := &Result{}
 	var rs *dna.ReadSet
 	err := p.runPhase(PhaseLoad, res, func() error {
@@ -156,6 +205,7 @@ func (p *Pipeline) Assemble(rs dna.ReadSource) (*Result, error) {
 // draining every worker goroutine (including allocator waiters). The
 // stages committed before the cancellation remain resumable.
 func (p *Pipeline) AssembleContext(ctx context.Context, rs dna.ReadSource) (*Result, error) {
+	defer p.beginRun()()
 	return p.assembleInto(ctx, &Result{}, rs)
 }
 
@@ -167,6 +217,10 @@ func (p *Pipeline) AssembleContext(ctx context.Context, rs dna.ReadSource) (*Res
 // overlap graph from the persisted edge list, a resumed run's output is
 // byte-identical to a cold one.
 func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSource) (*Result, error) {
+	defer func() {
+		res.Counters = p.meter.Snapshot()
+		res.Modeled = res.Counters.Breakdown(p.cfg.Profile())
+	}()
 	if rs.NumReads() == 0 {
 		return res, fmt.Errorf("core: empty read set")
 	}
@@ -198,6 +252,7 @@ func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSou
 
 	runner := NewStageRunner(p.cfg.Workspace, p.cfg.fingerprint(), InputFingerprint(rs),
 		p.cfg.Resume, pipelineStages)
+	runner.SetObserver(p.cfg.Obs, p.track())
 	runner.SetFaultHook(p.FaultHook)
 	if runner.ResumeAt() == 0 {
 		// Starting from scratch: partitions left by an interrupted or
@@ -241,9 +296,13 @@ func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSou
 		return res, err
 	}
 	res.Partitions = len(counts)
+	pairHist := p.cfg.Obs.Metrics().Histogram("core.partition_pairs",
+		1e2, 1e3, 1e4, 1e5, 1e6, 1e7)
 	for _, n := range counts {
 		res.PairsGenerated += 2 * n // n suffix + n prefix tuples per length
+		pairHist.Observe(float64(2 * n))
 	}
+	p.cfg.Obs.Metrics().Gauge("core.partitions").Set(int64(len(counts)))
 
 	// Sort: external sort of every partition, both kinds. The raw
 	// partitions are deleted only after the stage commits, so a crash
@@ -427,6 +486,9 @@ func (p *Pipeline) mapPhase(ctx context.Context, rs dna.ReadSource, partDir stri
 	mapper := NewMapper(p.dev, &p.hostMem, p.cfg.MinOverlap, p.cfg.MapBatchReads, rs.MaxLen())
 	mapper.NaiveKernel = p.cfg.NaiveMapKernel
 	mapper.Workers = p.cfg.workers()
+	mapper.Obs = p.cfg.Obs
+	mapper.Track = p.track()
+	mapper.Profile = p.cfg.Profile()
 	if err := mapper.MapRange(ctx, rs, 0, rs.NumReads(), sfxW, pfxW); err != nil {
 		return nil, err
 	}
@@ -452,11 +514,14 @@ func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int
 		tasks = append(tasks, sortTask{l, kvio.Suffix}, sortTask{l, kvio.Prefix})
 	}
 	var mu sync.Mutex // guards res.SortDiskPasses
-	return runTasks(p.cfg.workers(), len(tasks), func(i int) error {
+	return runTasks(p.cfg.workers(), len(tasks), func(worker, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		t := tasks[i]
+		defer p.cfg.Obs.Tracer().Begin(p.track().Worker(worker), "partition",
+			fmt.Sprintf("sort %s len=%d", t.kind, t.length)).
+			Metered(p.meter, p.cfg.Profile()).End()
 		// Every concurrent sort gets a private scratch directory: run and
 		// merge files are named per sort, and partitions must not see each
 		// other's spills.
@@ -472,6 +537,7 @@ func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int
 			HostBlockPairs:   p.cfg.HostBlockPairs,
 			DeviceBlockPairs: p.cfg.DeviceBlockPairs,
 			TempDir:          tmpDir,
+			Obs:              p.cfg.Obs,
 		}
 		in := kvio.PartitionPath(partDir, t.kind, t.length)
 		out := in + ".sorted"
@@ -578,9 +644,15 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 		Meter:       p.meter,
 		HostMem:     &p.hostMem,
 		WindowPairs: max(p.cfg.HostBlockPairs/2, 1),
+		Obs:         p.cfg.Obs,
 	}
 	lengths := sortedLengthsDesc(counts)
-	reduceOne := func(l int) partReduction {
+	lenHist := p.cfg.Obs.Metrics().Histogram("overlap.length",
+		64, 96, 128, 192, 256, 512, 1024)
+	reduceOne := func(worker, l int) partReduction {
+		defer p.cfg.Obs.Tracer().Begin(p.track().Worker(worker), "partition",
+			fmt.Sprintf("reduce len=%d", l)).
+			Metered(p.meter, p.cfg.Profile()).End()
 		sfx := kvio.PartitionPath(partDir, kvio.Suffix, l) + ".sorted"
 		pfx := kvio.PartitionPath(partDir, kvio.Prefix, l) + ".sorted"
 		var out partReduction
@@ -602,6 +674,7 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 		res.CandidateEdges += r.candidates
 		res.FalsePositives += r.falsePos
 		for _, e := range r.edges {
+			lenHist.Observe(float64(l))
 			apply(e.u, e.v, uint16(l))
 		}
 	}
@@ -609,7 +682,7 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 	workers := min(p.cfg.workers(), len(lengths))
 	if workers <= 1 {
 		for _, l := range lengths {
-			r := reduceOne(l)
+			r := reduceOne(0, l)
 			if r.err != nil {
 				return r.err
 			}
@@ -622,12 +695,14 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 	results := make(chan partReduction, workers)
 	abort := make(chan struct{})
 	var wg sync.WaitGroup
+	p.cfg.Obs.Log().Debug("reduce worker pool start", "workers", workers,
+		"partitions", len(lengths))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
-				r := reduceOne(lengths[idx])
+				r := reduceOne(w, lengths[idx])
 				r.idx = idx
 				p.hostMem.Add(int64(len(r.edges)) * edgeCandBytes)
 				select {
@@ -637,7 +712,7 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(jobs)
@@ -682,6 +757,7 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 	for _, r := range pending {
 		p.hostMem.Release(int64(len(r.edges)) * edgeCandBytes)
 	}
+	p.cfg.Obs.Log().Debug("reduce worker pool drained", "err", firstErr)
 	return firstErr
 }
 
@@ -698,13 +774,15 @@ func sortedLengthsDesc(counts map[int]int64) []int {
 
 // runTasks runs n independent tasks on up to workers goroutines and
 // returns the first error. Remaining tasks are skipped after an error.
-func runTasks(workers, n int, task func(i int) error) error {
+// Each task receives the index of the worker running it, so callers can
+// attribute work to per-worker trace lanes.
+func runTasks(workers, n int, task func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			if err := task(0, i); err != nil {
 				return err
 			}
 		}
@@ -716,13 +794,13 @@ func runTasks(workers, n int, task func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				if failed.Load() {
 					continue
 				}
-				if err := task(i); err != nil {
+				if err := task(w, i); err != nil {
 					failed.Store(true)
 					select {
 					case errs <- err:
@@ -730,7 +808,7 @@ func runTasks(workers, n int, task func(i int) error) error {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // A Stage is one node of the pipeline's stage graph: a named unit of work
@@ -51,6 +53,13 @@ type StageRunner struct {
 	pos      int // next stage index to execute
 	fault    FaultHook
 	cached   []string // names of stages served from the manifest
+
+	// resumeNote records which manifest check settled the resume plan at
+	// construction time, so SetObserver can log the decision even though
+	// the observer is installed afterwards.
+	resumeNote string
+	obs        *obs.Observer
+	track      obs.Track
 }
 
 // NewStageRunner prepares a runner rooted at dir. When resume is true and
@@ -71,11 +80,22 @@ func NewStageRunner(dir, cfgHash, inputHash string, resume bool, names []PhaseNa
 		},
 	}
 	if !resume {
+		r.resumeNote = "resume disabled"
 		return r
 	}
 	m, err := loadManifest(r.path)
-	if err != nil || m.Version != manifestVersion ||
-		m.ConfigHash != cfgHash || m.InputHash != inputHash {
+	switch {
+	case err != nil:
+		r.resumeNote = fmt.Sprintf("no usable manifest: %v", err)
+		return r
+	case m.Version != manifestVersion:
+		r.resumeNote = fmt.Sprintf("manifest version %d != %d", m.Version, manifestVersion)
+		return r
+	case m.ConfigHash != cfgHash:
+		r.resumeNote = "config fingerprint changed"
+		return r
+	case m.InputHash != inputHash:
+		r.resumeNote = "input fingerprint changed"
 		return r
 	}
 	// Longest prefix of the planned stage sequence the manifest committed,
@@ -88,17 +108,20 @@ func NewStageRunner(dir, cfgHash, inputHash string, resume bool, names []PhaseNa
 		done++
 	}
 	if done == 0 {
+		r.resumeNote = "manifest has no committed stage prefix"
 		return r
 	}
 	// Only the resume point's artifacts must still be intact: earlier
 	// stages' outputs were legitimately consumed by their successors
 	// (e.g. Sort deletes Map's raw partitions after committing).
 	if err := validateArtifacts(dir, m.Stages[done-1]); err != nil {
+		r.resumeNote = fmt.Sprintf("artifact validation failed: %v", err)
 		return r
 	}
 	m.Stages = m.Stages[:done]
 	r.manifest = m
 	r.resumeAt = done
+	r.resumeNote = fmt.Sprintf("manifest valid, replaying %d committed stage(s)", done)
 	return r
 }
 
@@ -119,6 +142,19 @@ func (r *StageRunner) LimitResume(k int) {
 
 // SetFaultHook installs a post-commit fault injection hook.
 func (r *StageRunner) SetFaultHook(h FaultHook) { r.fault = h }
+
+// SetObserver installs the observability sink and the trace track the
+// runner's markers land on, and logs the resume decision made at
+// construction time (which manifest check passed or failed).
+func (r *StageRunner) SetObserver(o *obs.Observer, track obs.Track) {
+	r.obs = o
+	r.track = track
+	if r.resumeAt > 0 {
+		o.Log().Info("resume plan", "decision", r.resumeNote, "skip", r.resumeAt)
+	} else {
+		o.Log().Debug("resume plan", "decision", r.resumeNote)
+	}
+}
 
 // CachedStages returns the names of stages served from the manifest so
 // far, in execution order.
@@ -144,6 +180,12 @@ func (r *StageRunner) Run(s Stage) error {
 			return fmt.Errorf("core: replaying cached stage %s: %w", s.Name, err)
 		}
 		r.cached = append(r.cached, string(s.Name))
+		// The cached stage leaves a marker where its span would be, so a
+		// resumed run's trace shows the skip instead of a silent gap.
+		r.obs.Tracer().Instant(r.track, "marker", "cached: "+string(s.Name),
+			map[string]any{"artifacts": len(rec.Artifacts)})
+		r.obs.Log().Info("stage skipped (cached)", "stage", string(s.Name),
+			"artifacts", len(rec.Artifacts))
 		return nil
 	}
 	out, err := s.Fresh()
@@ -159,9 +201,15 @@ func (r *StageRunner) Run(s Stage) error {
 		rec.Artifacts = append(rec.Artifacts, a)
 	}
 	r.manifest.Stages = append(r.manifest.Stages, rec)
+	if m := r.obs.Metrics(); m != nil {
+		snap := m.Snapshot()
+		r.manifest.Metrics = &snap
+	}
 	if err := r.manifest.save(r.path); err != nil {
 		return fmt.Errorf("core: committing stage %s: %w", s.Name, err)
 	}
+	r.obs.Log().Info("stage committed", "stage", string(s.Name),
+		"artifacts", len(rec.Artifacts))
 	if out.Cleanup != nil {
 		if err := out.Cleanup(); err != nil {
 			return err

@@ -32,15 +32,17 @@ type Profile struct {
 	PCIeBps         float64 // host<->device transfer bandwidth
 }
 
-// Counters is a snapshot of metered work.
+// Counters is a snapshot of metered work. The JSON field names are a
+// stable wire format: traces, run manifests, and the bench report all
+// round-trip this struct, so renaming a field is a breaking change.
 type Counters struct {
-	DiskReadBytes  int64
-	DiskWriteBytes int64
-	NetBytes       int64
-	HostMemBytes   int64
-	DeviceMemBytes int64
-	DeviceOps      int64
-	PCIeBytes      int64
+	DiskReadBytes  int64 `json:"disk_read_bytes"`
+	DiskWriteBytes int64 `json:"disk_write_bytes"`
+	NetBytes       int64 `json:"net_bytes"`
+	HostMemBytes   int64 `json:"host_mem_bytes"`
+	DeviceMemBytes int64 `json:"device_mem_bytes"`
+	DeviceOps      int64 `json:"device_ops"`
+	PCIeBytes      int64 `json:"pcie_bytes"`
 }
 
 // Sub returns c minus o, component-wise; used to isolate a phase's work
@@ -70,20 +72,47 @@ func (c Counters) Add(o Counters) Counters {
 	}
 }
 
+// Breakdown is the modeled seconds each tier contributes under a profile.
+// The trace attaches one per span and the final report prints one for the
+// whole run; both therefore attribute time with the same arithmetic as
+// Time itself. JSON names are stable for the same reason as Counters'.
+type Breakdown struct {
+	DiskReadSec  float64 `json:"disk_read_sec"`
+	DiskWriteSec float64 `json:"disk_write_sec"`
+	NetSec       float64 `json:"net_sec"`
+	HostMemSec   float64 `json:"host_mem_sec"`
+	DeviceMemSec float64 `json:"device_mem_sec"`
+	DeviceOpsSec float64 `json:"device_ops_sec"`
+	PCIeSec      float64 `json:"pcie_sec"`
+}
+
+// Total sums the per-tier seconds; Counters.Time is Total over the same
+// breakdown, so the parts always reconcile with the whole.
+func (b Breakdown) Total() float64 {
+	return b.DiskReadSec + b.DiskWriteSec + b.NetSec + b.HostMemSec +
+		b.DeviceMemSec + b.DeviceOpsSec + b.PCIeSec
+}
+
+// Breakdown attributes the counted work to per-tier modeled seconds under
+// profile p.
+func (c Counters) Breakdown(p Profile) Breakdown {
+	return Breakdown{
+		DiskReadSec:  ratio(c.DiskReadBytes, p.DiskReadBps),
+		DiskWriteSec: ratio(c.DiskWriteBytes, p.DiskWriteBps),
+		NetSec:       ratio(c.NetBytes, p.NetBps),
+		HostMemSec:   ratio(c.HostMemBytes, p.HostMemBps),
+		DeviceMemSec: ratio(c.DeviceMemBytes, p.DeviceMemBps),
+		DeviceOpsSec: ratio(c.DeviceOps, p.DeviceOpsPerSec),
+		PCIeSec:      ratio(c.PCIeBytes, p.PCIeBps),
+	}
+}
+
 // Time converts the counted work into modeled seconds under profile p.
 // Tiers are summed: the pipeline overlaps little across tiers (the paper's
 // two-level streaming model alternates transfer and compute), and an
 // additive model preserves every trend the evaluation relies on.
 func (c Counters) Time(p Profile) time.Duration {
-	secs := 0.0
-	secs += ratio(c.DiskReadBytes, p.DiskReadBps)
-	secs += ratio(c.DiskWriteBytes, p.DiskWriteBps)
-	secs += ratio(c.NetBytes, p.NetBps)
-	secs += ratio(c.HostMemBytes, p.HostMemBps)
-	secs += ratio(c.DeviceMemBytes, p.DeviceMemBps)
-	secs += ratio(c.DeviceOps, p.DeviceOpsPerSec)
-	secs += ratio(c.PCIeBytes, p.PCIeBps)
-	return time.Duration(secs * float64(time.Second))
+	return time.Duration(c.Breakdown(p).Total() * float64(time.Second))
 }
 
 func ratio(n int64, bps float64) float64 {

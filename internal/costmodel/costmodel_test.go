@@ -1,6 +1,8 @@
 package costmodel
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -97,5 +99,103 @@ func TestBandwidthConstants(t *testing.T) {
 	}
 	if DefaultDisk.ReadBps <= DefaultDisk.WriteBps-20*mib {
 		t.Error("disk read should be at least comparable to write")
+	}
+}
+
+// TestCountersJSONRoundTrip pins the wire format: the snake_case field
+// names that traces, run manifests, and the bench report all share, and
+// lossless value round-tripping.
+func TestCountersJSONRoundTrip(t *testing.T) {
+	c := Counters{
+		DiskReadBytes:  1,
+		DiskWriteBytes: 2,
+		NetBytes:       3,
+		HostMemBytes:   4,
+		DeviceMemBytes: 5,
+		DeviceOps:      6,
+		PCIeBytes:      7,
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"disk_read_bytes", "disk_write_bytes", "net_bytes", "host_mem_bytes",
+		"device_mem_bytes", "device_ops", "pcie_bytes",
+	} {
+		if !strings.Contains(string(raw), `"`+field+`"`) {
+			t.Errorf("Counters JSON missing field %q: %s", field, raw)
+		}
+	}
+	var back Counters
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Errorf("round-trip = %+v, want %+v", back, c)
+	}
+}
+
+// TestBreakdownReconciles: Breakdown's per-tier seconds must sum to the
+// same total Time derives, and each tier must equal bytes/bandwidth.
+func TestBreakdownReconciles(t *testing.T) {
+	p := testProfile()
+	c := Counters{
+		DiskReadBytes:  300,
+		DiskWriteBytes: 100,
+		NetBytes:       400,
+		HostMemBytes:   2000,
+		DeviceMemBytes: 1000,
+		DeviceOps:      8000,
+		PCIeBytes:      250,
+	}
+	b := c.Breakdown(p)
+	wants := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"DiskReadSec", b.DiskReadSec, 3},
+		{"DiskWriteSec", b.DiskWriteSec, 2},
+		{"NetSec", b.NetSec, 2},
+		{"HostMemSec", b.HostMemSec, 2},
+		{"DeviceMemSec", b.DeviceMemSec, 0.5},
+		{"DeviceOpsSec", b.DeviceOpsSec, 2},
+		{"PCIeSec", b.PCIeSec, 0.5},
+	}
+	for _, w := range wants {
+		if w.got != w.want {
+			t.Errorf("%s = %v, want %v", w.name, w.got, w.want)
+		}
+	}
+	if got := b.Total(); got != 12 {
+		t.Errorf("Total = %v, want 12", got)
+	}
+	if got, want := c.Time(p), time.Duration(b.Total()*float64(time.Second)); got != want {
+		t.Errorf("Time = %v, Breakdown total as duration = %v; must match", got, want)
+	}
+}
+
+// TestBreakdownJSON pins the _sec wire names the trace args use.
+func TestBreakdownJSON(t *testing.T) {
+	b := Counters{DiskReadBytes: 100}.Breakdown(testProfile())
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"disk_read_sec", "disk_write_sec", "net_sec", "host_mem_sec",
+		"device_mem_sec", "device_ops_sec", "pcie_sec",
+	} {
+		if !strings.Contains(string(raw), `"`+field+`"`) {
+			t.Errorf("Breakdown JSON missing field %q: %s", field, raw)
+		}
+	}
+	var back Breakdown
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Errorf("round-trip = %+v, want %+v", back, b)
 	}
 }

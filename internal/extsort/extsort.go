@@ -32,6 +32,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kv"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -43,6 +44,7 @@ type Config struct {
 	HostBlockPairs   int               // m_h: pairs sorted per host block
 	DeviceBlockPairs int               // m_d: pairs per device chunk
 	TempDir          string            // scratch directory for run files
+	Obs              *obs.Observer     // observability sink; may be nil
 }
 
 // hostPairBytes is the in-host-memory footprint of one pair (padded
@@ -140,6 +142,7 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 			return st, err
 		}
 		st.DiskPasses = 1
+		cfg.recordStats(st)
 		return st, w.Close()
 	}
 
@@ -172,7 +175,17 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 	if err := os.Rename(runs[0], outPath); err != nil {
 		return st, err
 	}
+	cfg.recordStats(st)
 	return st, nil
+}
+
+// recordStats publishes one completed sort's shape to the metrics
+// registry; a nil observer no-ops.
+func (c Config) recordStats(st Stats) {
+	m := c.Obs.Metrics()
+	m.Counter("extsort.sorts").Add(1)
+	m.Counter("extsort.pairs_sorted").Add(st.Pairs)
+	m.Histogram("extsort.disk_passes", 1, 2, 3, 4, 6, 8).Observe(float64(st.DiskPasses))
 }
 
 // PredictedDiskPasses returns the number of disk passes the sort will take

@@ -5,10 +5,30 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/stats"
 )
+
+// Hooks observes device events for the observability layer: grid
+// launches, custom-kernel charges, and allocator backpressure. All
+// methods may be called concurrently from pipeline workers and must not
+// block. A nil Hooks disables instrumentation at zero cost.
+type Hooks interface {
+	// KernelLaunch fires after LaunchBlocks finishes a grid of blocks
+	// thread blocks that started at start and ran for wall.
+	KernelLaunch(blocks int, start time.Time, wall time.Duration)
+	// KernelCharge fires on every ChargeKernel call. It is the hottest
+	// hook (one call per device primitive); implementations should only
+	// bump pre-resolved atomic counters.
+	KernelCharge(memBytes, ops int64)
+	// AllocWaited fires when AllocWait had to block for capacity: the
+	// request was parked at start and waited wait before being granted.
+	// Immediate grants do not fire, so every event is real device-queue
+	// backpressure.
+	AllocWaited(bytes int64, start time.Time, wait time.Duration)
+}
 
 // ErrOutOfMemory is returned when an allocation would exceed the device's
 // memory capacity. Pipeline stages size their batches so this never fires
@@ -41,6 +61,7 @@ type Device struct {
 	freed   *sync.Cond // signaled whenever memory is released
 	inUse   int64
 	workers int
+	hooks   Hooks
 }
 
 // NewDevice creates a device of the given spec. If meter is nil a private
@@ -51,6 +72,11 @@ func NewDevice(spec Spec, meter *costmodel.Meter) *Device {
 	}
 	return &Device{spec: spec, meter: meter, workers: runtime.GOMAXPROCS(0)}
 }
+
+// SetHooks installs the event hooks. It must be called before the device
+// is shared between goroutines (the pipeline installs hooks at
+// construction time); h may be nil to disable instrumentation.
+func (d *Device) SetHooks(h Hooks) { d.hooks = h }
 
 // Spec returns the modeled card.
 func (d *Device) Spec() Spec { return d.spec }
@@ -115,7 +141,11 @@ func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 		d.mu.Unlock()
 	})
 	defer stop()
+	var waitStart time.Time
 	for d.inUse+n > d.spec.MemBytes {
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		if err := ctx.Err(); err != nil {
 			d.mu.Unlock()
 			return nil, err
@@ -125,6 +155,9 @@ func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 	d.inUse += n
 	d.mu.Unlock()
 	d.mem.Add(n)
+	if h := d.hooks; h != nil && !waitStart.IsZero() {
+		h.AllocWaited(n, waitStart, time.Since(waitStart))
+	}
 	return &Allocation{dev: d, bytes: n}, nil
 }
 
@@ -180,6 +213,9 @@ func (d *Device) CopyFromDevice(n int64) { d.meter.AddPCIe(n) }
 func (d *Device) ChargeKernel(memBytes, ops int64) {
 	d.meter.AddDeviceMem(memBytes)
 	d.meter.AddDeviceOps(ops)
+	if h := d.hooks; h != nil {
+		h.KernelCharge(memBytes, ops)
+	}
 }
 
 // LaunchBlocks emulates a grid launch of numBlocks thread blocks, running
@@ -190,6 +226,10 @@ func (d *Device) ChargeKernel(memBytes, ops int64) {
 func (d *Device) LaunchBlocks(numBlocks int, kernel func(block int)) {
 	if numBlocks <= 0 {
 		return
+	}
+	if h := d.hooks; h != nil {
+		start := time.Now()
+		defer func() { h.KernelLaunch(numBlocks, start, time.Since(start)) }()
 	}
 	workers := d.workers
 	if workers > numBlocks {

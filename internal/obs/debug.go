@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// debugRegistry is the registry the expvar-published "metrics" var reads.
+// expvar panics on duplicate Publish, so the var is published exactly once
+// per process and indirected through this pointer; successive DebugServers
+// (tests start several) just swap the pointer.
+var (
+	debugRegistry  atomic.Pointer[Registry]
+	publishMetrics = func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			return debugRegistry.Load().Snapshot()
+		}))
+	}
+	published atomic.Bool
+)
+
+// DebugServer is the live debugging endpoint behind the CLI's -debug-addr
+// flag: expvar at /debug/vars, the metrics snapshot at /debug/metrics, and
+// net/http/pprof under /debug/pprof/.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugServer binds addr (":0" picks a free port) and starts serving in
+// the background. The registry may be nil (the snapshot is then empty).
+func NewDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	debugRegistry.Store(reg)
+	if published.CompareAndSwap(false, true) {
+		publishMetrics()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugRegistry.Load().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server; nil-safe.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

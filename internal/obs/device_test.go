@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+)
+
+func testDevice(capacity int64, o *Observer) *gpu.Device {
+	spec := gpu.K40
+	spec.MemBytes = capacity
+	dev := gpu.NewDevice(spec, nil)
+	dev.SetHooks(DeviceHooks(o, 3))
+	return dev
+}
+
+func TestDeviceHooksNilObserver(t *testing.T) {
+	if h := DeviceHooks(nil, 0); h != nil {
+		t.Fatalf("DeviceHooks(nil) = %v, want nil (gpu treats nil as disabled)", h)
+	}
+}
+
+func TestDeviceHooksKernelEvents(t *testing.T) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	o := New(nil, tr, reg)
+	dev := testDevice(1<<20, o)
+
+	dev.LaunchBlocks(5, func(int) {})
+	dev.ChargeKernel(1000, 250)
+	dev.ChargeKernel(24, 8)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["gpu.kernel_launches"]; got != 1 {
+		t.Errorf("kernel_launches = %d, want 1", got)
+	}
+	if got := snap.Counters["gpu.kernel_mem_bytes"]; got != 1024 {
+		t.Errorf("kernel_mem_bytes = %d, want 1024", got)
+	}
+	if got := snap.Counters["gpu.kernel_ops"]; got != 258 {
+		t.Errorf("kernel_ops = %d, want 258", got)
+	}
+	lh := snap.Histograms["gpu.launch_blocks"]
+	if lh.Count != 1 || lh.Sum != 5 {
+		t.Errorf("launch_blocks histogram = %+v, want one observation of 5", lh)
+	}
+	var launches int
+	for _, e := range tr.Events() {
+		if e.Phase == "b" && e.Cat == "kernel" {
+			launches++
+			if e.Pid != 3 {
+				t.Errorf("kernel event pid = %d, want 3", e.Pid)
+			}
+			if e.Args["blocks"] != 5 {
+				t.Errorf("kernel event blocks = %v, want 5", e.Args["blocks"])
+			}
+		}
+	}
+	if launches != 1 {
+		t.Errorf("got %d kernel launch trace events, want 1 (ChargeKernel must not trace)", launches)
+	}
+}
+
+// TestAllocWaitedFiresOnlyWhenBlocking: an uncontended AllocWait must not
+// report backpressure; a second request that must wait for the first to
+// free must report exactly one wait.
+func TestAllocWaitedFiresOnlyWhenBlocking(t *testing.T) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	dev := testDevice(100, New(nil, tr, reg))
+
+	a, err := dev.AllocWait(context.Background(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["gpu.alloc_waits"]; got != 0 {
+		t.Fatalf("uncontended AllocWait reported %d waits", got)
+	}
+
+	// The freeing goroutine sleeps well past the main goroutine's path into
+	// AllocWait, so the second request observes real backpressure.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		a.Free()
+	}()
+	b, err := dev.AllocWait(context.Background(), 80) // cannot fit until a frees
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Free()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["gpu.alloc_waits"]; got != 1 {
+		t.Errorf("alloc_waits = %d, want 1", got)
+	}
+	wh := snap.Histograms["gpu.alloc_wait_seconds"]
+	if wh.Count != 1 {
+		t.Errorf("alloc_wait_seconds count = %d, want 1", wh.Count)
+	}
+	var waitEvents int
+	for _, e := range tr.Events() {
+		if e.Phase == "b" && e.Cat == "allocwait" {
+			waitEvents++
+			if e.Args["bytes"] != int64(80) {
+				t.Errorf("allocwait bytes = %v, want 80", e.Args["bytes"])
+			}
+		}
+	}
+	if waitEvents != 1 {
+		t.Errorf("got %d allocwait trace events, want 1", waitEvents)
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics instruments. Instruments are get-or-create
+// by name (first registration wins, so callers resolve them once and hold
+// the pointer on hot paths); the whole registry snapshots into one
+// JSON-marshalable value for the run manifest, the final report, and the
+// debug endpoint. A nil *Registry no-ops: lookups return nil instruments
+// whose methods are themselves nil-safe.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value; nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last set value; nil-safe.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds; observations beyond the last bound land in an implicit
+// overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value; nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter returns the named counter, creating it on first use; a nil
+// registry returns nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; a nil registry
+// returns nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use (later bounds are ignored — first
+// registration wins); a nil registry returns nil.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: observations <= Le
+// (exclusive of earlier buckets); the overflow bucket has Le = +Inf,
+// rendered as the JSON string "+Inf".
+type Bucket struct {
+	Le    jsonFloat `json:"le"`
+	Count int64     `json:"count"`
+}
+
+// jsonFloat marshals +/-Inf (invalid JSON numbers) as strings.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+Inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, with stable
+// (sorted) iteration order under JSON marshaling.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument; a nil registry
+// yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Count: h.count.Load(),
+				Sum:   math.Float64frombits(h.sum.Load()),
+			}
+			for i := range h.counts {
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				hs.Buckets = append(hs.Buckets, Bucket{Le: jsonFloat(le), Count: h.counts[i].Load()})
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}

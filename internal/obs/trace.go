@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// Track identifies one timeline in the trace. Pid groups timelines into a
+// named process (the single-node pipeline, or one cluster node); Tid is
+// one lane within it (the stage driver, or one pipeline worker).
+type Track struct {
+	Pid int64
+	Tid int64
+}
+
+// Worker returns the track of worker w under the same process; worker
+// lanes start at tid 1, leaving tid 0 for the stage driver.
+func (t Track) Worker(w int) Track { return Track{Pid: t.Pid, Tid: int64(w) + 1} }
+
+// Event is one Chrome trace event. Phases used: "X" (complete span), "i"
+// (instant marker), "b"/"e" (async span, for device events that overlap
+// worker lanes), "M" (process/thread metadata).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds since the tracer epoch
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects trace events in memory and serializes them as Chrome
+// trace-event JSON (the format Perfetto and chrome://tracing load). It is
+// safe for concurrent use; a nil *Tracer no-ops on every method.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	asyncID uint64
+}
+
+// NewTracer starts a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+func (t *Tracer) ts(at time.Time) int64 { return at.Sub(t.epoch).Microseconds() }
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// NameProcess names a pid's track group ("lasagna", "node03", ...).
+func (t *Tracer) NameProcess(pid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: "process_name", Phase: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// NameThread names one lane within a process ("stages", "worker 2", ...).
+func (t *Tracer) NameThread(track Track, name string) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: "thread_name", Phase: "M", Pid: track.Pid, Tid: track.Tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Instant records a point event (cached-stage markers, resume decisions).
+func (t *Tracer) Instant(track Track, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: "i", TS: t.ts(time.Now()),
+		Pid: track.Pid, Tid: track.Tid, Scope: "t", Args: args})
+}
+
+// Complete records a finished span on a track.
+func (t *Tracer) Complete(track Track, cat, name string, start time.Time,
+	dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: "X", TS: t.ts(start),
+		Dur: max(dur.Microseconds(), 1), Pid: track.Pid, Tid: track.Tid, Args: args})
+}
+
+// Async records a finished span as an async begin/end pair. Async spans
+// may overlap freely (Perfetto groups them by category under the
+// process), which is what device-queue events need: concurrent workers'
+// kernel launches and allocator waits interleave on one device.
+func (t *Tracer) Async(pid int64, cat, name string, start time.Time,
+	dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.asyncID++
+	id := "a" + strconv.FormatUint(t.asyncID, 10)
+	t.events = append(t.events,
+		Event{Name: name, Cat: cat, Phase: "b", TS: t.ts(start), Pid: pid, ID: id, Args: args},
+		Event{Name: name, Cat: cat, Phase: "e", TS: t.ts(start.Add(dur)), Pid: pid, ID: id})
+	t.mu.Unlock()
+}
+
+// Span is an in-progress Complete event, optionally carrying the meter
+// delta and the modeled per-tier cost of the work it covers.
+type Span struct {
+	tr      *Tracer
+	track   Track
+	cat     string
+	name    string
+	start   time.Time
+	meter   *costmodel.Meter
+	before  costmodel.Counters
+	prof    costmodel.Profile
+	metered bool
+	args    map[string]any
+}
+
+// Begin opens a span; End emits it. A nil tracer returns a nil span, and
+// every Span method is nil-safe.
+func (t *Tracer) Begin(track Track, cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, track: track, cat: cat, name: name, start: time.Now()}
+}
+
+// Metered snapshots m now; End attaches the counter delta and its modeled
+// per-tier seconds under prof. With concurrent spans sharing one meter
+// (Workers > 1) sibling deltas interleave — exact at the serial stage
+// level, attributional inside a stage.
+func (s *Span) Metered(m *costmodel.Meter, prof costmodel.Profile) *Span {
+	if s == nil || m == nil {
+		return s
+	}
+	s.meter = m
+	s.before = m.Snapshot()
+	s.prof = prof
+	s.metered = true
+	return s
+}
+
+// Arg attaches one key to the span's args.
+func (s *Span) Arg(key string, v any) *Span {
+	if s == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = v
+	return s
+}
+
+// End emits the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.metered {
+		delta := s.meter.Snapshot().Sub(s.before)
+		s.Arg("counters", delta)
+		s.Arg("modeled", delta.Breakdown(s.prof))
+	}
+	s.tr.Complete(s.track, s.cat, s.name, s.start, time.Since(s.start), s.args)
+}
+
+// traceFile is the on-disk shape: the trace-event JSON object form.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Events returns a copy of the collected events sorted by timestamp
+// (metadata first); tests and WriteJSON share it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Phase == "M", out[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return out[i].TS < out[j].TS
+	})
+	return out
+}
+
+// WriteJSON serializes the trace in Chrome trace-event JSON object form.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path (the CLI's -trace flag).
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kv"
 	"repro/internal/kvio"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -39,6 +40,7 @@ type Config struct {
 	Meter       *costmodel.Meter  // meters disk traffic; may be nil
 	HostMem     *stats.MemTracker // accounts window buffers; may be nil
 	WindowPairs int               // M/2: pairs per window
+	Obs         *obs.Observer     // observability sink; may be nil
 }
 
 // hostPairBytes is the in-memory footprint of one pair.
@@ -70,6 +72,16 @@ func ReducePaths(ctx context.Context, cfg Config, sfxPath, pfxPath string, emit 
 func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, emit Emit) error {
 	if cfg.WindowPairs < 1 {
 		return fmt.Errorf("overlap: WindowPairs must be positive, got %d", cfg.WindowPairs)
+	}
+	// Candidate counting wraps emit: the counter is resolved once per
+	// reduce and bumped per emission (nil-safe all the way down).
+	candidates := cfg.Obs.Metrics().Counter("overlap.candidates")
+	if candidates != nil {
+		inner := emit
+		emit = func(u, v uint32) error {
+			candidates.Add(1)
+			return inner(u, v)
+		}
 	}
 	dev := cfg.Device
 	// A partition smaller than a window needs only a partition-sized

@@ -49,14 +49,19 @@ type PhaseStats struct {
 	PeakDevice int64         // peak device-memory bytes during the phase
 	DiskRead   int64         // bytes read from disk during the phase
 	DiskWrite  int64         // bytes written to disk during the phase
+	NetBytes   int64         // bytes crossing the network during the phase
+	PCIeBytes  int64         // bytes over PCIe during the phase
+	DeviceOps  int64         // device compute operations during the phase
 }
 
 // String renders a single-line summary.
 func (p PhaseStats) String() string {
-	return fmt.Sprintf("%-9s wall=%-12s modeled=%-12s hostPeak=%-9s devPeak=%-9s diskR=%-9s diskW=%s",
+	return fmt.Sprintf("%-9s wall=%-12s modeled=%-12s hostPeak=%-9s devPeak=%-9s diskR=%-9s diskW=%-9s net=%-9s pcie=%-9s devOps=%s",
 		p.Name, FormatDuration(p.Wall), FormatDuration(p.Modeled),
 		FormatBytes(p.PeakHost), FormatBytes(p.PeakDevice),
-		FormatBytes(p.DiskRead), FormatBytes(p.DiskWrite))
+		FormatBytes(p.DiskRead), FormatBytes(p.DiskWrite),
+		FormatBytes(p.NetBytes), FormatBytes(p.PCIeBytes),
+		FormatCount(p.DeviceOps))
 }
 
 // Timer measures a phase's wall time.

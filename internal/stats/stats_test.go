@@ -119,3 +119,91 @@ func TestTimerAndPhaseString(t *testing.T) {
 		}
 	}
 }
+
+// TestFormatDurationRounding pins the unit-boundary behavior: second
+// rounding may carry into the minute (and hour) fields, and the carried
+// form must keep its zero components rather than dropping a unit.
+func TestFormatDurationRounding(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{59*time.Second + 500*time.Millisecond, "1m 0s"},
+		{59*time.Minute + 59*time.Second + 700*time.Millisecond, "1h 0m 0s"},
+		{999400 * time.Nanosecond, "999µs"}, // sub-second keeps Go unit form
+		{time.Second - time.Nanosecond, "1s"},
+		{-(59*time.Second + 500*time.Millisecond), "-1m 0s"},
+		{-1500 * time.Microsecond, "-1.5ms"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestFormatBytesExtremes pins unit boundaries and the PiB cap: counts
+// beyond 1024 PiB stay in PiB (no EiB unit) with a growing mantissa.
+func TestFormatBytesExtremes(t *testing.T) {
+	const (
+		kib = int64(1024)
+		pib = kib * kib * kib * kib * kib
+	)
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0 B"},
+		{1023, "1023 B"},
+		{1024, "1.00 KiB"},
+		{kib*kib - 1, "1024.00 KiB"}, // rounds up within the KiB tier
+		{3 * pib, "3.00 PiB"},
+		{2048 * pib, "2048.00 PiB"}, // beyond the last unit: mantissa grows
+		{-3 * pib, "-3.00 PiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// TestFormatCountBoundaries covers the 3/4-digit grouping boundary both
+// ways around zero.
+func TestFormatCountBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{99, "99"},
+		{100, "100"},
+		{999, "999"},
+		{1000, "1,000"},
+		{9999, "9,999"},
+		{10000, "10,000"},
+		{-999, "-999"},
+		{-1000, "-1,000"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.n); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPhaseStringObservabilityFields: the row must carry the network,
+// PCIe, and device-op columns the cluster tables read.
+func TestPhaseStringObservabilityFields(t *testing.T) {
+	p := PhaseStats{
+		Name:      "Shuffle",
+		NetBytes:  3 * 1024 * 1024,
+		PCIeBytes: 2 * 1024,
+		DeviceOps: 1234567,
+	}
+	s := p.String()
+	for _, want := range []string{"net=3.00 MiB", "pcie=2.00 KiB", "devOps=1,234,567"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("PhaseStats.String() = %q missing %q", s, want)
+		}
+	}
+}

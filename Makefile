@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint fuzz bench cover examples evaluation trace clean
+.PHONY: all build vet test race lint fuzz bench cover examples evaluation trace serve-smoke clean
 
 all: build vet lint test race
 
@@ -35,9 +35,13 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/fastq/
 	$(GO) test -run=NONE -fuzz=FuzzKVReader -fuzztime=10s ./internal/kvio/
 
-# One benchmark per paper table/figure plus the ablations.
+# One benchmark per paper table/figure plus the ablations, then the job
+# service's end-to-end throughput, stored machine-readable as
+# BENCH_serve.json (jobs/sec, queue latency).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
 
 cover:
 	$(GO) test -cover ./...
@@ -60,7 +64,13 @@ trace:
 	$(GO) run ./cmd/lasagna -in work/trace-reads.fastq -workspace work/trace-demo \
 		-lmin 40 -workers 2 -trace trace.json -v
 
+# End-to-end smoke test of the job service: build the binaries, assemble
+# a dataset directly, serve the same reads over HTTP, and require the
+# fetched FASTA byte-identical; finishes with a SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 clean:
-	rm -f test_output.txt bench_output.txt trace.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -34,8 +36,13 @@ func main() {
 		exp       = flag.String("exp", "all", "comma-separated experiments: table1..table6, fig8, fig9, fig10, or all")
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled profiles)")
 		workspace = flag.String("workspace", "", "scratch directory (default: a temp dir)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("lasagna-bench"))
+		return
+	}
 
 	ws := *workspace
 	if ws == "" {

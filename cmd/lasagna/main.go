@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/costmodel"
 	"repro/internal/fastq"
 	"repro/internal/obs"
@@ -59,8 +60,13 @@ func main() {
 		verbose    = flag.Bool("v", false, "verbose logging: debug-level stage, resume, and worker-pool events")
 		quiet      = flag.Bool("quiet", false, "log errors only")
 		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("lasagna"))
+		return
+	}
 	if *in == "" || *workspace == "" {
 		flag.Usage()
 		os.Exit(2)

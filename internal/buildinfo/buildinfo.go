@@ -1,0 +1,38 @@
+// Package buildinfo renders the -version line shared by every binary in
+// this module: the module version and VCS revision embedded by the Go
+// toolchain (runtime/debug.ReadBuildInfo), plus the Go release that built
+// the binary. `go build` stamps VCS data automatically inside a git
+// checkout; `go run` and test binaries fall back to "devel"/"unknown".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns the one-line version report for the named binary, e.g.
+//
+//	lasagna-serve devel (rev 9993a6c..., modified, go1.24.0)
+func String(binary string) string {
+	version, revision := "devel", "unknown"
+	modified := false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	rev := revision
+	if modified {
+		rev += ", modified"
+	}
+	return fmt.Sprintf("%s %s (rev %s, %s)", binary, version, rev, runtime.Version())
+}

@@ -104,7 +104,23 @@ type Config struct {
 	// instrumentation; runs are byte-identical either way. Like the other
 	// execution knobs it is excluded from the resume fingerprint.
 	Obs *obs.Observer
+	// Progress, when set, receives one callback per stage lifecycle
+	// transition: ProgressStart/ProgressDone/ProgressFailed around fresh
+	// execution and ProgressCached when a resumed run replays the stage
+	// from the manifest. Callbacks run on the stage-driver goroutine, so
+	// implementations must be fast and must not call back into the
+	// pipeline. The serve layer uses it to publish per-job progress over
+	// HTTP. Execution knob: excluded from the resume fingerprint.
+	Progress func(stage string, event string)
 }
+
+// Progress events delivered to Config.Progress.
+const (
+	ProgressStart  = "start"
+	ProgressDone   = "done"
+	ProgressFailed = "failed"
+	ProgressCached = "cached"
+)
 
 // DefaultConfig returns a configuration sized for the scaled reproduction
 // datasets: a K40-class device profile with block sizes that exercise the
@@ -164,6 +180,31 @@ func (c Config) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Workers
+}
+
+// DeviceDemandBytes returns an upper bound on the device memory this
+// configuration can hold concurrently while assembling reads of at most
+// maxReadLen bases. Each pipeline worker holds at most one batch
+// allocation at a time (the AllocWait contract), so the bound is
+// workers x the largest single-batch claim any stage makes:
+//
+//   - Map: the read batch on both strands plus the per-block scan
+//     buffers (see Mapper.mapBatch),
+//   - Sort: the radix double-buffer and the two-level merge windows
+//     (see extsort.sortHostBlock / mergeFiles),
+//   - Reduce: a suffix+prefix window pair plus the three bound/count
+//     vectors (see overlap.ReducePaths).
+//
+// The serve scheduler leases exactly this many bytes from the shared
+// device before admitting a job, which is what makes multi-tenant
+// packing safe: the sum of admitted leases can never exceed the card.
+func (c Config) DeviceDemandBytes(maxReadLen int) int64 {
+	l := int64(maxReadLen)
+	mapBytes := 2*int64(c.MapBatchReads)*l + 64*int64(runtime.GOMAXPROCS(0))*l
+	sortBytes := 4 * int64(c.DeviceBlockPairs) * kv.PairBytes
+	window := int64(max(c.HostBlockPairs/2, 1))
+	reduceBytes := 2*window*kv.PairBytes + 12*window
+	return int64(c.workers()) * max(mapBytes, sortBytes, reduceBytes)
 }
 
 // PhaseName identifies a pipeline phase in results.

@@ -119,6 +119,7 @@ func (p *Pipeline) HostMem() *stats.MemTracker { return &p.hostMem }
 func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error {
 	p.hostMem.ResetPeak()
 	p.dev.MemTracker().ResetPeak()
+	p.progress(string(name), ProgressStart)
 	p.cfg.Obs.Log().Debug("stage start", "stage", string(name))
 	span := p.cfg.Obs.Tracer().Begin(p.track(), "stage", string(name)).
 		Metered(p.meter, p.cfg.Profile())
@@ -143,12 +144,21 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 	res.TotalWall += ps.Wall
 	res.TotalModeled += ps.Modeled
 	if err != nil {
+		p.progress(string(name), ProgressFailed)
 		p.cfg.Obs.Log().Error("stage failed", "stage", string(name), "err", err)
 	} else {
+		p.progress(string(name), ProgressDone)
 		p.cfg.Obs.Log().Info("stage done", "stage", string(name),
 			"wall", ps.Wall, "modeled", ps.Modeled)
 	}
 	return err
+}
+
+// progress delivers one stage lifecycle event to Config.Progress, if set.
+func (p *Pipeline) progress(stage, event string) {
+	if p.cfg.Progress != nil {
+		p.cfg.Progress(stage, event)
+	}
 }
 
 // AssembleFile loads a FASTQ/FASTA file (the Load phase of Tables II/III)
@@ -254,6 +264,7 @@ func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSou
 		p.cfg.Resume, pipelineStages)
 	runner.SetObserver(p.cfg.Obs, p.track())
 	runner.SetFaultHook(p.FaultHook)
+	runner.SetProgress(p.cfg.Progress)
 	if runner.ResumeAt() == 0 {
 		// Starting from scratch: partitions left by an interrupted or
 		// invalidated run must not leak into this one.
@@ -262,6 +273,12 @@ func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSou
 		}
 	}
 	if err := os.MkdirAll(partDir, 0o755); err != nil {
+		return res, err
+	}
+	// A crash mid-sort leaves per-sort spill directories behind; they are
+	// not resume artifacts (Sort re-runs from Map's committed partitions)
+	// and stale run files inside them must never feed a fresh merge.
+	if err := sweepSortScratch(partDir); err != nil {
 		return res, err
 	}
 
@@ -759,6 +776,25 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 	}
 	p.cfg.Obs.Log().Debug("reduce worker pool drained", "err", firstErr)
 	return firstErr
+}
+
+// sweepSortScratch removes the per-sort spill directories (sort_<kind>_<len>)
+// a crashed or cancelled run left under the partition directory. Sorted
+// partition files and raw partitions are untouched — only the private
+// scratch that sortPhase would normally remove on its way out.
+func sweepSortScratch(partDir string) error {
+	ents, err := os.ReadDir(partDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "sort_") {
+			if err := os.RemoveAll(filepath.Join(partDir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // sortedLengthsDesc returns the partition lengths in descending order,

@@ -60,6 +60,7 @@ type StageRunner struct {
 	resumeNote string
 	obs        *obs.Observer
 	track      obs.Track
+	progress   func(stage, event string)
 }
 
 // NewStageRunner prepares a runner rooted at dir. When resume is true and
@@ -143,6 +144,11 @@ func (r *StageRunner) LimitResume(k int) {
 // SetFaultHook installs a post-commit fault injection hook.
 func (r *StageRunner) SetFaultHook(h FaultHook) { r.fault = h }
 
+// SetProgress installs the stage-progress callback (Config.Progress); the
+// runner delivers the ProgressCached events for replayed stages, which
+// never pass through the pipeline's runPhase. May be nil.
+func (r *StageRunner) SetProgress(fn func(stage, event string)) { r.progress = fn }
+
 // SetObserver installs the observability sink and the trace track the
 // runner's markers land on, and logs the resume decision made at
 // construction time (which manifest check passed or failed).
@@ -180,6 +186,9 @@ func (r *StageRunner) Run(s Stage) error {
 			return fmt.Errorf("core: replaying cached stage %s: %w", s.Name, err)
 		}
 		r.cached = append(r.cached, string(s.Name))
+		if r.progress != nil {
+			r.progress(string(s.Name), ProgressCached)
+		}
 		// The cached stage leaves a marker where its span would be, so a
 		// resumed run's trace shows the skip instead of a silent gap.
 		r.obs.Tracer().Instant(r.track, "marker", "cached: "+string(s.Name),

@@ -60,6 +60,7 @@ type Device struct {
 	mu      sync.Mutex
 	freed   *sync.Cond // signaled whenever memory is released
 	inUse   int64
+	waiters int // AllocWait callers currently parked for capacity
 	workers int
 	hooks   Hooks
 }
@@ -145,12 +146,17 @@ func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 	for d.inUse+n > d.spec.MemBytes {
 		if waitStart.IsZero() {
 			waitStart = time.Now()
+			d.waiters++
 		}
 		if err := ctx.Err(); err != nil {
+			d.waiters--
 			d.mu.Unlock()
 			return nil, err
 		}
 		d.freed.Wait()
+	}
+	if !waitStart.IsZero() {
+		d.waiters--
 	}
 	d.inUse += n
 	d.mu.Unlock()
@@ -196,6 +202,24 @@ func (d *Device) InUse() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.inUse
+}
+
+// Available returns the device memory not currently claimed. A scheduler
+// leasing job-sized claims off a shared device (internal/serve) reads it
+// for admission metrics; it is advisory — AllocWait is the authoritative,
+// blocking admission path.
+func (d *Device) Available() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.MemBytes - d.inUse
+}
+
+// Waiters returns how many AllocWait callers are currently parked waiting
+// for capacity — the device's admission backlog.
+func (d *Device) Waiters() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.waiters
 }
 
 // Capacity returns the device memory capacity in bytes.

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistryChildren(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("serve.jobs_admitted").Add(3)
+
+	child := NewRegistry()
+	child.Counter("core.pairs").Add(42)
+	child.Gauge("core.partitions").Set(7)
+	child.Histogram("core.batch_ms", 1, 10).Observe(5)
+
+	parent.AttachChild(`job="j1"`, child)
+	snap := parent.Snapshot()
+	if got := snap.Counters[`core.pairs{job="j1"}`]; got != 42 {
+		t.Errorf(`labeled counter = %d, want 42 (snapshot: %+v)`, got, snap.Counters)
+	}
+	if got := snap.Gauges[`core.partitions{job="j1"}`]; got != 7 {
+		t.Errorf(`labeled gauge = %d, want 7`, got)
+	}
+	if h, ok := snap.Histograms[`core.batch_ms{job="j1"}`]; !ok || h.Count != 1 {
+		t.Errorf(`labeled histogram = %+v, %v`, h, ok)
+	}
+	if got := snap.Counters["serve.jobs_admitted"]; got != 3 {
+		t.Errorf("parent counter = %d, want 3", got)
+	}
+	// The merged snapshot must still marshal (the debug endpoint serves
+	// it as JSON).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("marshaling merged snapshot: %v", err)
+	}
+
+	// Two children with different labels coexist.
+	other := NewRegistry()
+	other.Counter("core.pairs").Add(1)
+	parent.AttachChild(`job="j2"`, other)
+	snap = parent.Snapshot()
+	if snap.Counters[`core.pairs{job="j1"}`] != 42 || snap.Counters[`core.pairs{job="j2"}`] != 1 {
+		t.Errorf("sibling children collided: %+v", snap.Counters)
+	}
+
+	// Detach removes the child's instruments from later snapshots.
+	parent.DetachChild(`job="j1"`)
+	snap = parent.Snapshot()
+	if _, ok := snap.Counters[`core.pairs{job="j1"}`]; ok {
+		t.Error("detached child still present in snapshot")
+	}
+	if _, ok := snap.Counters[`core.pairs{job="j2"}`]; !ok {
+		t.Error("detach removed the wrong child")
+	}
+
+	// Nil receivers and nil children are no-ops, not panics.
+	var nilReg *Registry
+	nilReg.AttachChild("x", child)
+	nilReg.DetachChild("x")
+	parent.AttachChild("y", nil)
+	parent.DetachChild("never-attached")
+}

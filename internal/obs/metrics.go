@@ -19,6 +19,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	children map[string]*Registry
 }
 
 // NewRegistry returns an empty registry.
@@ -28,6 +29,36 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// AttachChild mounts a child registry under this one: the child's
+// instruments appear in this registry's snapshots with the label appended
+// to every name as `name{label}` (e.g. `core.partitions{job="j42"}`).
+// The serve layer gives each assembly job a private registry and attaches
+// it to the server registry for the lifetime of the job, so the debug
+// endpoint shows per-job metrics live. Attaching a registry to one of its
+// own descendants deadlocks snapshots; don't build cycles.
+func (r *Registry) AttachChild(label string, child *Registry) {
+	if r == nil || child == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.children == nil {
+		r.children = map[string]*Registry{}
+	}
+	r.children[label] = child
+}
+
+// DetachChild unmounts the child registered under label; unknown labels
+// are a no-op.
+func (r *Registry) DetachChild(label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.children, label)
 }
 
 // Counter is a monotonically increasing count.
@@ -234,6 +265,31 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Buckets = append(hs.Buckets, Bucket{Le: jsonFloat(le), Count: h.counts[i].Load()})
 			}
 			s.Histograms[name] = hs
+		}
+	}
+	// Merge attached children, each instrument labeled `name{label}`.
+	// Children are snapshotted while the parent lock is held; the
+	// attach-only-downward rule (see AttachChild) keeps the lock order
+	// acyclic.
+	for label, child := range r.children {
+		cs := child.Snapshot()
+		for name, v := range cs.Counters {
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			s.Counters[name+"{"+label+"}"] = v
+		}
+		for name, v := range cs.Gauges {
+			if s.Gauges == nil {
+				s.Gauges = map[string]int64{}
+			}
+			s.Gauges[name+"{"+label+"}"] = v
+		}
+		for name, v := range cs.Histograms {
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistogramSnapshot{}
+			}
+			s.Histograms[name+"{"+label+"}"] = v
 		}
 	}
 	return s

@@ -1,0 +1,178 @@
+// Package serve turns the single-shot assembly pipeline into a
+// multi-tenant job service: an HTTP API accepts FASTQ jobs, a scheduler
+// with real admission control packs them onto one shared simulated GPU,
+// and per-job JSON records plus the core run manifests make the whole
+// thing crash-safe — a killed server restarts, re-lists its jobs, and
+// resumes in-flight ones mid-pipeline.
+//
+// Admission happens at two levels, mirroring the paper's two-level memory
+// model: a bounded FIFO run queue with HTTP 429 backpressure bounds the
+// host-side backlog, and device-memory leases (Config.DeviceDemandBytes
+// claimed off the shared gpu.Device via AllocWait) bound how many jobs
+// run concurrently — the sum of admitted leases can never exceed the
+// card, so concurrent jobs never oversubscribe device memory.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// State is one point in a job's lifecycle. The transitions are:
+//
+//	submitted -> queued -> running -> succeeded | failed | canceled
+//
+// with two exceptions: a queued job may go straight to canceled, and a
+// running job returns to queued when the server drains (SIGTERM) or
+// crashes — its committed stages resume from the run manifest on the next
+// start. succeeded/failed/canceled are terminal.
+type State string
+
+const (
+	StateSubmitted State = "submitted"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state ends the job's lifecycle.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Params are the per-job assembly knobs a client may set at submit time.
+// Everything else (block sizes, the modeled card) is server configuration:
+// jobs share one device, so its geometry is not theirs to choose.
+type Params struct {
+	MinOverlap        int  `json:"minOverlap"`
+	Workers           int  `json:"workers"`
+	FullGraph         bool `json:"fullGraph,omitempty"`
+	DedupeReads       bool `json:"dedupeReads,omitempty"`
+	IncludeSingletons bool `json:"includeSingletons,omitempty"`
+	VerifyOverlaps    bool `json:"verifyOverlaps,omitempty"`
+}
+
+// ResultSummary is the part of a finished run worth keeping in the job
+// record; the full FASTA is fetched separately.
+type ResultSummary struct {
+	NumContigs     int     `json:"numContigs"`
+	TotalBases     int64   `json:"totalBases"`
+	MaxContigLen   int     `json:"maxContigLen"`
+	N50            int     `json:"n50"`
+	CandidateEdges int64   `json:"candidateEdges"`
+	AcceptedEdges  int64   `json:"acceptedEdges"`
+	WallMillis     int64   `json:"wallMillis"`
+	ModeledMillis  int64   `json:"modeledMillis"`
+	QueueWaitMs    float64 `json:"queueWaitMs"`
+}
+
+// Record is the persistent state of one job, stored as job.json in the
+// job's directory and rewritten atomically on every transition. Together
+// with the persisted input FASTQ and the core run manifest it is
+// everything a restarted server needs to resume the job.
+type Record struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	State  State  `json:"state"`
+	Params Params `json:"params"`
+
+	NumReads   int `json:"numReads"`
+	MaxReadLen int `json:"maxReadLen"`
+	// DeviceDemandBytes is the device-memory lease this job needs
+	// (core.Config.DeviceDemandBytes), fixed at submit time so a restarted
+	// server admits — and fingerprints — the job identically.
+	DeviceDemandBytes int64 `json:"deviceDemandBytes"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	// Attempts counts how many times the job entered running; >1 means the
+	// job was resumed after a drain or crash.
+	Attempts int `json:"attempts"`
+
+	// Stage is the pipeline stage most recently reported by the run's
+	// progress callback; StagesDone lists completed stages in order, and
+	// CachedStages the ones a resumed attempt replayed from the manifest.
+	Stage        string   `json:"stage,omitempty"`
+	StagesDone   []string `json:"stagesDone,omitempty"`
+	CachedStages []string `json:"cachedStages,omitempty"`
+
+	Error  string         `json:"error,omitempty"`
+	Result *ResultSummary `json:"result,omitempty"`
+}
+
+// Job is the scheduler's runtime handle on one record: the record itself
+// plus the cancellation plumbing that never touches disk.
+type Job struct {
+	mu              sync.Mutex
+	rec             Record
+	cancel          context.CancelFunc // run context; set at dispatch
+	cancelRequested bool
+	enqueuedAt      time.Time
+}
+
+// NewJob wraps a record for scheduling.
+func NewJob(rec Record) *Job { return &Job{rec: rec} }
+
+// Record returns a consistent deep copy of the job's record.
+func (j *Job) Record() Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.clone()
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.State
+}
+
+// CancelRequested reports whether a user cancellation was requested.
+func (j *Job) CancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// Update mutates the record under the job lock.
+func (j *Job) Update(fn func(*Record)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fn(&j.rec)
+}
+
+// clone deep-copies the record so readers never share slices or pointers
+// with the scheduler's mutating goroutines.
+func (r Record) clone() Record {
+	c := r
+	c.StagesDone = append([]string(nil), r.StagesDone...)
+	c.CachedStages = append([]string(nil), r.CachedStages...)
+	if r.StartedAt != nil {
+		t := *r.StartedAt
+		c.StartedAt = &t
+	}
+	if r.FinishedAt != nil {
+		t := *r.FinishedAt
+		c.FinishedAt = &t
+	}
+	if r.Result != nil {
+		res := *r.Result
+		c.Result = &res
+	}
+	return c
+}
+
+// NewJobID returns a fresh random job identifier ("j" + 12 hex chars).
+func NewJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

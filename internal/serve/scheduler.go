@@ -1,0 +1,488 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is returned by Submit when the bounded run queue cannot
+// take another job; HTTP maps it to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("serve: run queue is full")
+
+// ErrDraining is returned by Submit once a graceful shutdown has begun.
+var ErrDraining = errors.New("serve: server is draining")
+
+// ErrJobTerminal is returned by Cancel for jobs already in a terminal
+// state.
+var ErrJobTerminal = errors.New("serve: job is already in a terminal state")
+
+// RunFunc executes one job to completion under ctx. It returns nil on
+// success; a ctx cancellation error means the job was interrupted (by
+// user cancel, drain, or kill) with its committed stages resumable.
+type RunFunc func(ctx context.Context, j *Job) error
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// Device is the shared simulated card every job leases device memory
+	// from before it may run.
+	Device *gpu.Device
+	// QueueCap bounds how many jobs may sit in the run queue; submissions
+	// beyond it are rejected with ErrQueueFull.
+	QueueCap int
+	// MaxConcurrent bounds how many jobs run at once, independent of
+	// device capacity (a host-side CPU/IO limit).
+	MaxConcurrent int
+	// Run executes one job; the server injects the real pipeline, tests
+	// inject controllable stand-ins.
+	Run RunFunc
+	// OnTransition fires after every persistent state change, outside the
+	// job lock; the server persists the record (and cleans terminal
+	// workspaces) here. May be nil.
+	OnTransition func(j *Job)
+	// Obs carries the scheduler's logger and metrics registry; nil
+	// disables both.
+	Obs *obs.Observer
+}
+
+// Scheduler is the admission-controlled job runner: one dispatcher
+// goroutine pops the FIFO queue, takes a concurrency slot, leases the
+// job's declared device-memory demand off the shared device (blocking —
+// this is the admission backpressure), and only then starts the job.
+// Because a single dispatcher performs the blocking lease acquisition,
+// jobs start in strict submission order and the lease wait can never
+// deadlock against other leases.
+type Scheduler struct {
+	cfg    SchedulerConfig
+	ctx    context.Context
+	stop   context.CancelFunc
+	queue  *jobQueue
+	sem    chan struct{}
+	wg     sync.WaitGroup // dispatcher + running jobs
+	runWG  sync.WaitGroup // running jobs only
+	killed atomic.Bool
+	drain  atomic.Bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // registration order, for listing
+
+	queueDepth  *obs.Gauge
+	runningG    *obs.Gauge
+	leasedG     *obs.Gauge
+	admitted    *obs.Counter
+	rejected    *obs.Counter
+	succeeded   *obs.Counter
+	failed      *obs.Counter
+	canceledC   *obs.Counter
+	queueWaitMs *obs.Histogram
+	running     atomic.Int64
+}
+
+// NewScheduler builds a scheduler and starts its dispatcher.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("serve: scheduler needs a device")
+	}
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("serve: scheduler needs a run function")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := cfg.Obs.Metrics()
+	s := &Scheduler{
+		cfg:         cfg,
+		ctx:         ctx,
+		stop:        stop,
+		queue:       newJobQueue(cfg.QueueCap),
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		jobs:        make(map[string]*Job),
+		queueDepth:  m.Gauge("serve.queue_depth"),
+		runningG:    m.Gauge("serve.jobs_running"),
+		leasedG:     m.Gauge("serve.device_leased_bytes"),
+		admitted:    m.Counter("serve.jobs_admitted"),
+		rejected:    m.Counter("serve.jobs_rejected"),
+		succeeded:   m.Counter("serve.jobs_succeeded"),
+		failed:      m.Counter("serve.jobs_failed"),
+		canceledC:   m.Counter("serve.jobs_canceled"),
+		queueWaitMs: m.Histogram("serve.queue_wait_ms", 1, 10, 100, 1e3, 10e3, 60e3),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Register adds a job to the scheduler's index without queueing it; used
+// for terminal jobs reloaded at startup so they stay listable.
+func (s *Scheduler) Register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := j.Record().ID
+	if _, ok := s.jobs[id]; !ok {
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+}
+
+// Submit queues a new job, honouring the queue bound. The job must carry
+// a positive DeviceDemandBytes no larger than the device capacity.
+func (s *Scheduler) Submit(j *Job) error {
+	if s.drain.Load() {
+		return ErrDraining
+	}
+	rec := j.Record()
+	if rec.DeviceDemandBytes <= 0 || rec.DeviceDemandBytes > s.cfg.Device.Capacity() {
+		return fmt.Errorf("serve: job %s needs %d bytes of device memory, device has %d",
+			rec.ID, rec.DeviceDemandBytes, s.cfg.Device.Capacity())
+	}
+	s.Register(j)
+	j.Update(func(r *Record) { r.State = StateQueued })
+	j.mu.Lock()
+	j.enqueuedAt = time.Now()
+	j.mu.Unlock()
+	if !s.queue.tryPush(j) {
+		s.unregister(rec.ID)
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+	s.admitted.Add(1)
+	s.queueDepth.Set(int64(s.queue.depth()))
+	s.notify(j)
+	return nil
+}
+
+// Recover force-queues a job reloaded from disk at startup, bypassing the
+// queue bound — recovered jobs were admitted by a previous server
+// incarnation and must not be dropped.
+func (s *Scheduler) Recover(j *Job) {
+	s.Register(j)
+	j.Update(func(r *Record) { r.State = StateQueued })
+	j.mu.Lock()
+	j.enqueuedAt = time.Now()
+	j.mu.Unlock()
+	s.queue.forcePush(j)
+	s.queueDepth.Set(int64(s.queue.depth()))
+	s.notify(j)
+}
+
+// unregister drops a job that was never admitted (queue-full rejection).
+func (s *Scheduler) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, x := range s.order {
+		if x == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns the job with the given ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in registration order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth returns how many jobs are waiting in the run queue.
+func (s *Scheduler) QueueDepth() int { return s.queue.depth() }
+
+// Running returns how many jobs are currently executing.
+func (s *Scheduler) Running() int { return int(s.running.Load()) }
+
+// Cancel requests cancellation of a job. A queued job transitions to
+// canceled immediately; a running job has its context cancelled and
+// reaches canceled when the pipeline unwinds. Cancelling a terminal job
+// returns ErrJobTerminal.
+func (s *Scheduler) Cancel(id string) (Record, error) {
+	j, ok := s.Get(id)
+	if !ok {
+		return Record{}, fmt.Errorf("serve: unknown job %s", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.rec.State.Terminal():
+		rec := j.rec.clone()
+		j.mu.Unlock()
+		return rec, ErrJobTerminal
+	case j.rec.State == StateRunning:
+		j.cancelRequested = true
+		cancel := j.cancel
+		rec := j.rec.clone()
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return rec, nil
+	default: // submitted or queued (possibly mid-dispatch)
+		j.cancelRequested = true
+		now := time.Now()
+		j.rec.State = StateCanceled
+		j.rec.FinishedAt = &now
+		cancel := j.cancel
+		rec := j.rec.clone()
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.canceledC.Add(1)
+		s.notify(j)
+		return rec, nil
+	}
+}
+
+// Drain begins a graceful shutdown: new submissions are rejected, the
+// dispatcher stops starting jobs, running jobs are cancelled (their
+// committed stages stay resumable) and persisted back to queued, and
+// queued jobs simply stay queued on disk. Returns when every job
+// goroutine has unwound or ctx expires.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.drain.Store(true)
+	s.stop() // cancels the dispatcher and every running job's context
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// Kill simulates a crash for tests: every context is cancelled and NO
+// record is persisted, leaving the on-disk state exactly as a SIGKILL
+// would — running jobs still say "running". Waits for goroutines to
+// unwind so tests can immediately restart a server on the same root.
+func (s *Scheduler) Kill() {
+	s.killed.Store(true)
+	s.drain.Store(true)
+	s.stop()
+	s.wg.Wait()
+}
+
+// dispatch is the single scheduling goroutine: concurrency slot, FIFO
+// pop, device lease, start. The slot is taken before the pop so jobs
+// stay in the queue — and countable against the queue cap — until they
+// can actually run; otherwise one job would always sit invisibly between
+// the queue and the semaphore, silently extending the cap by one.
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.ctx.Done():
+			return
+		}
+		var j *Job
+		for {
+			var ok bool
+			j, ok = s.queue.pop(s.ctx)
+			if !ok {
+				return
+			}
+			s.queueDepth.Set(int64(s.queue.depth()))
+			if j.State() == StateQueued {
+				break
+			}
+			// Cancelled while queued; reuse the slot for the next job.
+		}
+		// The job's run context exists before the lease wait so a user
+		// cancel unparks the dispatcher instead of stalling the queue
+		// behind an unstartable job.
+		jobCtx, cancel := context.WithCancel(s.ctx)
+		j.mu.Lock()
+		j.cancel = cancel
+		demand := j.rec.DeviceDemandBytes
+		wait := time.Since(j.enqueuedAt)
+		j.mu.Unlock()
+		lease, err := s.cfg.Device.AllocWait(jobCtx, demand)
+		if err != nil {
+			cancel()
+			<-s.sem
+			if s.ctx.Err() != nil {
+				return
+			}
+			// User cancel while waiting for the lease: Cancel already
+			// marked the record canceled and notified.
+			continue
+		}
+		if j.CancelRequested() {
+			// Cancelled between the queue pop and the lease grant.
+			lease.Free()
+			cancel()
+			<-s.sem
+			continue
+		}
+		s.queueWaitMs.Observe(float64(wait.Milliseconds()))
+		s.startJob(j, jobCtx, cancel, lease, wait)
+	}
+}
+
+// startJob transitions the job to running and executes it on its own
+// goroutine, returning the concurrency slot and the device lease when it
+// finishes.
+func (s *Scheduler) startJob(j *Job, ctx context.Context, cancel context.CancelFunc, lease *gpu.Allocation, wait time.Duration) {
+	now := time.Now()
+	j.Update(func(r *Record) {
+		r.State = StateRunning
+		r.StartedAt = &now
+		r.Attempts++
+		r.Error = ""
+	})
+	s.running.Add(1)
+	s.runningG.Set(s.running.Load())
+	s.leasedG.Set(s.cfg.Device.InUse())
+	s.notify(j)
+	s.wg.Add(1)
+	s.runWG.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.runWG.Done()
+		defer func() { <-s.sem }()
+		defer cancel()
+		err := s.cfg.Run(ctx, j)
+		lease.Free()
+		s.running.Add(-1)
+		s.runningG.Set(s.running.Load())
+		s.leasedG.Set(s.cfg.Device.InUse())
+		s.finish(j, wait, err)
+	}()
+}
+
+// finish settles a run's outcome into the job record.
+func (s *Scheduler) finish(j *Job, wait time.Duration, err error) {
+	canceledByUser := j.CancelRequested()
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	now := time.Now()
+	switch {
+	case err == nil:
+		j.Update(func(r *Record) {
+			r.State = StateSucceeded
+			r.FinishedAt = &now
+			if r.Result != nil {
+				r.Result.QueueWaitMs = float64(wait.Milliseconds())
+			}
+		})
+		s.succeeded.Add(1)
+	case canceledByUser && interrupted:
+		j.Update(func(r *Record) {
+			r.State = StateCanceled
+			r.FinishedAt = &now
+		})
+		s.canceledC.Add(1)
+	case interrupted:
+		if s.killed.Load() {
+			// Crash simulation: leave the on-disk record saying "running".
+			return
+		}
+		// Drain: the job goes back to queued on disk; the next server
+		// start resumes it through the run manifest.
+		j.Update(func(r *Record) { r.State = StateQueued })
+	default:
+		j.Update(func(r *Record) {
+			r.State = StateFailed
+			r.FinishedAt = &now
+			r.Error = err.Error()
+		})
+		s.failed.Add(1)
+	}
+	s.notify(j)
+}
+
+// notify delivers a transition to the server's persistence hook.
+func (s *Scheduler) notify(j *Job) {
+	if s.killed.Load() {
+		return
+	}
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(j)
+	}
+}
+
+// jobQueue is a FIFO with a soft capacity: tryPush honours the bound
+// (HTTP backpressure), forcePush bypasses it (crash recovery must not
+// drop previously admitted jobs).
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	maxCap int
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{maxCap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) tryPush(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) >= q.maxCap {
+		return false
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return true
+}
+
+func (q *jobQueue) forcePush(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or ctx is cancelled.
+func (q *jobQueue) pop(ctx context.Context) (*Job, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fastq"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a job server.
+type Config struct {
+	// Root is the data directory (job records, inputs, workspaces).
+	Root string
+	// GPU is the one shared simulated card all jobs lease memory from.
+	GPU gpu.Spec
+	// QueueCap bounds the run queue (default 16); MaxConcurrent bounds
+	// simultaneous runs (default 2).
+	QueueCap      int
+	MaxConcurrent int
+	// Pipeline geometry shared by all jobs; zero values take the core
+	// defaults. Per-job knobs live in Params.
+	HostBlockPairs   int
+	DeviceBlockPairs int
+	MapBatchReads    int
+	// MaxBodyBytes caps a submission body (default 256 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is advertised on 429 responses (default 2s).
+	RetryAfter time.Duration
+	// Obs is the server's observability sink. Its metrics registry (one is
+	// created if absent) carries the scheduler gauges/counters and the
+	// per-job child registries the debug endpoint serves.
+	Obs *obs.Observer
+	// StageCommitHook, when set, fires after every stage a job commits,
+	// with the job's run context; tests use it to pause a job or kill the
+	// server at a precise recovery point.
+	StageCommitHook func(ctx context.Context, jobID string, stage core.PhaseName) error
+}
+
+// Server is the multi-tenant assembly job service: HTTP API + scheduler +
+// store, sharing one bounded device.
+type Server struct {
+	cfg   Config
+	store *Store
+	sched *Scheduler
+	dev   *gpu.Device
+	mux   *http.ServeMux
+	log   *slog.Logger
+}
+
+// New opens the data directory, sweeps orphaned state from crashed runs,
+// recovers persisted jobs (terminal ones become listable, interrupted
+// ones re-queue and resume through their manifests), and starts the
+// scheduler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("serve: empty root directory")
+	}
+	if cfg.GPU.MemBytes <= 0 {
+		return nil, fmt.Errorf("serve: GPU spec has no memory capacity")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.Obs == nil || cfg.Obs.Metrics() == nil {
+		cfg.Obs = obs.New(cfg.Obs.Log(), cfg.Obs.Tracer(), obs.NewRegistry())
+	}
+	store, err := NewStore(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		dev:   gpu.NewDevice(cfg.GPU, nil),
+		log:   cfg.Obs.Log(),
+	}
+	s.sched, err = NewScheduler(SchedulerConfig{
+		Device:        s.dev,
+		QueueCap:      cfg.QueueCap,
+		MaxConcurrent: cfg.MaxConcurrent,
+		Run:           s.runJob,
+		OnTransition:  s.onTransition,
+		Obs:           cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.Sweep(s.log); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// recover reloads every persisted job: terminal records register for
+// listing; submitted/queued/running records re-enter the queue (in
+// original submission order) and resume mid-pipeline via their run
+// manifests.
+func (s *Server) recover() error {
+	recs, err := s.store.List()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		j := NewJob(rec)
+		if rec.State.Terminal() {
+			s.sched.Register(j)
+			continue
+		}
+		s.log.Info("recovering interrupted job", "job", rec.ID, "state", rec.State,
+			"attempts", rec.Attempts)
+		s.sched.Recover(j)
+	}
+	return nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Device exposes the shared card (admission accounting, tests).
+func (s *Server) Device() *gpu.Device { return s.dev }
+
+// Scheduler exposes the scheduler (metrics, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Store exposes the on-disk layout (tests, tooling).
+func (s *Server) Store() *Store { return s.store }
+
+// Drain gracefully shuts the job layer down: submissions are rejected,
+// running jobs are cancelled at the next device batch with their
+// committed stages resumable, and every record is flushed. The HTTP
+// listener is the caller's to close (http.Server.Shutdown first).
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Kill crash-stops the job layer without persisting anything; tests use
+// it to exercise the recovery path.
+func (s *Server) Kill() { s.sched.Kill() }
+
+// onTransition persists every job state change and finishes terminal
+// jobs' workspace cleanup.
+func (s *Server) onTransition(j *Job) {
+	rec := j.Record()
+	if err := s.store.Save(rec); err != nil {
+		s.log.Error("persisting job record", "job", rec.ID, "err", err)
+	}
+	if rec.State.Terminal() {
+		if err := s.store.CleanupWorkspace(rec.ID); err != nil {
+			s.log.Error("cleaning job workspace", "job", rec.ID, "err", err)
+		}
+	}
+}
+
+// jobConfig builds the core configuration a job runs under. The job's
+// device is a private handle whose capacity equals the job's lease, so a
+// job can never use more device memory than admission granted it; the
+// demand is persisted in the record, which keeps the config fingerprint —
+// and therefore manifest resume — stable across server restarts.
+func (s *Server) jobConfig(rec Record) core.Config {
+	cfg := core.DefaultConfig(s.store.WorkDir(rec.ID))
+	if s.cfg.HostBlockPairs > 0 {
+		cfg.HostBlockPairs = s.cfg.HostBlockPairs
+	}
+	if s.cfg.DeviceBlockPairs > 0 {
+		cfg.DeviceBlockPairs = s.cfg.DeviceBlockPairs
+	}
+	if s.cfg.MapBatchReads > 0 {
+		cfg.MapBatchReads = s.cfg.MapBatchReads
+	}
+	cfg.MinOverlap = rec.Params.MinOverlap
+	cfg.Workers = rec.Params.Workers
+	cfg.FullGraph = rec.Params.FullGraph
+	cfg.DedupeReads = rec.Params.DedupeReads
+	cfg.IncludeSingletons = rec.Params.IncludeSingletons
+	cfg.VerifyOverlaps = rec.Params.VerifyOverlaps
+	cfg.GPU = s.cfg.GPU
+	if rec.DeviceDemandBytes > 0 {
+		cfg.GPU.MemBytes = rec.DeviceDemandBytes
+	}
+	cfg.Resume = true // a fresh workspace has no manifest; resume is a no-op there
+	return cfg
+}
+
+// runJob executes one job through the core pipeline: reads come from the
+// persisted input, progress events update the record live, and the job's
+// private metrics registry is mounted on the server registry under a
+// job="<id>" label for the lifetime of the run.
+func (s *Server) runJob(ctx context.Context, j *Job) error {
+	rec := j.Record()
+	reads, _, err := fastq.ReadFile(s.store.InputPath(rec.ID))
+	if err != nil {
+		return fmt.Errorf("serve: reloading job input: %w", err)
+	}
+	cfg := s.jobConfig(rec)
+
+	jobReg := obs.NewRegistry()
+	parent := s.cfg.Obs.Metrics()
+	label := `job="` + rec.ID + `"`
+	parent.AttachChild(label, jobReg)
+	defer parent.DetachChild(label)
+	cfg.Obs = obs.New(s.log.With("job", rec.ID), nil, jobReg)
+	cfg.Progress = func(stage, event string) {
+		j.Update(func(r *Record) {
+			r.Stage = stage
+			switch event {
+			case core.ProgressDone:
+				r.StagesDone = append(r.StagesDone, stage)
+			case core.ProgressCached:
+				r.StagesDone = append(r.StagesDone, stage)
+				r.CachedStages = append(r.CachedStages, stage)
+			}
+		})
+		if err := s.store.Save(j.Record()); err != nil {
+			s.log.Error("persisting job progress", "job", rec.ID, "err", err)
+		}
+	}
+
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if s.cfg.StageCommitHook != nil {
+		p.FaultHook = func(stage core.PhaseName) error {
+			return s.cfg.StageCommitHook(ctx, rec.ID, stage)
+		}
+	}
+	res, err := p.AssembleContext(ctx, reads)
+	if err != nil {
+		return err
+	}
+	if err := s.store.InstallResult(rec.ID); err != nil {
+		return err
+	}
+	j.Update(func(r *Record) {
+		r.CachedStages = append([]string(nil), res.CachedStages...)
+		r.Result = &ResultSummary{
+			NumContigs:     res.ContigStats.NumContigs,
+			TotalBases:     res.ContigStats.TotalBases,
+			MaxContigLen:   res.ContigStats.MaxLen,
+			N50:            res.ContigStats.N50,
+			CandidateEdges: res.CandidateEdges,
+			AcceptedEdges:  res.AcceptedEdges,
+			WallMillis:     res.TotalWall.Milliseconds(),
+			ModeledMillis:  res.TotalModeled.Milliseconds(),
+		}
+	})
+	return nil
+}
+
+// buildMux wires the HTTP API.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseParams reads the per-job knobs from the submit query string.
+func parseParams(r *http.Request) (Params, error) {
+	q := r.URL.Query()
+	p := Params{MinOverlap: 63, Workers: 1}
+	if v := q.Get("lmin"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("invalid lmin %q", v)
+		}
+		p.MinOverlap = n
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("invalid workers %q", v)
+		}
+		p.Workers = n
+	}
+	boolParam := func(key string, dst *bool) error {
+		v := q.Get(key)
+		if v == "" {
+			return nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("invalid %s %q", key, v)
+		}
+		*dst = b
+		return nil
+	}
+	for key, dst := range map[string]*bool{
+		"fullgraph":  &p.FullGraph,
+		"dedupe":     &p.DedupeReads,
+		"singletons": &p.IncludeSingletons,
+		"verify":     &p.VerifyOverlaps,
+	} {
+		if err := boolParam(key, dst); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// handleSubmit accepts a FASTQ/FASTA body plus query-string knobs,
+// persists the job, and queues it. Responses: 201 with the job record,
+// 400 on bad input, 413 when the body exceeds the limit, 422 when the job
+// can never fit on the device, 429 (+ Retry-After) when the run queue is
+// full, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	params, err := parseParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		return
+	}
+	reads, _, err := fastq.ReadAll(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing reads: %v", err)
+		return
+	}
+	if reads.NumReads() == 0 {
+		writeError(w, http.StatusBadRequest, "no reads in body")
+		return
+	}
+	if reads.MaxLen() <= params.MinOverlap {
+		writeError(w, http.StatusUnprocessableEntity,
+			"lmin %d is not below the longest read length %d", params.MinOverlap, reads.MaxLen())
+		return
+	}
+
+	rec := Record{
+		ID:          NewJobID(),
+		Name:        r.URL.Query().Get("name"),
+		State:       StateSubmitted,
+		Params:      params,
+		NumReads:    reads.NumReads(),
+		MaxReadLen:  reads.MaxLen(),
+		SubmittedAt: time.Now().UTC(),
+	}
+	rec.DeviceDemandBytes = s.jobConfig(rec).DeviceDemandBytes(reads.MaxLen())
+	if rec.DeviceDemandBytes > s.dev.Capacity() {
+		writeError(w, http.StatusUnprocessableEntity,
+			"job needs %d bytes of device memory, %s has %d: lower workers",
+			rec.DeviceDemandBytes, s.cfg.GPU.Name, s.dev.Capacity())
+		return
+	}
+	if err := s.store.CreateJob(rec, body); err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+		return
+	}
+	j := NewJob(rec)
+	if err := s.sched.Submit(j); err != nil {
+		if rmErr := s.store.Remove(rec.ID); rmErr != nil {
+			s.log.Error("removing rejected job", "job", rec.ID, "err", rmErr)
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, "run queue is full, retry later")
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+rec.ID)
+	writeJSON(w, http.StatusCreated, j.Record())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	recs := make([]Record, 0, len(jobs))
+	for _, j := range jobs {
+		recs = append(recs, j.Record())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": recs})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Record())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	rec := j.Record()
+	if rec.State != StateSucceeded {
+		writeError(w, http.StatusConflict, "job %s is %s, not succeeded", id, rec.State)
+		return
+	}
+	f, err := os.Open(s.store.ResultPath(id))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening result: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/x-fasta")
+	io.Copy(w, f)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.sched.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, rec)
+	case errors.Is(err, ErrJobTerminal):
+		writeError(w, http.StatusConflict, "job %s is already %s", id, rec.State)
+	default:
+		writeError(w, http.StatusNotFound, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"queueDepth":      s.sched.QueueDepth(),
+		"jobsRunning":     s.sched.Running(),
+		"deviceLeased":    s.dev.InUse(),
+		"deviceCapacity":  s.dev.Capacity(),
+		"deviceWaitQueue": s.dev.Waiters(),
+		"deviceCard":      s.cfg.GPU.Name,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Obs.Metrics().Snapshot())
+}

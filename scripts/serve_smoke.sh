@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for lasagna-serve: build the binaries, assemble a
+# small synthetic dataset directly with the lasagna CLI, then submit the
+# same reads to a running lasagna-serve over HTTP, poll the job to
+# completion, fetch the FASTA, and require it byte-identical to the
+# direct run. Finishes with a SIGTERM drain and a clean-exit check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d /tmp/lasagna-serve-smoke.XXXXXX)
+addr="localhost:18844"
+base="http://$addr"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/bin/" ./cmd/lasagna ./cmd/lasagna-serve ./cmd/readgen
+"$work/bin/lasagna-serve" -version
+
+echo "== generate reads"
+"$work/bin/readgen" -genome-len 20000 -read-len 80 -coverage 10 -out "$work/reads.fastq"
+
+echo "== direct assembly (golden output)"
+"$work/bin/lasagna" -in "$work/reads.fastq" -workspace "$work/direct" -lmin 40 -workers 1 >/dev/null
+golden="$work/direct/contigs.fasta"
+[ -s "$golden" ] || { echo "direct assembly produced no contigs"; exit 1; }
+
+echo "== start server"
+"$work/bin/lasagna-serve" -addr "$addr" -root "$work/serve-data" -quiet &
+server_pid=$!
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then echo "server died during startup"; exit 1; fi
+    sleep 0.1
+done
+curl -sf "$base/healthz" >/dev/null || { echo "server never became healthy"; exit 1; }
+
+echo "== submit job"
+created=$(curl -sf --data-binary "@$work/reads.fastq" "$base/v1/jobs?lmin=40&workers=1&name=smoke")
+job_id=$(printf '%s' "$created" | sed -n 's/.*"id": *"\(j[0-9a-f]*\)".*/\1/p' | head -n 1)
+[ -n "$job_id" ] || { echo "no job id in response: $created"; exit 1; }
+echo "   job $job_id"
+
+echo "== poll until terminal"
+state=""
+for i in $(seq 1 600); do
+    body=$(curl -sf "$base/v1/jobs/$job_id")
+    state=$(printf '%s' "$body" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -n 1)
+    case "$state" in
+        succeeded|failed|canceled) break ;;
+    esac
+    sleep 0.1
+done
+[ "$state" = "succeeded" ] || { echo "job ended in state '$state'"; curl -sf "$base/v1/jobs/$job_id" || true; exit 1; }
+
+echo "== fetch result and compare"
+curl -sf "$base/v1/jobs/$job_id/result" > "$work/served.fasta"
+if ! cmp -s "$golden" "$work/served.fasta"; then
+    echo "served FASTA differs from direct assembly"
+    exit 1
+fi
+echo "   byte-identical to direct assembly ($(wc -c < "$golden") bytes)"
+
+echo "== metrics sanity"
+metrics=$(curl -sf "$base/debug/metrics")
+printf '%s' "$metrics" | grep -q '"serve.jobs_admitted": *1' || { echo "metrics missing admitted=1: $metrics"; exit 1; }
+printf '%s' "$metrics" | grep -q '"serve.jobs_succeeded": *1' || { echo "metrics missing succeeded=1: $metrics"; exit 1; }
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$server_pid"
+for i in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then echo "server ignored SIGTERM"; exit 1; fi
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "serve smoke test passed"

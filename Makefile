@@ -23,9 +23,13 @@ test:
 	$(GO) test ./...
 
 # The pipeline runs partitions concurrently (Config.Workers); the race
-# detector is part of the default verification gate.
+# detector is part of the default verification gate. The stream stress
+# test gets an explicit high-count pass: the async executor/enqueuer
+# handoff and the allocator's lock-ordering fixes are the raciest code in
+# the tree.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=3 -run 'TestStreamStress|TestAllocPeakNeverExceedsCapacity|TestAllocationConcurrentFreeIdempotent' ./internal/gpu/
 
 # Short fuzz passes over the parsers and the packed encoding; the seed
 # corpora live under testdata/fuzz/.
@@ -36,12 +40,15 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzKVReader -fuzztime=10s ./internal/kvio/
 
 # One benchmark per paper table/figure plus the ablations, then the job
-# service's end-to-end throughput, stored machine-readable as
-# BENCH_serve.json (jobs/sec, queue latency).
+# service's end-to-end throughput (BENCH_serve.json: jobs/sec, queue
+# latency) and the serial-vs-overlapped stream comparison
+# (BENCH_streams.json: modeled and wall seconds per phase).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
+	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
+		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
 
 cover:
 	$(GO) test -cover ./...
@@ -71,6 +78,6 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_streams.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

@@ -9,6 +9,7 @@ package lasagna
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -93,6 +94,93 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// streamsBenchPhase is one phase's serial-vs-overlapped comparison in
+// BENCH_streams.json.
+type streamsBenchPhase struct {
+	Phase              string  `json:"phase"`
+	SerialModeledS     float64 `json:"serialModeledS"`
+	OverlappedModeledS float64 `json:"overlappedModeledS"`
+	SerialWallS        float64 `json:"serialWallS"`
+	OverlappedWallS    float64 `json:"overlappedWallS"`
+}
+
+type streamsBenchReport struct {
+	SerialModeledS     float64             `json:"serialModeledS"`
+	OverlappedModeledS float64             `json:"overlappedModeledS"`
+	SavedS             float64             `json:"savedS"`
+	OverlapRatio       float64             `json:"overlapRatio"`
+	Phases             []streamsBenchPhase `json:"phases"`
+}
+
+// BenchmarkPipelineStreams assembles the largest bench-scale dataset with
+// modeled streams off and on. Output and counters are identical by
+// construction (see core's streams tests); what the benchmark shows is
+// the modeled seconds falling and the wall-clock cost of the stream
+// machinery staying negligible. When BENCH_STREAMS_OUT names a file, the
+// per-phase serial vs overlapped comparison is written there as JSON.
+func BenchmarkPipelineStreams(b *testing.B) {
+	p, rs := benchReads(b, 3)
+	results := map[bool]*core.Result{}
+	for _, streams := range []bool{false, true} {
+		streams := streams
+		name := "serial"
+		if streams {
+			name = "overlapped"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(b, gpu.K40, p.MinOverlap)
+				cfg.Streams = streams
+				b.StartTimer()
+				var err error
+				res, err = Assemble(cfg, rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.TotalModeled.Seconds(), "modeled-s")
+			results[streams] = res
+		})
+	}
+	serial, overlapped := results[false], results[true]
+	if serial == nil || overlapped == nil {
+		return // sub-benchmark filtered out
+	}
+	if overlapped.Counters != serial.Counters {
+		b.Fatalf("streams changed counters: %+v vs %+v", overlapped.Counters, serial.Counters)
+	}
+	out := os.Getenv("BENCH_STREAMS_OUT")
+	if out == "" {
+		return
+	}
+	rep := streamsBenchReport{
+		SerialModeledS:     serial.TotalModeled.Seconds(),
+		OverlappedModeledS: overlapped.TotalModeled.Seconds(),
+		SavedS:             overlapped.OverlapSaved.Seconds(),
+		OverlapRatio:       overlapped.OverlapRatio,
+	}
+	for i, ps := range serial.Phases {
+		po := overlapped.Phases[i]
+		rep.Phases = append(rep.Phases, streamsBenchPhase{
+			Phase:              ps.Name,
+			SerialModeledS:     ps.Modeled.Seconds(),
+			OverlappedModeledS: po.Modeled.Seconds(),
+			SerialWallS:        ps.Wall.Seconds(),
+			OverlappedWallS:    po.Wall.Seconds(),
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

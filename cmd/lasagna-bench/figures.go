@@ -70,32 +70,35 @@ func (h *harness) partitionFile() (string, int64, error) {
 
 // sortOnce sorts the partition file under the given block sizes and GPU,
 // returning the per-tier modeled-time breakdown under the given disk
-// bandwidths. Callers take Total() for headline seconds and read the tier
-// fields directly for attribution — the shares are never recomputed from
-// raw byte counts here.
+// bandwidths plus the modeled seconds hidden by stream overlap. Callers
+// take Total() for the serial headline, Total()-saved for the overlapped
+// figure, and read the tier fields directly for attribution — the shares
+// are never recomputed from raw byte counts here.
 func (h *harness) sortOnce(partPath string, mh, md int, card gpu.Spec,
-	diskRead, diskWrite float64) (costmodel.Breakdown, extsort.Stats, error) {
+	diskRead, diskWrite float64) (costmodel.Breakdown, float64, extsort.Stats, error) {
 	meter := costmodel.NewMeter()
 	dev := gpu.NewDevice(card, meter)
 	dir, err := os.MkdirTemp(h.workspace, "sort-*")
 	if err != nil {
-		return costmodel.Breakdown{}, extsort.Stats{}, err
+		return costmodel.Breakdown{}, 0, extsort.Stats{}, err
 	}
 	defer os.RemoveAll(dir)
+	prof := card.CostProfile(diskRead, diskWrite)
+	lg := costmodel.NewOverlapLedger(prof)
 	cfg := extsort.Config{
 		Device:           dev,
 		Meter:            meter,
 		HostBlockPairs:   mh,
 		DeviceBlockPairs: md,
 		TempDir:          dir,
+		Overlap:          lg,
 	}
 	out := filepath.Join(dir, "sorted.kv")
 	st, err := extsort.SortFile(context.Background(), cfg, partPath, out)
 	if err != nil {
-		return costmodel.Breakdown{}, st, err
+		return costmodel.Breakdown{}, 0, st, err
 	}
-	prof := card.CostProfile(diskRead, diskWrite)
-	return meter.Snapshot().Breakdown(prof), st, nil
+	return meter.Snapshot().Breakdown(prof), lg.SavedSeconds(), st, nil
 }
 
 // fig8 sweeps host and device block-sizes on a K40 (Fig. 8: the host
@@ -125,16 +128,16 @@ func (h *harness) fig8() error {
 			if mh < md {
 				mh = md
 			}
-			bd, st, err := h.sortOnce(partPath, mh, md, gpu.K40,
+			bd, saved, st, err := h.sortOnce(partPath, mh, md, gpu.K40,
 				costmodel.DefaultDisk.ReadBps, costmodel.DefaultDisk.WriteBps)
 			if err != nil {
 				return err
 			}
-			fmt.Printf(" %8.3fs/%d", bd.Total(), st.DiskPasses)
+			fmt.Printf(" %8.3fs/%d", bd.Total()-saved, st.DiskPasses)
 		}
 		fmt.Println()
 	}
-	fmt.Println("(modeled seconds / disk passes; larger host blocks cut passes, device blocks are secondary)")
+	fmt.Println("(overlapped modeled seconds / disk passes; larger host blocks cut passes, device blocks are secondary)")
 	return nil
 }
 
@@ -167,12 +170,12 @@ func (h *harness) fig9() error {
 			if mh < md {
 				mh = md
 			}
-			bd, _, err := h.sortOnce(partPath, mh, md, card,
+			bd, saved, _, err := h.sortOnce(partPath, mh, md, card,
 				costmodel.SSDDisk.ReadBps, costmodel.SSDDisk.WriteBps)
 			if err != nil {
 				return err
 			}
-			fmt.Printf(" %10.3fs", bd.Total())
+			fmt.Printf(" %10.3fs", bd.Total()-saved)
 			last = bd
 		}
 		// The convergence claim made quantitative: at the largest host
@@ -182,7 +185,7 @@ func (h *harness) fig9() error {
 		fmt.Printf("  (n/1: disk %4.0f%%, device %4.0f%%)\n",
 			100*ioSec/last.Total(), 100*devSec/last.Total())
 	}
-	fmt.Println("(modeled seconds; V100 < P100 < P40 < K40 at large host blocks, converging when I/O bound)")
+	fmt.Println("(overlapped modeled seconds; V100 < P100 < P40 < K40 at large host blocks, converging when I/O bound)")
 	return nil
 }
 

@@ -88,6 +88,13 @@ type Config struct {
 	// cross-node token and in-memory candidate lists, which the paper's
 	// design never checkpoints.
 	Resume bool
+	// Streams enables overlapped execution modeling on every node,
+	// mirroring core.Config.Streams: per-node sort and reduce work runs on
+	// gpu.Streams and each node's modeled phase time becomes the
+	// overlap-aware makespan before the max-over-nodes aggregation.
+	// Output and counters are identical either way. Execution knob:
+	// excluded from the per-node manifest fingerprints.
+	Streams bool
 	// Obs is the observability sink shared by the coordinator and every
 	// node. In the trace the coordinator is pid 0 and node i is pid i+1.
 	// Nil disables all instrumentation.
@@ -110,6 +117,7 @@ func DefaultConfig(workspace string, nodes int) Config {
 		DiskWriteBps:     costmodel.DefaultDisk.WriteBps,
 		NetBps:           costmodel.InfiniBand56G,
 		BreakCycles:      true,
+		Streams:          true,
 	}
 }
 
@@ -157,6 +165,9 @@ type node struct {
 	hostMem stats.MemTracker
 	counts  map[int]int64 // owned-partition tuple counts after shuffle
 	edges   []graph.Edge  // accepted edges for owned partitions
+	// ledger accumulates the node's modeled overlap savings; nil when
+	// Config.Streams is off.
+	ledger *costmodel.OverlapLedger
 }
 
 // Cluster is a simulated multi-node deployment.
@@ -244,12 +255,16 @@ func New(cfg Config) (*Cluster, error) {
 				tr.NameThread(nodeTrack(i).Worker(w), fmt.Sprintf("worker %d", w))
 			}
 		}
-		c.nodes = append(c.nodes, &node{
+		n := &node{
 			id:    i,
 			dir:   dir,
 			dev:   dev,
 			meter: meter,
-		})
+		}
+		if cfg.Streams {
+			n.ledger = costmodel.NewOverlapLedger(cfg.profile())
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	return c, nil
 }
@@ -269,12 +284,15 @@ func (c *Cluster) owner(l int) *node {
 // extra serialized seconds, and memory peaks are per-phase maxima.
 func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Duration,
 	fn func(*node) error) error {
-	type snap struct{ counters costmodel.Counters }
+	type snap struct {
+		counters costmodel.Counters
+		saved    float64
+	}
 	before := make([]snap, len(c.nodes))
 	for i, n := range c.nodes {
 		n.hostMem.ResetPeak()
 		n.dev.MemTracker().ResetPeak()
-		before[i] = snap{n.meter.Snapshot()}
+		before[i] = snap{n.meter.Snapshot(), n.ledger.SavedSeconds()}
 	}
 	c.cfg.Obs.Log().Debug("phase start", "phase", string(name), "nodes", len(c.nodes))
 	phaseSpan := c.cfg.Obs.Tracer().Begin(obs.Track{}, "stage", string(name))
@@ -298,7 +316,14 @@ func (c *Cluster) runPhase(name core.PhaseName, res *Result, extraSerial time.Du
 	modeled := make([]time.Duration, len(c.nodes))
 	for i, n := range c.nodes {
 		delta := n.meter.Snapshot().Sub(before[i].counters)
-		modeled[i] = delta.Time(prof)
+		// Per-node overlap hidden this phase: each node's modeled time is
+		// its own makespan before the max-over-nodes aggregation.
+		saved := time.Duration((n.ledger.SavedSeconds() - before[i].saved) * float64(time.Second))
+		modeled[i] = delta.Time(prof) - saved
+		if modeled[i] < 0 {
+			modeled[i] = 0
+		}
+		ps.OverlapSaved += saved
 		if modeled[i] > ps.Modeled {
 			ps.Modeled = modeled[i]
 		}
@@ -347,7 +372,7 @@ var nodeStages = []core.PhaseName{core.PhaseMap, PhaseShuffle, core.PhaseSort}
 
 // fingerprint hashes the output-relevant cluster configuration for the
 // per-node manifests; execution knobs (WorkersPerNode, Workspace,
-// bandwidths, Resume) are excluded. The node count and identity are
+// bandwidths, Resume, Streams) are excluded. The node count and identity are
 // folded in because both change what any single node's storage holds.
 func (c Config) fingerprint(nodeID int) string {
 	h := sha256.New()
@@ -743,6 +768,7 @@ func (c *Cluster) sortNode(ctx context.Context, n *node) error {
 			DeviceBlockPairs: c.cfg.DeviceBlockPairs,
 			TempDir:          tmpDir,
 			Obs:              c.cfg.Obs,
+			Overlap:          n.ledger,
 		}
 		in := filepath.Join(n.dir, shufName(t.kind, t.l))
 		out := filepath.Join(n.dir, sortedName(t.kind, t.l))
@@ -820,6 +846,7 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 			HostMem:     &n.hostMem,
 			WindowPairs: max(c.cfg.HostBlockPairs/2, 1),
 			Obs:         c.cfg.Obs,
+			Overlap:     n.ledger,
 		}
 		lengths := make([]int, 0, len(n.counts))
 		for l := range n.counts {

@@ -90,6 +90,15 @@ type Config struct {
 	// high-coverage data forms greedy 2-cycles between duplicate reads
 	// that fragment contigs; see dna.Deduplicate.
 	DedupeReads bool
+	// Streams enables overlapped execution modeling: the sort and reduce
+	// phases run their disk prefetch and device work on gpu.Streams backed
+	// by per-unit costmodel Timelines, and each phase's modeled time
+	// becomes the overlap-aware makespan instead of the additive tier sum.
+	// Output bytes and all cost counters are identical either way — only
+	// modeled seconds change, and only downward (see DESIGN.md, "Streams
+	// and overlap accounting"). Execution knob: excluded from the resume
+	// fingerprint.
+	Streams bool
 	// NaiveMapKernel switches the map phase to the per-read-thread
 	// fingerprint kernel the paper rejects (Section III-A); exposed for
 	// the ablation benchmarks.
@@ -138,6 +147,7 @@ func DefaultConfig(workspace string) Config {
 		DiskWriteBps:      costmodel.DefaultDisk.WriteBps,
 		IncludeSingletons: false,
 		BreakCycles:       true,
+		Streams:           true,
 	}
 }
 

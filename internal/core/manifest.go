@@ -133,8 +133,9 @@ func validateArtifacts(root string, rec StageRecord) error {
 
 // fingerprint hashes the output-relevant configuration: every knob that
 // changes the bytes any stage writes. Execution knobs (Workers, Workspace,
-// KeepIntermediate, Resume, disk bandwidths) are deliberately excluded —
-// they may differ between the interrupted run and the resumed one.
+// KeepIntermediate, Resume, Streams, disk bandwidths) are deliberately
+// excluded — they may differ between the interrupted run and the resumed
+// one.
 func (c Config) fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v%d|min=%d|mh=%d|md=%d|mb=%d|gpu=%s/%d",

@@ -34,6 +34,10 @@ type Pipeline struct {
 	dev     *gpu.Device
 	meter   *costmodel.Meter
 	hostMem stats.MemTracker
+	// ledger accumulates modeled overlap savings from the streamed sort
+	// and reduce paths; nil when Config.Streams is off (every streamed
+	// call site degrades to the serial path on a nil ledger).
+	ledger *costmodel.OverlapLedger
 
 	// FaultHook, when set, fires after every stage commit (manifest
 	// written, consumed inputs cleaned up). Returning an error aborts the
@@ -67,6 +71,13 @@ type Result struct {
 	TotalWall    time.Duration
 	TotalModeled time.Duration
 
+	// OverlapSaved is the modeled time hidden by stream overlap across the
+	// run (always zero with Config.Streams off); TotalModeled already has
+	// it subtracted. OverlapRatio is the fraction of streamed modeled work
+	// hidden by overlap, in [0, 1).
+	OverlapSaved time.Duration
+	OverlapRatio float64
+
 	// Counters is the run's final cost-meter snapshot and Modeled its
 	// per-tier modeled-seconds breakdown under the configured GPU profile;
 	// Modeled.Total() reconciles with TotalModeled's derivation, so report
@@ -97,8 +108,16 @@ func New(cfg Config) (*Pipeline, error) {
 		// take pids 1..N.
 		dev.SetHooks(obs.DeviceHooks(cfg.Obs, 0))
 	}
-	return &Pipeline{cfg: cfg, dev: dev, meter: meter}, nil
+	p := &Pipeline{cfg: cfg, dev: dev, meter: meter}
+	if cfg.Streams {
+		p.ledger = costmodel.NewOverlapLedger(cfg.Profile())
+	}
+	return p, nil
 }
+
+// OverlapLedger exposes the run's overlap accounting (nil when
+// Config.Streams is off), for tests and diagnostics.
+func (p *Pipeline) OverlapLedger() *costmodel.OverlapLedger { return p.ledger }
 
 // track is the pipeline's stage-driver trace lane; worker lanes hang off
 // it via track.Worker.
@@ -124,21 +143,32 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 	span := p.cfg.Obs.Tracer().Begin(p.track(), "stage", string(name)).
 		Metered(p.meter, p.cfg.Profile())
 	before := p.meter.Snapshot()
+	savedBefore := p.ledger.SavedSeconds()
 	timer := stats.StartTimer()
 	err := fn()
 	span.End()
 	delta := p.meter.Snapshot().Sub(before)
+	// Overlap hidden by this phase's streamed work: subtracting it from
+	// the additive model turns Modeled into the phase's makespan. Streamed
+	// units commit their timelines before their phase returns, so the
+	// ledger delta is attributable to this phase alone.
+	saved := time.Duration((p.ledger.SavedSeconds() - savedBefore) * float64(time.Second))
+	modeled := delta.Time(p.cfg.Profile()) - saved
+	if modeled < 0 {
+		modeled = 0
+	}
 	ps := stats.PhaseStats{
-		Name:       string(name),
-		Wall:       timer.Elapsed(),
-		Modeled:    delta.Time(p.cfg.Profile()),
-		PeakHost:   p.hostMem.Peak(),
-		PeakDevice: p.dev.MemTracker().Peak(),
-		DiskRead:   delta.DiskReadBytes,
-		DiskWrite:  delta.DiskWriteBytes,
-		NetBytes:   delta.NetBytes,
-		PCIeBytes:  delta.PCIeBytes,
-		DeviceOps:  delta.DeviceOps,
+		Name:         string(name),
+		Wall:         timer.Elapsed(),
+		Modeled:      modeled,
+		PeakHost:     p.hostMem.Peak(),
+		PeakDevice:   p.dev.MemTracker().Peak(),
+		DiskRead:     delta.DiskReadBytes,
+		DiskWrite:    delta.DiskWriteBytes,
+		NetBytes:     delta.NetBytes,
+		PCIeBytes:    delta.PCIeBytes,
+		DeviceOps:    delta.DeviceOps,
+		OverlapSaved: saved,
 	}
 	res.Phases = append(res.Phases, ps)
 	res.TotalWall += ps.Wall
@@ -230,6 +260,13 @@ func (p *Pipeline) assembleInto(ctx context.Context, res *Result, rs dna.ReadSou
 	defer func() {
 		res.Counters = p.meter.Snapshot()
 		res.Modeled = res.Counters.Breakdown(p.cfg.Profile())
+		res.OverlapSaved = time.Duration(p.ledger.SavedSeconds() * float64(time.Second))
+		res.OverlapRatio = p.ledger.OverlapRatio()
+		if p.ledger != nil {
+			m := p.cfg.Obs.Metrics()
+			m.Gauge("core.overlap_saved_us").Set(res.OverlapSaved.Microseconds())
+			m.Gauge("core.overlap_ratio_pct").Set(int64(res.OverlapRatio * 100))
+		}
 	}()
 	if rs.NumReads() == 0 {
 		return res, fmt.Errorf("core: empty read set")
@@ -555,6 +592,7 @@ func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int
 			DeviceBlockPairs: p.cfg.DeviceBlockPairs,
 			TempDir:          tmpDir,
 			Obs:              p.cfg.Obs,
+			Overlap:          p.ledger,
 		}
 		in := kvio.PartitionPath(partDir, t.kind, t.length)
 		out := in + ".sorted"
@@ -662,6 +700,7 @@ func (p *Pipeline) runReduce(ctx context.Context, rs dna.ReadSource, partDir str
 		HostMem:     &p.hostMem,
 		WindowPairs: max(p.cfg.HostBlockPairs/2, 1),
 		Obs:         p.cfg.Obs,
+		Overlap:     p.ledger,
 	}
 	lengths := sortedLengthsDesc(counts)
 	lenHist := p.cfg.Obs.Metrics().Histogram("overlap.length",

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// Streams on and off must be observationally identical — byte-identical
+// FASTA, identical cost counters and edge totals — with streams only
+// shrinking the modeled seconds. This is the acceptance contract of the
+// overlap model: it re-places existing charges on concurrent timelines,
+// it never adds or removes work.
+func TestStreamsIdenticalOutputLowerModeledTime(t *testing.T) {
+	_, reads := testGenomeReads(t, 3000, 56, 10)
+	run := func(streams bool) (*Result, []byte) {
+		cfg := smallConfig(t)
+		cfg.Streams = streams
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fasta, err := os.ReadFile(res.ContigPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fasta
+	}
+
+	off, offFasta := run(false)
+	on, onFasta := run(true)
+
+	if string(onFasta) != string(offFasta) {
+		t.Errorf("FASTA output differs with streams on (%d bytes) vs off (%d bytes)",
+			len(onFasta), len(offFasta))
+	}
+	if on.Counters != off.Counters {
+		t.Errorf("cost counters differ: on=%+v off=%+v", on.Counters, off.Counters)
+	}
+	if on.AcceptedEdges != off.AcceptedEdges || on.CandidateEdges != off.CandidateEdges {
+		t.Errorf("edges differ: on=%d/%d off=%d/%d",
+			on.AcceptedEdges, on.CandidateEdges, off.AcceptedEdges, off.CandidateEdges)
+	}
+	if len(on.Contigs) != len(off.Contigs) {
+		t.Fatalf("contig counts differ: %d vs %d", len(on.Contigs), len(off.Contigs))
+	}
+	for i := range on.Contigs {
+		if !on.Contigs[i].Equal(off.Contigs[i]) {
+			t.Fatalf("contig %d differs with streams on", i)
+		}
+	}
+
+	if off.OverlapSaved != 0 || off.OverlapRatio != 0 {
+		t.Errorf("streams off reported overlap: saved=%v ratio=%v", off.OverlapSaved, off.OverlapRatio)
+	}
+	if on.OverlapSaved <= 0 {
+		t.Errorf("OverlapSaved = %v, want > 0 with streams on", on.OverlapSaved)
+	}
+	if on.OverlapRatio <= 0 || on.OverlapRatio >= 1 {
+		t.Errorf("OverlapRatio = %v, want in (0, 1)", on.OverlapRatio)
+	}
+	if on.TotalModeled >= off.TotalModeled {
+		t.Errorf("TotalModeled with streams = %v, want < serial %v", on.TotalModeled, off.TotalModeled)
+	}
+	// Identical counters mean identical additive time, so per phase the
+	// streamed figure is the serial figure minus that phase's saving.
+	for _, name := range []PhaseName{PhaseMap, PhaseSort, PhaseReduce, PhaseCompress} {
+		po, _ := on.PhaseByName(name)
+		pf, _ := off.PhaseByName(name)
+		if po.Modeled > pf.Modeled {
+			t.Errorf("phase %s: streamed modeled %v exceeds serial %v", name, po.Modeled, pf.Modeled)
+		}
+	}
+	sortOn, _ := on.PhaseByName(PhaseSort)
+	sortOff, _ := off.PhaseByName(PhaseSort)
+	if sortOn.Modeled >= sortOff.Modeled {
+		t.Errorf("sort phase modeled %v, want < serial %v (double-buffered passes)",
+			sortOn.Modeled, sortOff.Modeled)
+	}
+	if sortOn.OverlapSaved <= 0 {
+		t.Errorf("sort phase OverlapSaved = %v, want > 0", sortOn.OverlapSaved)
+	}
+}
+
+// With streams on, the trace must carry per-stream async spans so the
+// overlap is visible in the timeline view, and the stream-op counter must
+// tick.
+func TestStreamsTraceSpans(t *testing.T) {
+	_, reads := testGenomeReads(t, 2000, 48, 10)
+	cfg := smallConfig(t)
+	observer, tr, reg := fullObserver(nil)
+	cfg.Obs = observer
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Assemble(reads); err != nil {
+		t.Fatal(err)
+	}
+	streamsSeen := map[string]bool{}
+	for _, e := range tr.Events() {
+		if e.Cat == "stream" && e.Phase == "b" {
+			if s, ok := e.Args["stream"].(string); ok {
+				streamsSeen[s] = true
+			}
+		}
+	}
+	for _, want := range []string{"sort-io", "reduce-io"} {
+		if !streamsSeen[want] {
+			t.Errorf("trace has no async spans for stream %q (saw %v)", want, streamsSeen)
+		}
+	}
+	if ops := reg.Snapshot().Counters["gpu.stream_ops"]; ops <= 0 {
+		t.Errorf("gpu.stream_ops = %d, want > 0", ops)
+	}
+}

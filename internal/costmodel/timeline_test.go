@@ -1,0 +1,246 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// unitProfile gives every tier a throughput of 100 units/second, so a
+// charge of 100 is exactly one modeled second on any tier.
+func unitProfile() Profile {
+	return Profile{
+		DiskReadBps:     100,
+		DiskWriteBps:    100,
+		NetBps:          100,
+		HostMemBps:      100,
+		DeviceMemBps:    100,
+		DeviceOpsPerSec: 100,
+		PCIeBps:         100,
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTimelineSingleLineMatchesAdditive(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	ln := tl.Line("only")
+	ln.Charge(TierDiskRead, 100)
+	ln.Charge(TierDeviceOps, 200)
+	ln.Charge(TierDiskWrite, 100)
+	if got := tl.SerialSeconds(); !almost(got, 4) {
+		t.Fatalf("serial = %v, want 4", got)
+	}
+	if got := tl.Makespan(); !almost(got, 4) {
+		t.Fatalf("makespan = %v, want 4 (single line has no overlap)", got)
+	}
+	if got := tl.SavedSeconds(); !almost(got, 0) {
+		t.Fatalf("saved = %v, want 0", got)
+	}
+}
+
+func TestTimelineCrossTierOverlap(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	io := tl.Line("io")
+	cmp := tl.Line("compute")
+	io.Charge(TierDiskRead, 300)   // [0, 3)
+	cmp.Charge(TierDeviceOps, 200) // [0, 2): overlaps the read entirely
+	if got := tl.SerialSeconds(); !almost(got, 5) {
+		t.Fatalf("serial = %v, want 5", got)
+	}
+	if got := tl.Makespan(); !almost(got, 3) {
+		t.Fatalf("makespan = %v, want 3 (compute hidden under the read)", got)
+	}
+	if got := tl.SavedSeconds(); !almost(got, 2) {
+		t.Fatalf("saved = %v, want 2", got)
+	}
+}
+
+// A tier is a single engine: two lines charging the same tier must not
+// overlap each other, so nothing is saved.
+func TestTimelineSameTierSerializes(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	a := tl.Line("a")
+	b := tl.Line("b")
+	a.Charge(TierPCIe, 100)
+	s, e := b.Charge(TierPCIe, 100)
+	if !almost(s, 1) || !almost(e, 2) {
+		t.Fatalf("second PCIe charge placed at [%v, %v), want [1, 2)", s, e)
+	}
+	if got := tl.Makespan(); !almost(got, 2) {
+		t.Fatalf("makespan = %v, want 2 (same-tier charges serialize)", got)
+	}
+	if got := tl.SavedSeconds(); !almost(got, 0) {
+		t.Fatalf("saved = %v, want 0", got)
+	}
+}
+
+func TestLineWaitDelaysNextCharge(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	io := tl.Line("io")
+	cmp := tl.Line("compute")
+	_, readEnd := io.Charge(TierDiskRead, 250)
+	cmp.Wait(readEnd)
+	s, _ := cmp.Charge(TierDeviceOps, 100)
+	if !almost(s, 2.5) {
+		t.Fatalf("dependent charge starts at %v, want 2.5", s)
+	}
+	// Waiting backwards must not rewind the cursor.
+	cmp.Wait(0)
+	if got := cmp.Cursor(); !almost(got, 3.5) {
+		t.Fatalf("cursor after no-op Wait = %v, want 3.5", got)
+	}
+}
+
+func TestLineForkStartsAtParentCursor(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	parent := tl.Line("parent")
+	parent.Charge(TierDiskRead, 100)
+	child := parent.Fork("child")
+	if got := child.Cursor(); !almost(got, 1) {
+		t.Fatalf("forked line starts at %v, want parent cursor 1", got)
+	}
+	child.Charge(TierDeviceOps, 100)
+	parent.Wait(child.Cursor())
+	if got := parent.Cursor(); !almost(got, 2) {
+		t.Fatalf("parent after rejoin = %v, want 2", got)
+	}
+}
+
+func TestTimelineSpansRecorded(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	ln := tl.Line("l")
+	ln.Charge(TierDiskRead, 100)
+	ln.Charge(TierDiskRead, 0) // zero-duration charges record no span
+	ln.Charge(TierPCIe, 200)
+	spans := ln.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	want := []Span{
+		{Tier: TierDiskRead, Start: 0, End: 1},
+		{Tier: TierPCIe, Start: 1, End: 3},
+	}
+	for i, w := range want {
+		if spans[i].Tier != w.Tier || !almost(spans[i].Start, w.Start) || !almost(spans[i].End, w.End) {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], w)
+		}
+	}
+}
+
+func TestLedgerAggregatesUnits(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	for i := 0; i < 3; i++ {
+		tl := lg.NewTimeline()
+		tl.Line("io").Charge(TierDiskRead, 200)
+		tl.Line("cmp").Charge(TierDeviceOps, 100)
+		tl.Commit()
+		tl.Commit() // idempotent: double commit must not double-count
+	}
+	if got := lg.Units(); got != 3 {
+		t.Fatalf("units = %d, want 3", got)
+	}
+	if got := lg.SerialSeconds(); !almost(got, 9) {
+		t.Fatalf("serial = %v, want 9", got)
+	}
+	if got := lg.OverlappedSeconds(); !almost(got, 6) {
+		t.Fatalf("overlapped = %v, want 6", got)
+	}
+	if got := lg.SavedSeconds(); !almost(got, 3) {
+		t.Fatalf("saved = %v, want 3", got)
+	}
+	if got := lg.OverlapRatio(); !almost(got, 1.0/3.0) {
+		t.Fatalf("ratio = %v, want 1/3", got)
+	}
+	if got := lg.TierBusySeconds(TierDiskRead); !almost(got, 6) {
+		t.Fatalf("disk-read busy = %v, want 6", got)
+	}
+	if got := lg.TierBusySeconds(TierDeviceOps); !almost(got, 3) {
+		t.Fatalf("device-ops busy = %v, want 3", got)
+	}
+}
+
+// The makespan can never beat the busiest tier: overlap hides latency
+// across tiers, not bandwidth within one.
+func TestMakespanBoundedByBusiestTier(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	tl := lg.NewTimeline()
+	lines := []*Line{tl.Line("a"), tl.Line("b"), tl.Line("c")}
+	amounts := []int64{700, 400, 300}
+	for i, ln := range lines {
+		ln.Charge(TierDiskRead, amounts[i])
+		ln.Charge(TierDeviceOps, amounts[2-i])
+	}
+	var busiest float64
+	for tier := 0; tier < NumTiers; tier++ {
+		tl.Commit()
+		if b := lg.TierBusySeconds(Tier(tier)); b > busiest {
+			busiest = b
+		}
+	}
+	if mk := lg.OverlappedSeconds(); mk < busiest-1e-9 {
+		t.Fatalf("makespan %v beats busiest tier %v", mk, busiest)
+	}
+}
+
+func TestNilLedgerIsInert(t *testing.T) {
+	var lg *OverlapLedger
+	if lg.SerialSeconds() != 0 || lg.OverlappedSeconds() != 0 || lg.SavedSeconds() != 0 ||
+		lg.OverlapRatio() != 0 || lg.Units() != 0 || lg.TierBusySeconds(TierPCIe) != 0 {
+		t.Fatal("nil ledger reported nonzero accounting")
+	}
+	tl := lg.NewTimeline()
+	if tl != nil {
+		t.Fatal("nil ledger returned non-nil timeline")
+	}
+	tl.Commit()
+	ln := tl.Line("x")
+	if ln != nil {
+		t.Fatal("nil timeline returned non-nil line")
+	}
+	ln.Charge(TierDiskRead, 100)
+	ln.Wait(5)
+	if ln.Fork("y") != nil {
+		t.Fatal("nil line forked non-nil line")
+	}
+	if ln.Cursor() != 0 || ln.Spans() != nil || ln.Name() != "" {
+		t.Fatal("nil line reported state")
+	}
+	if tl.Makespan() != 0 || tl.SerialSeconds() != 0 || tl.SavedSeconds() != 0 {
+		t.Fatal("nil timeline reported nonzero accounting")
+	}
+}
+
+// Concurrent units committing into one ledger must total exactly the sum
+// of their serial charges — the worker-count determinism contract.
+func TestLedgerConcurrentCommits(t *testing.T) {
+	lg := NewOverlapLedger(unitProfile())
+	const units = 32
+	var wg sync.WaitGroup
+	for i := 0; i < units; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl := lg.NewTimeline()
+			tl.Line("io").Charge(TierDiskRead, 100)
+			tl.Line("cmp").Charge(TierDeviceOps, 100)
+			tl.Commit()
+		}()
+	}
+	wg.Wait()
+	if got := lg.Units(); got != units {
+		t.Fatalf("units = %d, want %d", got, units)
+	}
+	if got := lg.SerialSeconds(); !almost(got, 2*units) {
+		t.Fatalf("serial = %v, want %v", got, 2*units)
+	}
+	if got := lg.OverlappedSeconds(); !almost(got, units) {
+		t.Fatalf("overlapped = %v, want %v", got, units)
+	}
+}

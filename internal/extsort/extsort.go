@@ -45,6 +45,14 @@ type Config struct {
 	DeviceBlockPairs int               // m_d: pairs per device chunk
 	TempDir          string            // scratch directory for run files
 	Obs              *obs.Observer     // observability sink; may be nil
+
+	// Overlap, when non-nil, enables streamed execution: pass 1 prefetches
+	// the next host block on an async I/O stream while the current block
+	// sorts on-device, merge passes prefetch the next run windows while the
+	// current windows merge, and every charge lands on an overlap-aware
+	// modeled timeline committed to this ledger. Counters and output bytes
+	// are identical to the serial path; only modeled seconds shrink.
+	Overlap *costmodel.OverlapLedger
 }
 
 // hostPairBytes is the in-host-memory footprint of one pair (padded
@@ -96,31 +104,88 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 	defer in.Close()
 	st := Stats{Pairs: in.Count()}
 
+	// One modeled timeline per sort: the I/O stream and the compute stream
+	// are its two long-lived lines, so every sub-phase (run formation,
+	// merge rounds) serializes naturally on them and only genuine
+	// cross-stream concurrency shrinks the makespan. With Overlap nil the
+	// timeline, lines, and async executor all collapse to no-ops and the
+	// code below is today's serial path.
+	tl := cfg.Overlap.NewTimeline()
+	defer tl.Commit()
+	streams := tl != nil
+	ioS := cfg.Device.NewStream("sort-io", tl.Line("io"), streams)
+	defer ioS.Close()
+	cmp := cfg.Device.NewStream("sort-compute", tl.Line("compute"), false)
+
 	// Pass 1: form sorted runs of up to m_h pairs each. Small partitions
 	// get correspondingly small buffers — the run structure is identical,
 	// but concurrent sorts of many tiny partitions must not each pin a
-	// full host block.
+	// full host block. Streamed sorts double-buffer the block so the next
+	// read overlaps the current sort.
 	blockPairs := clampPairs(cfg.HostBlockPairs, in.Count())
-	hostBytes := int64(2*blockPairs) * hostPairBytes // block + merge scratch
+	nbufs := 1
+	if streams {
+		nbufs = 2
+	}
+	hostBytes := int64((nbufs+1)*blockPairs) * hostPairBytes // block buffer(s) + merge scratch
 	if cfg.HostMem != nil {
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	block := make([]kv.Pair, blockPairs)
+	blocks := make([][]kv.Pair, nbufs)
+	for i := range blocks {
+		blocks[i] = make([]kv.Pair, blockPairs)
+	}
 	scratch := make([]kv.Pair, blockPairs)
+
+	// pending carries one block read's result across the async boundary;
+	// Stream.Sync is the happens-before edge that publishes it.
+	type readResult struct {
+		n   int
+		err error
+	}
+	var pending readResult
+	readInto := func(buf []kv.Pair, afterModeled float64) {
+		ioS.WaitModeled(afterModeled)
+		ioS.Enqueue("read-block", func() error {
+			n, err := readFull(in, buf)
+			pending = readResult{n, err}
+			ioS.Charge(costmodel.TierDiskRead, int64(n)*kv.PairBytes)
+			if err != nil && err != io.EOF {
+				return err
+			}
+			return nil
+		})
+	}
+
 	var runs []string
+	cur := 0
+	readInto(blocks[cur], 0)
 	for {
 		if err := ctx.Err(); err != nil {
 			return st, err
 		}
-		n, err := readFull(in, block)
-		if n == 0 {
+		syncErr := ioS.Sync()
+		res := pending
+		if res.n == 0 {
 			break
 		}
-		if err != nil && err != io.EOF {
-			return st, err
+		if syncErr != nil {
+			return st, syncErr
 		}
-		sorted, serr := sortHostBlock(ctx, cfg, block[:n], scratch[:n])
+		readEnd := ioS.ModeledCursor()
+		data := blocks[cur][:res.n]
+		more := res.err != io.EOF
+		if streams && more {
+			// Prefetch the next block into the other buffer while this one
+			// sorts. That buffer held the block written two iterations ago,
+			// so in the model its read starts no earlier than the compute
+			// stream's current position (the moment the buffer was freed).
+			cur = 1 - cur
+			readInto(blocks[cur], cmp.ModeledCursor())
+		}
+		cmp.WaitModeled(readEnd)
+		sorted, serr := sortHostBlock(ctx, cfg, cmp, data, scratch[:res.n])
 		if serr != nil {
 			return st, serr
 		}
@@ -128,9 +193,13 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 		if err := writeRun(runPath, sorted, cfg.Meter); err != nil {
 			return st, err
 		}
+		cmp.Charge(costmodel.TierDiskWrite, int64(len(sorted))*kv.PairBytes)
 		runs = append(runs, runPath)
-		if err == io.EOF {
+		if !more {
 			break
+		}
+		if !streams {
+			readInto(blocks[cur], 0)
 		}
 	}
 	st.Runs = len(runs)
@@ -158,7 +227,7 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 			}
 			gen++
 			merged := filepath.Join(cfg.TempDir, fmt.Sprintf("merge_%06d.kv", gen))
-			if err := mergeRunFiles(ctx, cfg, runs[i], runs[i+1], merged); err != nil {
+			if err := mergeRunFiles(ctx, cfg, ioS, cmp, runs[i], runs[i+1], merged); err != nil {
 				return st, err
 			}
 			if err := os.Remove(runs[i]); err != nil {
@@ -226,28 +295,12 @@ func writeRun(path string, ps []kv.Pair, meter *costmodel.Meter) error {
 // sortHostBlock sorts one host block using device chunks of m_d pairs:
 // each chunk is radix-sorted on the device, then sorted chunks are
 // pairwise merged in host memory by streaming windows through the device.
-// The returned slice aliases either block or scratch.
-func sortHostBlock(ctx context.Context, cfg Config, block, scratch []kv.Pair) ([]kv.Pair, error) {
-	dev := cfg.Device
+// The returned slice aliases either block or scratch. Device work is
+// charged through cmp, the block's compute stream.
+func sortHostBlock(ctx context.Context, cfg Config, cmp *gpu.Stream, block, scratch []kv.Pair) ([]kv.Pair, error) {
 	md := cfg.DeviceBlockPairs
-	// Radix-sort each device chunk. The device holds the chunk plus the
-	// radix double-buffer. AllocWait lets concurrent partition sorts share
-	// the device: capacity, not caller count, bounds how many chunks are
-	// resident at once.
-	for start := 0; start < len(block); start += md {
-		end := start + md
-		if end > len(block) {
-			end = len(block)
-		}
-		chunk := block[start:end]
-		alloc, err := dev.AllocWait(ctx, 2*int64(len(chunk))*kv.PairBytes)
-		if err != nil {
-			return nil, err
-		}
-		dev.CopyToDevice(int64(len(chunk)) * kv.PairBytes)
-		dev.SortPairs(chunk)
-		dev.CopyFromDevice(int64(len(chunk)) * kv.PairBytes)
-		alloc.Free()
+	if err := sortChunks(ctx, cfg, cmp, block); err != nil {
+		return nil, err
 	}
 	// Pairwise merge sorted chunks, doubling chunk size each round.
 	src, dst := block, scratch
@@ -266,7 +319,7 @@ func sortHostBlock(ctx context.Context, cfg Config, block, scratch []kv.Pair) ([
 				out = append(out, ps...)
 				return nil
 			}
-			if err := mergeInMemory(ctx, cfg, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
+			if err := mergeInMemory(ctx, cfg, cmp, src[start:aEnd], src[aEnd:bEnd], emit); err != nil {
 				return nil, err
 			}
 		}
@@ -275,10 +328,96 @@ func sortHostBlock(ctx context.Context, cfg Config, block, scratch []kv.Pair) ([
 	return src, nil
 }
 
+// sortChunks radix-sorts each m_d-sized device chunk of the block. The
+// device holds the chunk plus the radix double-buffer. AllocWait lets
+// concurrent partition sorts share the device: capacity, not caller
+// count, bounds how many chunks are resident at once.
+//
+// When the block is modeled on a timeline and two chunk slots fit on the
+// device, the chunk loop is modeled as a classic CUDA double-buffered
+// pipeline: chunk i+1's H2D transfer overlaps chunk i's kernel, with
+// transfers serialized on the PCIe tier and kernels on the device tiers.
+// Execution stays sequential on the host (the simulation computes real
+// results either way); only the modeled placement — and therefore the
+// overlap saving — changes. The double residency is honestly accounted:
+// one allocation of two slots (4·m_d·PairBytes, the same bound
+// core.DeviceDemandBytes admits) is held for the whole loop.
+func sortChunks(ctx context.Context, cfg Config, cmp *gpu.Stream, block []kv.Pair) error {
+	dev := cfg.Device
+	md := cfg.DeviceBlockPairs
+	ln := cmp.Line()
+	pipeBytes := 4 * int64(md) * kv.PairBytes
+	if ln != nil && len(block) > md && pipeBytes <= dev.Capacity() {
+		alloc, err := dev.AllocWait(ctx, pipeBytes)
+		if err != nil {
+			return err
+		}
+		defer alloc.Free()
+		h2d := ln.Fork("h2d")
+		krn := ln.Fork("kernel")
+		d2h := ln.Fork("d2h")
+		numChunks := (len(block) + md - 1) / md
+		chunkAt := func(i int) []kv.Pair {
+			return block[i*md : min((i+1)*md, len(block))]
+		}
+		// d2hEnd[i%2] is when chunk i's slot drains back to the host; the
+		// slot is reused by chunk i+2. hEnd[i%2] is when chunk i's upload
+		// lands. Chunk i+1's upload is issued before chunk i's kernel so
+		// the copy engine sees it as soon as the slot frees — charging it
+		// after the drain would serialize the whole PCIe tier in program
+		// order and model away the very overlap the pipeline exists for.
+		var d2hEnd, hEnd [2]float64
+		issueH2D := func(i int) {
+			chunk := chunkAt(i)
+			bytes := int64(len(chunk)) * kv.PairBytes
+			h2d.Wait(d2hEnd[i%2])
+			dev.CopyToDevice(bytes)
+			_, e := h2d.Charge(costmodel.TierPCIe, bytes)
+			hEnd[i%2] = e
+		}
+		issueH2D(0)
+		for i := 0; i < numChunks; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if i+1 < numChunks {
+				issueH2D(i + 1)
+			}
+			chunk := chunkAt(i)
+			krn.Wait(hEnd[i%2])
+			if len(chunk) > 1 {
+				mem, ops := dev.SortPairsCost(chunk)
+				krn.Charge(costmodel.TierDeviceMem, mem)
+				krn.Charge(costmodel.TierDeviceOps, ops)
+			}
+			d2h.Wait(krn.Cursor())
+			bytes := int64(len(chunk)) * kv.PairBytes
+			dev.CopyFromDevice(bytes)
+			_, dEnd := d2h.Charge(costmodel.TierPCIe, bytes)
+			d2hEnd[i%2] = dEnd
+		}
+		ln.Wait(d2h.Cursor())
+		return nil
+	}
+	for start := 0; start < len(block); start += md {
+		end := min(start+md, len(block))
+		chunk := block[start:end]
+		alloc, err := dev.AllocWait(ctx, 2*int64(len(chunk))*kv.PairBytes)
+		if err != nil {
+			return err
+		}
+		cmp.CopyToDeviceAsync(int64(len(chunk)) * kv.PairBytes)
+		cmp.SortPairs(chunk)
+		cmp.CopyFromDeviceAsync(int64(len(chunk)) * kv.PairBytes)
+		alloc.Free()
+	}
+	return nil
+}
+
 // mergeInMemory merges two sorted in-memory lists by streaming m_d-sized
 // windows through the device, following Algorithm 1 with M = m_d. The
 // merged output is handed to emit in sorted order.
-func mergeInMemory(ctx context.Context, cfg Config, a, b []kv.Pair, emit func([]kv.Pair) error) error {
+func mergeInMemory(ctx context.Context, cfg Config, cmp *gpu.Stream, a, b []kv.Pair, emit func([]kv.Pair) error) error {
 	dev := cfg.Device
 	half := cfg.DeviceBlockPairs / 2
 	if half < 1 {
@@ -318,9 +457,9 @@ func mergeInMemory(ctx context.Context, cfg Config, a, b []kv.Pair, emit func([]
 		if err != nil {
 			return err
 		}
-		dev.CopyToDevice(int64(len(wa)+len(wb)) * kv.PairBytes)
-		out = dev.MergePairsInto(out[:0], wa, wb)
-		dev.CopyFromDevice(int64(len(out)) * kv.PairBytes)
+		cmp.CopyToDeviceAsync(int64(len(wa)+len(wb)) * kv.PairBytes)
+		out = cmp.MergePairsInto(out[:0], wa, wb)
+		cmp.CopyFromDeviceAsync(int64(len(out)) * kv.PairBytes)
 		alloc.Free()
 		if err := emit(out); err != nil {
 			return err
@@ -347,8 +486,11 @@ func window(ps []kv.Pair, n int) []kv.Pair {
 // mergeRunFiles merges two sorted run files into one (Algorithm 1 at the
 // disk level, M = m_h). Windows of m_h/2 pairs stream from each run into
 // host memory; equalized windows are merged through the device via
-// mergeInMemory.
-func mergeRunFiles(ctx context.Context, cfg Config, pathA, pathB, outPath string) error {
+// mergeInMemory. With streaming enabled, each consumed window's
+// replacement is prefetched into a spare buffer on the async I/O stream
+// while the current windows merge and write, so disk reads hide behind
+// device work in the modeled timeline and in wall time.
+func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA, pathB, outPath string) error {
 	ra, err := kvio.NewReader(pathA, cfg.Meter)
 	if err != nil {
 		return err
@@ -364,6 +506,11 @@ func mergeRunFiles(ctx context.Context, cfg Config, pathA, pathB, outPath string
 		return err
 	}
 
+	streams := cfg.Overlap != nil
+	// This merge's reads depend on its input runs, which the compute
+	// stream finished writing at its current modeled position.
+	ioS.WaitModeled(cmp.ModeledCursor())
+
 	half := cfg.HostBlockPairs / 2
 	if half < 1 {
 		half = 1
@@ -372,20 +519,44 @@ func mergeRunFiles(ctx context.Context, cfg Config, pathA, pathB, outPath string
 	// so its buffer can be run-sized; the windows streamed are identical.
 	aCap := clampPairs(half, ra.Count())
 	bCap := clampPairs(half, rb.Count())
+	bufs := 1
+	if streams {
+		bufs = 2 // window + prefetch spare per side
+	}
 	if cfg.HostMem != nil {
-		hostBytes := int64(aCap+bCap) * hostPairBytes
+		hostBytes := int64(bufs) * int64(aCap+bCap) * hostPairBytes
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	wa := newWindowStream(ra, aCap)
-	wb := newWindowStream(rb, bCap)
-	emit := func(ps []kv.Pair) error { return w.WriteBatch(ps) }
+	wa := newWindowStream(ra, aCap, streams)
+	wb := newWindowStream(rb, bCap, streams)
+	emit := func(ps []kv.Pair) error {
+		if err := w.WriteBatch(ps); err != nil {
+			return err
+		}
+		cmp.Charge(costmodel.TierDiskWrite, int64(len(ps))*kv.PairBytes)
+		return nil
+	}
 
+	if streams {
+		wa.advance(ioS, 0)
+		wb.advance(ioS, 0)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			w.Close()
 			return err
 		}
+		syncErr := ioS.Sync()
+		wa.adopt()
+		wb.adopt()
+		if syncErr != nil {
+			w.Close()
+			return syncErr
+		}
+		// Merging a window consumes data the I/O stream produced: the
+		// compute stream starts no earlier than the prefetch finished.
+		cmp.WaitModeled(ioS.ModeledCursor())
 		if err := wa.fill(); err != nil {
 			w.Close()
 			return err
@@ -409,30 +580,51 @@ func mergeRunFiles(ctx context.Context, cfg Config, pathA, pathB, outPath string
 					a = a[:kv.UpperBound(a, k)]
 				}
 			}
-			if err := mergeInMemory(ctx, cfg, a, b, emit); err != nil {
+			// Prefetch both replacements before merging: the advance ops
+			// read buf[consumed:] and the reader, never the windows the
+			// merge is consuming.
+			if streams {
+				wa.advance(ioS, len(a))
+				wb.advance(ioS, len(b))
+			}
+			if err := mergeInMemory(ctx, cfg, cmp, a, b, emit); err != nil {
 				w.Close()
 				return err
 			}
-			wa.consume(len(a))
-			wb.consume(len(b))
+			if !streams {
+				wa.consume(len(a))
+				wb.consume(len(b))
+			}
 			continue
 		}
 		// Disjoint windows: append the smaller one wholesale.
 		if a[len(a)-1].Key.Less(b[0].Key) {
+			if streams {
+				wa.advance(ioS, len(a))
+			}
 			if err := emit(a); err != nil {
 				w.Close()
 				return err
 			}
-			wa.consume(len(a))
+			if !streams {
+				wa.consume(len(a))
+			}
 		} else {
+			if streams {
+				wb.advance(ioS, len(b))
+			}
 			if err := emit(b); err != nil {
 				w.Close()
 				return err
 			}
-			wb.consume(len(b))
+			if !streams {
+				wb.consume(len(b))
+			}
 		}
 	}
 	// One side is exhausted: stream the remainder of the other (line 19).
+	// No advances are pending here (the loop top adopted them all), so the
+	// plain synchronous fill/consume drain is race-free.
 	for _, ws := range []*windowStream{wa, wb} {
 		for {
 			if err := ws.fill(); err != nil {
@@ -465,16 +657,30 @@ func clampPairs(window int, count int64) int {
 }
 
 // windowStream maintains a sliding window of unconsumed pairs over a
-// sequential reader.
+// sequential reader. With a spare buffer it also supports asynchronous
+// advancement: an op enqueued on an I/O stream builds the next window
+// (leftover tail + fresh reads) in the spare while the caller is still
+// reading the current buffer, and adopt swaps the two after the stream
+// syncs. The window contents are identical to the synchronous
+// consume-then-fill sequence.
 type windowStream struct {
-	r    *kvio.Reader
-	buf  []kv.Pair
-	cap  int
-	done bool
+	r     *kvio.Reader
+	buf   []kv.Pair
+	spare []kv.Pair // second buffer; non-nil enables advance
+	cap   int
+	done  bool
+
+	pending     bool // an advance op is enqueued (or adopted-awaiting)
+	pendingBuf  []kv.Pair
+	pendingDone bool
 }
 
-func newWindowStream(r *kvio.Reader, capPairs int) *windowStream {
-	return &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+func newWindowStream(r *kvio.Reader, capPairs int, spare bool) *windowStream {
+	ws := &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+	if spare {
+		ws.spare = make([]kv.Pair, 0, capPairs)
+	}
+	return ws
 }
 
 // fill tops the window up to capacity.
@@ -498,4 +704,52 @@ func (ws *windowStream) fill() error {
 func (ws *windowStream) consume(n int) {
 	remaining := copy(ws.buf, ws.buf[n:])
 	ws.buf = ws.buf[:remaining]
+}
+
+// advance enqueues the window's next state on the I/O stream: drop the
+// first consumeN pairs, then top up from the reader into the spare
+// buffer. The op reads buf[consumeN:] and never mutates buf, so the
+// caller may keep reading buf[:consumeN] concurrently. Call adopt after
+// the stream syncs to swap the new window in. The disk bytes are charged
+// to the stream's modeled timeline (the meter is fed by the reader
+// itself, exactly as in the synchronous path).
+func (ws *windowStream) advance(ioS *gpu.Stream, consumeN int) {
+	ws.pending = true
+	ioS.Enqueue("advance-window", func() error {
+		nb := ws.spare[:0]
+		nb = append(nb, ws.buf[consumeN:]...)
+		done := ws.done
+		read := 0
+		for len(nb) < ws.cap && !done {
+			n := len(nb)
+			m, err := ws.r.ReadBatch(nb[n:ws.cap])
+			nb = nb[:n+m]
+			read += m
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				ws.pendingBuf, ws.pendingDone = nb, done
+				return err
+			}
+		}
+		ws.pendingBuf, ws.pendingDone = nb, done
+		ioS.Charge(costmodel.TierDiskRead, int64(read)*kv.PairBytes)
+		return nil
+	})
+}
+
+// adopt installs the most recent advance's result as the current window.
+// Only call it after the I/O stream has synced.
+func (ws *windowStream) adopt() {
+	if !ws.pending {
+		return
+	}
+	ws.pending = false
+	old := ws.buf
+	ws.buf = ws.pendingBuf
+	ws.spare = old[:0]
+	ws.done = ws.pendingDone
+	ws.pendingBuf = nil
 }

@@ -1,0 +1,122 @@
+package extsort
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/kv"
+)
+
+func overlapProfile() costmodel.Profile {
+	return costmodel.Profile{
+		DiskReadBps:     1 << 20,
+		DiskWriteBps:    1 << 20,
+		NetBps:          1 << 20,
+		HostMemBps:      1 << 22,
+		DeviceMemBps:    1 << 24,
+		DeviceOpsPerSec: 1 << 22,
+		PCIeBps:         1 << 21,
+	}
+}
+
+// sortOnce runs SortFile over input in its own temp dir and returns the
+// raw output bytes, the meter snapshot, and the sort stats.
+func sortOnce(t *testing.T, cfg Config, input []kv.Pair) ([]byte, costmodel.Counters, Stats) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg.TempDir = dir
+	cfg.Meter = costmodel.NewMeter()
+	inPath := filepath.Join(dir, "in.kv")
+	outPath := filepath.Join(dir, "out.kv")
+	writePairs(t, inPath, input)
+	st, err := SortFile(context.Background(), cfg, inPath, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, cfg.Meter.Snapshot(), st
+}
+
+// The streamed sort must be observably identical to the serial sort —
+// byte-identical output, identical cost counters, identical pass counts —
+// with only the modeled seconds shrinking.
+func TestSortFileStreamsIdenticalToSerial(t *testing.T) {
+	cases := []struct {
+		n, mh, md int
+		wantSaved bool // enough device/IO work to overlap
+	}{
+		{0, 64, 8, false},
+		{1, 64, 8, false},
+		{50, 64, 8, true},     // single host block, chunked device sort
+		{64, 64, 8, true},     // exactly one full block
+		{65, 64, 8, true},     // one spill: two runs, one merge
+		{1000, 128, 16, true}, // several runs, multiple merge rounds
+		{3000, 64, 2, true},   // tiny device blocks: deep window streaming
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(int64(tc.n)*31 + int64(tc.md)))
+		input := randomPairs(rng, tc.n, 200)
+
+		base := Config{Device: bigDevice(), HostBlockPairs: tc.mh, DeviceBlockPairs: tc.md}
+		serialOut, serialCtr, serialSt := sortOnce(t, base, input)
+
+		lg := costmodel.NewOverlapLedger(overlapProfile())
+		streamed := base
+		streamed.Overlap = lg
+		streamOut, streamCtr, streamSt := sortOnce(t, streamed, input)
+
+		if string(streamOut) != string(serialOut) {
+			t.Errorf("n=%d mh=%d md=%d: streamed output differs from serial (%d vs %d bytes)",
+				tc.n, tc.mh, tc.md, len(streamOut), len(serialOut))
+		}
+		if streamCtr != serialCtr {
+			t.Errorf("n=%d mh=%d md=%d: streamed counters %+v != serial %+v",
+				tc.n, tc.mh, tc.md, streamCtr, serialCtr)
+		}
+		if streamSt != serialSt {
+			t.Errorf("n=%d mh=%d md=%d: streamed stats %+v != serial %+v",
+				tc.n, tc.mh, tc.md, streamSt, serialSt)
+		}
+
+		saved := lg.SavedSeconds()
+		if saved < 0 {
+			t.Errorf("n=%d mh=%d md=%d: negative saved seconds %v", tc.n, tc.mh, tc.md, saved)
+		}
+		if tc.wantSaved && saved <= 0 {
+			t.Errorf("n=%d mh=%d md=%d: saved = %v, want > 0 (prefetch should overlap)",
+				tc.n, tc.mh, tc.md, saved)
+		}
+		if o, s := lg.OverlappedSeconds(), lg.SerialSeconds(); o > s+1e-12 {
+			t.Errorf("n=%d mh=%d md=%d: overlapped %v exceeds serial %v", tc.n, tc.mh, tc.md, o, s)
+		}
+	}
+}
+
+// Sorted order itself must also match the reference, streamed or not.
+func TestSortFileStreamsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	input := randomPairs(rng, 1200, 150)
+	want := sortRef(input)
+	cfg := Config{
+		Device:           bigDevice(),
+		HostBlockPairs:   100,
+		DeviceBlockPairs: 10,
+		Overlap:          costmodel.NewOverlapLedger(overlapProfile()),
+	}
+	got, _ := runSort(t, cfg, input)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("pair %d: key %+v, want %+v", i, got[i].Key, want[i].Key)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Regression: Allocation.Free used an unsynchronized pointer write to mark
+// the allocation released, so goroutines racing Free on one allocation
+// could both release the bytes (driving InUse negative and corrupting the
+// capacity bound). Free now claims the device pointer with an atomic swap;
+// exactly one racer releases. Run under -race.
+func TestAllocationConcurrentFreeIdempotent(t *testing.T) {
+	const capacity = 1 << 12
+	d := tinyDevice(capacity)
+	for iter := 0; iter < 200; iter++ {
+		a, err := d.Alloc(capacity / 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a.Free()
+			}()
+		}
+		wg.Wait()
+		if got := d.InUse(); got != 0 {
+			t.Fatalf("iter %d: InUse = %d after concurrent frees, want 0 (double release)", iter, got)
+		}
+	}
+	if got := d.MemTracker().Peak(); got != capacity/2 {
+		t.Fatalf("peak = %d, want %d", got, capacity/2)
+	}
+}
+
+// Regression: AllocWait's impossible-request error reported InUse: 0
+// regardless of how much memory was actually claimed, making the
+// diagnostic useless exactly when a capacity bug needs it. The error must
+// carry the device's real usage at rejection time.
+func TestAllocWaitOverCapacityReportsRealInUse(t *testing.T) {
+	const capacity = 1 << 12
+	d := tinyDevice(capacity)
+	held, err := d.Alloc(capacity / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Free()
+
+	_, err = d.AllocWait(context.Background(), capacity+1)
+	var oom ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("error = %v (%T), want ErrOutOfMemory", err, err)
+	}
+	if oom.Requested != capacity+1 || oom.Capacity != capacity {
+		t.Errorf("oom fields = %+v", oom)
+	}
+	if oom.InUse != capacity/4 {
+		t.Fatalf("oom.InUse = %d, want real usage %d", oom.InUse, capacity/4)
+	}
+	wantMsg := fmt.Sprintf("requested %d with %d in use of %d", capacity+1, capacity/4, capacity)
+	if !strings.Contains(err.Error(), wantMsg) {
+		t.Fatalf("error message %q does not report real usage (want substring %q)", err, wantMsg)
+	}
+}
+
+// Regression: AllocWait recorded its claim in the peak tracker only after
+// dropping the device lock, and Free released the tracker only after
+// dropping it, so a grant racing a free could be double-counted and record
+// a peak above the physical capacity — impossible on a real card. The
+// tracker updates now share the lock with the inUse transitions, so the
+// recorded peak can never exceed what the allocator admitted.
+func TestAllocPeakNeverExceedsCapacity(t *testing.T) {
+	const (
+		capacity   = 1 << 10
+		goroutines = 8
+	)
+	d := tinyDevice(capacity)
+
+	// Phase 1: spinning full-capacity Alloc/Free. A releaser's deferred
+	// tracker update racing the next grant's locked one is exactly the
+	// interleaving that used to double-count.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200000; i++ {
+				a, err := d.Alloc(capacity)
+				if err != nil {
+					var oom ErrOutOfMemory
+					if !errors.As(err, &oom) {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				a.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak := d.MemTracker().Peak(); peak > capacity {
+		t.Fatalf("recorded peak %d exceeds device capacity %d (tracker raced the allocator)", peak, capacity)
+	}
+
+	// Phase 2: the same bound under AllocWait backpressure, where grants
+	// chase frees through the condition variable.
+	ctx := context.Background()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := int64(capacity/2 + (g%4)*(capacity/8))
+			for i := 0; i < 500; i++ {
+				a, err := d.AllocWait(ctx, n)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				a.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", got)
+	}
+	if peak := d.MemTracker().Peak(); peak > capacity {
+		t.Fatalf("recorded peak %d exceeds device capacity %d (tracker raced the allocator)", peak, capacity)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
@@ -90,10 +91,18 @@ func (d *Device) MemTracker() *stats.MemTracker { return &d.mem }
 
 // Allocation is a claim on device memory. Free it when the buffer's
 // lifetime ends; allocations are bookkeeping only (the actual data lives
-// in ordinary Go slices owned by the caller).
+// in ordinary Go slices owned by the caller). The device pointer is
+// swapped atomically on Free, so releasing is idempotent even when
+// goroutines race on the same allocation.
 type Allocation struct {
-	dev   *Device
+	dev   atomic.Pointer[Device]
 	bytes int64
+}
+
+func newAllocation(d *Device, n int64) *Allocation {
+	a := &Allocation{bytes: n}
+	a.dev.Store(d)
+	return a
 }
 
 // Alloc claims n bytes of device memory, failing with ErrOutOfMemory when
@@ -109,7 +118,7 @@ func (d *Device) Alloc(n int64) (*Allocation, error) {
 	}
 	d.inUse += n
 	d.mem.Add(n)
-	return &Allocation{dev: d, bytes: n}, nil
+	return newAllocation(d, n), nil
 }
 
 // AllocWait claims n bytes of device memory, blocking until concurrent
@@ -125,7 +134,10 @@ func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 		return nil, fmt.Errorf("gpu: negative allocation %d", n)
 	}
 	if n > d.spec.MemBytes {
-		return nil, ErrOutOfMemory{Requested: n, InUse: 0, Capacity: d.spec.MemBytes}
+		d.mu.Lock()
+		inUse := d.inUse
+		d.mu.Unlock()
+		return nil, ErrOutOfMemory{Requested: n, InUse: inUse, Capacity: d.spec.MemBytes}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -159,12 +171,16 @@ func (d *Device) AllocWait(ctx context.Context, n int64) (*Allocation, error) {
 		d.waiters--
 	}
 	d.inUse += n
-	d.mu.Unlock()
+	// Record the claim in the peak tracker before dropping the lock, the
+	// same ordering Alloc and Free use: a grant that published inUse but
+	// deferred mem.Add could interleave with a concurrent Free's
+	// mem.Release and record a stale peak.
 	d.mem.Add(n)
+	d.mu.Unlock()
 	if h := d.hooks; h != nil && !waitStart.IsZero() {
 		h.AllocWaited(n, waitStart, time.Since(waitStart))
 	}
-	return &Allocation{dev: d, bytes: n}, nil
+	return newAllocation(d, n), nil
 }
 
 // MustAlloc is Alloc that panics on failure; for callers that have already
@@ -178,20 +194,24 @@ func (d *Device) MustAlloc(n int64) *Allocation {
 }
 
 // Free releases the allocation and wakes any AllocWait callers. Freeing
-// twice (from the same goroutine) is a no-op.
+// is idempotent under concurrency: the device pointer is claimed with an
+// atomic swap, so exactly one caller releases the bytes no matter how
+// many goroutines race Free on the same allocation.
 func (a *Allocation) Free() {
-	if a == nil || a.dev == nil {
+	if a == nil {
 		return
 	}
-	dev := a.dev
-	a.dev = nil
+	dev := a.dev.Swap(nil)
+	if dev == nil {
+		return
+	}
 	dev.mu.Lock()
 	dev.inUse -= a.bytes
+	dev.mem.Release(a.bytes)
 	if dev.freed != nil {
 		dev.freed.Broadcast()
 	}
 	dev.mu.Unlock()
-	dev.mem.Release(a.bytes)
 }
 
 // Bytes returns the allocation size.

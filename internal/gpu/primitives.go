@@ -11,32 +11,47 @@ import (
 // slice. This is the GPU_VEC_LOWER_BOUND primitive of Algorithm 2: one
 // thread per query performing a binary search.
 func (d *Device) VecLowerBound(queries, targets []kv.Pair, out []int32) []int32 {
+	out = vecLowerBoundKernel(queries, targets, out)
+	d.chargeSearch(len(queries), len(targets))
+	return out
+}
+
+func vecLowerBoundKernel(queries, targets []kv.Pair, out []int32) []int32 {
 	out = out[:0]
 	for _, q := range queries {
 		out = append(out, int32(kv.LowerBound(targets, q.Key)))
 	}
-	d.chargeSearch(len(queries), len(targets))
 	return out
 }
 
 // VecUpperBound is the upper-bound counterpart (GPU_VEC_UPPER_BOUND).
 func (d *Device) VecUpperBound(queries, targets []kv.Pair, out []int32) []int32 {
+	out = vecUpperBoundKernel(queries, targets, out)
+	d.chargeSearch(len(queries), len(targets))
+	return out
+}
+
+func vecUpperBoundKernel(queries, targets []kv.Pair, out []int32) []int32 {
 	out = out[:0]
 	for _, q := range queries {
 		out = append(out, int32(kv.UpperBound(targets, q.Key)))
 	}
-	d.chargeSearch(len(queries), len(targets))
 	return out
 }
 
 // VecDifference computes u[i]-l[i] element-wise (GPU_VEC_DIFFERENCE): the
 // per-suffix match counts in the reduce phase.
 func (d *Device) VecDifference(u, l []int32, out []int32) []int32 {
+	out = vecDifferenceKernel(u, l, out)
+	d.ChargeKernel(3*4*int64(len(u)), int64(len(u)))
+	return out
+}
+
+func vecDifferenceKernel(u, l []int32, out []int32) []int32 {
 	out = out[:0]
 	for i := range u {
 		out = append(out, u[i]-l[i])
 	}
-	d.ChargeKernel(3*4*int64(len(u)), int64(len(u)))
 	return out
 }
 
@@ -44,12 +59,18 @@ func (d *Device) chargeSearch(numQueries, targetLen int) {
 	if numQueries == 0 {
 		return
 	}
+	d.ChargeKernel(searchCost(numQueries, targetLen))
+}
+
+// searchCost is the modeled cost of a vectorized binary search: one
+// thread per query descending log2(targetLen) levels.
+func searchCost(numQueries, targetLen int) (memBytes, ops int64) {
 	depth := 1
 	if targetLen > 1 {
 		depth = bits.Len(uint(targetLen - 1))
 	}
-	ops := int64(numQueries) * int64(depth)
-	d.ChargeKernel(ops*kv.PairBytes, ops)
+	ops = int64(numQueries) * int64(depth)
+	return ops * kv.PairBytes, ops
 }
 
 // ExclusiveScan computes the exclusive prefix sum of xs into out and

@@ -15,10 +15,29 @@ import "repro/internal/kv"
 // device memory (one read plus one write of the whole buffer) plus one
 // scalar op per element per pass.
 func (d *Device) SortPairs(ps []kv.Pair) {
-	n := len(ps)
-	if n <= 1 {
-		return
+	d.SortPairsCost(ps)
+}
+
+// SortPairsCost is SortPairs that also returns the metered cost, for
+// callers that place the kernel on a modeled timeline (the cost depends
+// on how many radix passes actually executed, so it is only known after
+// the kernel runs).
+func (d *Device) SortPairsCost(ps []kv.Pair) (memBytes, ops int64) {
+	if len(ps) <= 1 {
+		return 0, 0
 	}
+	memBytes, ops = sortPairsKernel(ps)
+	d.ChargeKernel(memBytes, ops)
+	return memBytes, ops
+}
+
+// sortPairsKernel executes the radix sort and returns the device-memory
+// bytes and scalar ops it cost, so both the direct Device entry point and
+// the Stream entry point charge the meter and the modeled timeline from
+// the same actual pass count (passes vary with the skip-uniform-digit
+// optimization, so the cost is only known after execution).
+func sortPairsKernel(ps []kv.Pair) (memBytes, ops int64) {
+	n := len(ps)
 	scratch := make([]kv.Pair, n)
 	src, dst := ps, scratch
 	passes := 0
@@ -58,8 +77,7 @@ func (d *Device) SortPairs(ps []kv.Pair) {
 	if &src[0] != &ps[0] {
 		copy(ps, src)
 	}
-	bytes := int64(passes) * 2 * int64(n) * kv.PairBytes
-	d.ChargeKernel(bytes, int64(passes)*int64(n))
+	return int64(passes) * 2 * int64(n) * kv.PairBytes, int64(passes) * int64(n)
 }
 
 // digitFunc returns an extractor for the 8-bit digit at the given shift
@@ -104,6 +122,12 @@ func (d *Device) MergePairs(a, b []kv.Pair) []kv.Pair {
 // MergePairsInto merges a and b into dst (which must have capacity for
 // both) and returns the filled slice, avoiding allocation in hot loops.
 func (d *Device) MergePairsInto(dst, a, b []kv.Pair) []kv.Pair {
+	out, mem, ops := mergePairsIntoKernel(dst, a, b)
+	d.ChargeKernel(mem, ops)
+	return out
+}
+
+func mergePairsIntoKernel(dst, a, b []kv.Pair) ([]kv.Pair, int64, int64) {
 	dst = dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -118,6 +142,5 @@ func (d *Device) MergePairsInto(dst, a, b []kv.Pair) []kv.Pair {
 	dst = append(dst, a[i:]...)
 	dst = append(dst, b[j:]...)
 	n := int64(len(dst))
-	d.ChargeKernel(2*n*kv.PairBytes, n)
-	return dst
+	return dst, 2 * n * kv.PairBytes, n
 }

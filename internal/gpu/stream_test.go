@@ -1,0 +1,307 @@
+package gpu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/kv"
+)
+
+func streamProfile() costmodel.Profile {
+	return costmodel.Profile{
+		DiskReadBps:     100,
+		DiskWriteBps:    100,
+		NetBps:          100,
+		HostMemBps:      100,
+		DeviceMemBps:    100,
+		DeviceOpsPerSec: 100,
+		PCIeBps:         100,
+	}
+}
+
+func TestStreamOpsExecuteInEnqueueOrder(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("order", nil, true)
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Enqueue("op", func() error {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("executed %d ops, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("op %d executed at position %d: streams must preserve enqueue order", v, i)
+		}
+	}
+}
+
+func TestStreamSyncDrainsAllEnqueued(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("drain", nil, true)
+	defer s.Close()
+	var done [64]bool
+	for i := range done {
+		i := i
+		s.Enqueue("op", func() error { done[i] = true; return nil })
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Sync's barrier ack is the happens-before edge making the executor's
+	// writes visible here.
+	for i, ok := range done {
+		if !ok {
+			t.Fatalf("op %d not executed after Sync", i)
+		}
+	}
+}
+
+func TestStreamErrorLatchesAndSkips(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("err", nil, true)
+	defer s.Close()
+	boom := errors.New("boom")
+	ran := false
+	s.Enqueue("fail", func() error { return boom })
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want latched %v", err, boom)
+	}
+	s.Enqueue("after", func() error { ran = true; return nil })
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync after more ops = %v, want sticky %v", err, boom)
+	}
+	if ran {
+		t.Fatal("op after latched error must be skipped")
+	}
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+}
+
+func TestStreamInlineExecutesImmediately(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("inline", nil, false)
+	ran := false
+	s.Enqueue("op", func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("inline stream must run the op before Enqueue returns")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamCloseIdempotent(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("close", nil, true)
+	s.Enqueue("op", func() error { return nil })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two streams driving different tiers of one timeline must produce
+// genuinely overlapping modeled busy intervals — the heart of the
+// double-buffered prefetch model.
+func TestStreamsModeledIntervalsOverlap(t *testing.T) {
+	d := testDevice()
+	lg := costmodel.NewOverlapLedger(streamProfile())
+	tl := lg.NewTimeline()
+	io := d.NewStream("io", tl.Line("io"), true)
+	cmp := d.NewStream("cmp", tl.Line("cmp"), false)
+
+	// io prefetches while cmp computes: both charge 2 modeled seconds.
+	io.Enqueue("read", func() error {
+		io.Charge(costmodel.TierDiskRead, 200)
+		return nil
+	})
+	cmp.Enqueue("kernel", func() error {
+		cmp.Charge(costmodel.TierDeviceOps, 200)
+		return nil
+	})
+	if err := io.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tl.Commit()
+
+	ioSpans := io.Line().Spans()
+	cmpSpans := cmp.Line().Spans()
+	if len(ioSpans) != 1 || len(cmpSpans) != 1 {
+		t.Fatalf("spans = %d/%d, want 1/1", len(ioSpans), len(cmpSpans))
+	}
+	a, b := ioSpans[0], cmpSpans[0]
+	if a.Start >= b.End || b.Start >= a.End {
+		t.Fatalf("spans [%v,%v) and [%v,%v) do not overlap", a.Start, a.End, b.Start, b.End)
+	}
+	if saved := lg.SavedSeconds(); saved <= 0 {
+		t.Fatalf("saved = %v, want > 0 from overlapping streams", saved)
+	}
+}
+
+// WaitModeled is enqueued, so it applies between the ops around it in
+// stream order, not at call time.
+func TestStreamWaitModeledAppliesInStreamOrder(t *testing.T) {
+	d := testDevice()
+	lg := costmodel.NewOverlapLedger(streamProfile())
+	tl := lg.NewTimeline()
+	s := d.NewStream("s", tl.Line("s"), true)
+	s.Enqueue("a", func() error {
+		s.Charge(costmodel.TierDiskRead, 100) // [0, 1)
+		return nil
+	})
+	s.WaitModeled(5)
+	s.Enqueue("b", func() error {
+		s.Charge(costmodel.TierDiskRead, 100) // must start at 5, not 1
+		return nil
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans := s.Line().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[1].Start != 5 {
+		t.Fatalf("second charge starts at %v, want 5 (after WaitModeled)", spans[1].Start)
+	}
+}
+
+// Stream kernel wrappers must meter exactly what the Device entry points
+// meter, for identical inputs — the counter-identity contract.
+func TestStreamKernelsMeterIdenticalToDevice(t *testing.T) {
+	mkPairs := func() []kv.Pair {
+		ps := make([]kv.Pair, 64)
+		for i := range ps {
+			ps[i] = kv.Pair{Key: kv.Key{Hi: uint64(i * 37 % 19), Lo: uint64(i * 13 % 7)}, Val: uint32(i)}
+		}
+		return ps
+	}
+
+	direct := testDevice()
+	ps := mkPairs()
+	direct.SortPairs(ps)
+	a, b := ps[:20], ps[20:]
+	merged := direct.MergePairsInto(make([]kv.Pair, 0, len(ps)), a, b)
+	lo := direct.VecLowerBound(a, merged, nil)
+	hi := direct.VecUpperBound(a, merged, nil)
+	direct.VecDifference(hi, lo, nil)
+	want := direct.Meter().Snapshot()
+
+	streamed := testDevice()
+	s := streamed.NewStream("k", nil, false)
+	ps2 := mkPairs()
+	s.SortPairs(ps2)
+	a2, b2 := ps2[:20], ps2[20:]
+	merged2 := s.MergePairsInto(make([]kv.Pair, 0, len(ps2)), a2, b2)
+	lo2 := s.VecLowerBound(a2, merged2, nil)
+	hi2 := s.VecUpperBound(a2, merged2, nil)
+	s.VecDifference(hi2, lo2, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := streamed.Meter().Snapshot()
+
+	if got != want {
+		t.Fatalf("stream kernel counters = %+v, want device-identical %+v", got, want)
+	}
+	for i := range ps {
+		if ps2[i] != ps[i] {
+			t.Fatalf("sorted output diverged at %d", i)
+		}
+	}
+	for i := range merged {
+		if merged2[i] != merged[i] {
+			t.Fatalf("merged output diverged at %d", i)
+		}
+	}
+}
+
+// Async copy ops must charge the meter exactly like the synchronous
+// Device copies.
+func TestStreamAsyncCopiesMeterPCIe(t *testing.T) {
+	d := testDevice()
+	s := d.NewStream("copies", nil, true)
+	s.CopyToDeviceAsync(1000)
+	s.CopyFromDeviceAsync(500)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Meter().Snapshot().PCIeBytes; got != 1500 {
+		t.Fatalf("PCIe bytes = %d, want 1500", got)
+	}
+}
+
+// TestStreamStress hammers two async streams and an inline stream from
+// their owning goroutines while a third goroutine polls Sync, verifying
+// under -race that the executor/enqueuer handoff is clean and no op is
+// lost or reordered.
+func TestStreamStress(t *testing.T) {
+	d := testDevice()
+	lg := costmodel.NewOverlapLedger(streamProfile())
+	const perStream = 500
+	var wg sync.WaitGroup
+	totals := make([]int64, 3)
+	for si := 0; si < 3; si++ {
+		si := si
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl := lg.NewTimeline()
+			defer tl.Commit()
+			s := d.NewStream("stress", tl.Line("l"), si < 2)
+			var seq int64
+			for i := 0; i < perStream; i++ {
+				i := i
+				s.Enqueue("op", func() error {
+					if seq != int64(i) {
+						t.Errorf("stream %d: op %d ran at position %d", si, i, seq)
+					}
+					seq++
+					s.Charge(costmodel.TierDeviceOps, 1)
+					d.ChargeKernel(0, 1)
+					return nil
+				})
+				if i%97 == 0 {
+					if err := s.Sync(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Error(err)
+			}
+			totals[si] = seq
+		}()
+	}
+	wg.Wait()
+	for si, n := range totals {
+		if n != perStream {
+			t.Errorf("stream %d executed %d ops, want %d", si, n, perStream)
+		}
+	}
+	if got := d.Meter().Snapshot().DeviceOps; got != 3*perStream {
+		t.Fatalf("device ops = %d, want %d", got, 3*perStream)
+	}
+	if got := lg.Units(); got != 3 {
+		t.Fatalf("ledger units = %d, want 3", got)
+	}
+}

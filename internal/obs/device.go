@@ -26,6 +26,7 @@ type deviceHooks struct {
 	ops        *Counter
 	waits      *Counter
 	waitHist   *Histogram
+	streamOps  *Counter
 }
 
 // DeviceHooks builds gpu.Hooks that feed o's tracer and metrics, tagging
@@ -45,6 +46,7 @@ func DeviceHooks(o *Observer, pid int64) gpu.Hooks {
 		ops:        m.Counter("gpu.kernel_ops"),
 		waits:      m.Counter("gpu.alloc_waits"),
 		waitHist:   m.Histogram("gpu.alloc_wait_seconds", allocWaitBounds...),
+		streamOps:  m.Counter("gpu.stream_ops"),
 	}
 }
 
@@ -58,6 +60,15 @@ func (h *deviceHooks) KernelLaunch(blocks int, start time.Time, wall time.Durati
 func (h *deviceHooks) KernelCharge(memBytes, ops int64) {
 	h.memBytes.Add(memBytes)
 	h.ops.Add(ops)
+}
+
+// StreamOp implements gpu.StreamHooks: each asynchronously executed stream
+// op becomes an async trace span named after its stream, so overlapping
+// stream activity renders as overlapping "stream" tracks.
+func (h *deviceHooks) StreamOp(stream, op string, start time.Time, wall time.Duration) {
+	h.streamOps.Add(1)
+	h.tracer.Async(h.pid, "stream", stream+" "+op, start, wall,
+		map[string]any{"stream": stream, "op": op})
 }
 
 func (h *deviceHooks) AllocWaited(bytes int64, start time.Time, wait time.Duration) {

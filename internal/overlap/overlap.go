@@ -41,6 +41,13 @@ type Config struct {
 	HostMem     *stats.MemTracker // accounts window buffers; may be nil
 	WindowPairs int               // M/2: pairs per window
 	Obs         *obs.Observer     // observability sink; may be nil
+
+	// Overlap, when non-nil, enables streamed execution: the next
+	// suffix/prefix windows are prefetched on an async I/O stream while
+	// the current windows' bounds kernels run, and every charge lands on
+	// an overlap-aware modeled timeline committed to this ledger. Emitted
+	// edges and counters are identical to the serial path.
+	Overlap *costmodel.OverlapLedger
 }
 
 // hostPairBytes is the in-memory footprint of one pair.
@@ -84,23 +91,50 @@ func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, 
 		}
 	}
 	dev := cfg.Device
+	// One modeled timeline per reduce: a single async I/O stream
+	// prefetches both windows (one disk engine, charges serialized on the
+	// disk-read tier) while the inline compute stream carries the device
+	// pass. With Overlap nil everything collapses to the serial path.
+	tl := cfg.Overlap.NewTimeline()
+	defer tl.Commit()
+	streams := tl != nil
+	ioS := dev.NewStream("reduce-io", tl.Line("prefetch"), streams)
+	defer ioS.Close()
+	cmp := dev.NewStream("reduce-compute", tl.Line("compute"), false)
 	// A partition smaller than a window needs only a partition-sized
 	// buffer; the windows seen by the device are identical either way.
+	// Streamed reduces double the buffers for the prefetch spares.
 	sCap := clampPairs(cfg.WindowPairs, sfxReader.Count())
 	pCap := clampPairs(cfg.WindowPairs, pfxReader.Count())
+	bufs := 1
+	if streams {
+		bufs = 2
+	}
 	if cfg.HostMem != nil {
-		hostBytes := int64(sCap+pCap) * hostPairBytes
+		hostBytes := int64(bufs) * int64(sCap+pCap) * hostPairBytes
 		cfg.HostMem.Add(hostBytes)
 		defer cfg.HostMem.Release(hostBytes)
 	}
-	ws := newWindowStream(sfxReader, sCap)
-	wp := newWindowStream(pfxReader, pCap)
+	ws := newWindowStream(sfxReader, sCap, streams)
+	wp := newWindowStream(pfxReader, pCap, streams)
 
+	if streams {
+		ws.advance(ioS, 0)
+		wp.advance(ioS, 0)
+	}
 	var lb, ub, diff []int32
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		syncErr := ioS.Sync()
+		ws.adopt()
+		wp.adopt()
+		if syncErr != nil {
+			return syncErr
+		}
+		// The round consumes data the I/O stream produced.
+		cmp.WaitModeled(ioS.ModeledCursor())
 		if err := ws.fill(); err != nil {
 			return err
 		}
@@ -135,6 +169,14 @@ func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, 
 			continue
 		}
 
+		// Prefetch the next windows before the device pass: the advance
+		// ops read buf[consumed:] and the readers, never the clipped
+		// windows the kernels and the emission loop are using.
+		if streams {
+			ws.advance(ioS, len(cs))
+			wp.advance(ioS, len(cp))
+		}
+
 		// Device pass: vectorized bounds and counts (lines 8-10).
 		// AllocWait lets concurrent partition reducers share the device;
 		// capacity bounds how many windows are resident at once.
@@ -142,11 +184,11 @@ func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, 
 		if err != nil {
 			return err
 		}
-		dev.CopyToDevice(int64(len(cs)+len(cp)) * kv.PairBytes)
-		lb = dev.VecLowerBound(cs, cp, lb)
-		ub = dev.VecUpperBound(cs, cp, ub)
-		diff = dev.VecDifference(ub, lb, diff)
-		dev.CopyFromDevice(3 * 4 * int64(len(cs)))
+		cmp.CopyToDeviceAsync(int64(len(cs)+len(cp)) * kv.PairBytes)
+		lb = cmp.VecLowerBound(cs, cp, lb)
+		ub = cmp.VecUpperBound(cs, cp, ub)
+		diff = cmp.VecDifference(ub, lb, diff)
+		cmp.CopyFromDeviceAsync(3 * 4 * int64(len(cs)))
 		alloc.Free()
 
 		// Edge emission (lines 11-17).
@@ -160,8 +202,10 @@ func Reduce(ctx context.Context, cfg Config, sfxReader, pfxReader *kvio.Reader, 
 				}
 			}
 		}
-		ws.consume(len(cs))
-		wp.consume(len(cp))
+		if !streams {
+			ws.consume(len(cs))
+			wp.consume(len(cp))
+		}
 	}
 	return nil
 }
@@ -246,16 +290,78 @@ func clampPairs(window int, count int64) int {
 	return window
 }
 
-// windowStream maintains a sliding window over a sequential reader.
+// windowStream maintains a sliding window over a sequential reader. With
+// a spare buffer it also supports asynchronous advancement (see advance),
+// producing windows identical to the synchronous consume-then-fill path.
 type windowStream struct {
-	r    *kvio.Reader
-	buf  []kv.Pair
-	cap  int
-	done bool
+	r     *kvio.Reader
+	buf   []kv.Pair
+	spare []kv.Pair // second buffer; non-nil enables advance
+	cap   int
+	done  bool
+
+	pending     bool
+	pendingBuf  []kv.Pair
+	pendingDone bool
 }
 
-func newWindowStream(r *kvio.Reader, capPairs int) *windowStream {
-	return &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+func newWindowStream(r *kvio.Reader, capPairs int, spare bool) *windowStream {
+	ws := &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+	if spare {
+		ws.spare = make([]kv.Pair, 0, capPairs)
+	}
+	return ws
+}
+
+// advance enqueues the window's next state on the I/O stream: drop the
+// first consumeN pairs, then top up from the reader into the spare
+// buffer, mirroring fill's semantics (including EOF detection via
+// Remaining). The op never mutates buf, so the caller may keep reading
+// buf[:consumeN] while it runs; adopt swaps the result in after the
+// stream syncs. Disk bytes are charged to the stream's modeled timeline.
+func (ws *windowStream) advance(ioS *gpu.Stream, consumeN int) {
+	ws.pending = true
+	ioS.Enqueue("advance-window", func() error {
+		nb := ws.spare[:0]
+		nb = append(nb, ws.buf[consumeN:]...)
+		done := ws.done
+		read := 0
+		var ferr error
+		for len(nb) < ws.cap && !done {
+			n := len(nb)
+			m, err := ws.r.ReadBatch(nb[n:ws.cap])
+			nb = nb[:n+m]
+			read += m
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				ferr = err
+				break
+			}
+		}
+		if !done && ws.r.Remaining() == 0 {
+			done = true
+		}
+		ws.pendingBuf, ws.pendingDone = nb, done
+		ioS.Charge(costmodel.TierDiskRead, int64(read)*kv.PairBytes)
+		return ferr
+	})
+}
+
+// adopt installs the most recent advance's result as the current window.
+// Only call it after the I/O stream has synced.
+func (ws *windowStream) adopt() {
+	if !ws.pending {
+		return
+	}
+	ws.pending = false
+	old := ws.buf
+	ws.buf = ws.pendingBuf
+	ws.spare = old[:0]
+	ws.done = ws.pendingDone
+	ws.pendingBuf = nil
 }
 
 func (ws *windowStream) fill() error {

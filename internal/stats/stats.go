@@ -52,6 +52,10 @@ type PhaseStats struct {
 	NetBytes   int64         // bytes crossing the network during the phase
 	PCIeBytes  int64         // bytes over PCIe during the phase
 	DeviceOps  int64         // device compute operations during the phase
+	// OverlapSaved is the modeled time hidden by stream overlap during the
+	// phase; Modeled already has it subtracted (Modeled + OverlapSaved is
+	// the additive no-overlap figure).
+	OverlapSaved time.Duration
 }
 
 // String renders a single-line summary.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint fuzz bench cover examples evaluation trace serve-smoke clean
+.PHONY: all build vet test race lint fuzz bench bench-gate cover examples evaluation trace serve-smoke clean
 
 all: build vet lint test race
 
@@ -38,17 +38,38 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseSeq -fuzztime=10s ./internal/dna/
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/fastq/
 	$(GO) test -run=NONE -fuzz=FuzzKVReader -fuzztime=10s ./internal/kvio/
+	$(GO) test -run=NONE -fuzz=FuzzSpmatFromEdgeRuns -fuzztime=10s ./internal/spmat/
 
 # One benchmark per paper table/figure plus the ablations, then the job
 # service's end-to-end throughput (BENCH_serve.json: jobs/sec, queue
-# latency) and the serial-vs-overlapped stream comparison
-# (BENCH_streams.json: modeled and wall seconds per phase).
+# latency), the serial-vs-overlapped stream comparison
+# (BENCH_streams.json: modeled and wall seconds per phase), and the
+# graph-backend comparison (BENCH_graph.json: modeled seconds and edge
+# counts per engine).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
 	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
 		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
+	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
+		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
+
+# Regenerate the three JSON-emitting benchmarks and compare their modeled
+# metrics against the committed baselines under bench/, failing on any
+# >15% modeled-seconds regression. Wall-clock and throughput numbers are
+# machine-dependent and are not gated (BENCH_serve.json has no modeled
+# fields, so its comparison is a structural no-op by design).
+bench-gate:
+	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
+		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
+	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
+		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
+	$(GO) run ./scripts/bench_gate bench/BENCH_streams.json BENCH_streams.json
+	$(GO) run ./scripts/bench_gate bench/BENCH_serve.json BENCH_serve.json
+	$(GO) run ./scripts/bench_gate bench/BENCH_graph.json BENCH_graph.json
 
 cover:
 	$(GO) test -cover ./...
@@ -78,6 +99,6 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_streams.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_streams.json BENCH_graph.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

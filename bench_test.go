@@ -184,6 +184,120 @@ func BenchmarkPipelineStreams(b *testing.B) {
 	}
 }
 
+// graphBenchRow is one (dataset, backend) cell of BENCH_graph.json. Only
+// the modeled fields participate in the bench_gate regression check;
+// wall seconds and edge counts are informational.
+type graphBenchRow struct {
+	Dataset         string  `json:"dataset"`
+	Backend         string  `json:"backend"`
+	ModeledS        float64 `json:"modeledS"`
+	ReduceModeledS  float64 `json:"reduceModeledS"`
+	WallS           float64 `json:"wallS"`
+	NNZ             int64   `json:"nnz"`
+	AcceptedEdges   int64   `json:"acceptedEdges"`
+	ReducedEdges    int64   `json:"reducedEdges"`
+	Contigs         int     `json:"contigs"`
+	N50             int     `json:"n50"`
+	PeakDeviceBytes int64   `json:"peakDeviceBytes"`
+}
+
+type graphBenchReport struct {
+	Rows []graphBenchRow `json:"rows"`
+}
+
+// BenchmarkGraphBackends compares the reduce/compress engines — greedy,
+// the sgraph full graph, and the spmat masked-SpGEMM backend — on two
+// bench-scale datasets, pinning the refinement contract (spmat never
+// removes fewer transitive edges than the Myers sweep, and the greedy
+// engine removes none) and reporting modeled seconds per engine. When
+// BENCH_GRAPH_OUT names a file, the comparison table is written there as
+// JSON for the bench_gate regression check and EXPERIMENTS.md.
+func BenchmarkGraphBackends(b *testing.B) {
+	backends := []string{"greedy", "full", "spmat"}
+	var rep graphBenchReport
+	for _, idx := range []int{0, 3} {
+		p, rs := benchReads(b, idx)
+		results := map[string]*core.Result{}
+		for _, backend := range backends {
+			backend := backend
+			b.Run(fmt.Sprintf("%s/%s", p.Name, backend), func(b *testing.B) {
+				b.ReportAllocs()
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := benchConfig(b, gpu.K40, p.MinOverlap)
+					switch backend {
+					case "full":
+						cfg.FullGraph = true
+					case "spmat":
+						cfg.GraphBackend = core.BackendSpmat
+					}
+					b.StartTimer()
+					var err error
+					res, err = Assemble(cfg, rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.TotalModeled.Seconds(), "modeled-s")
+				b.ReportMetric(float64(res.ReducedEdges), "removed-edges")
+				results[backend] = res
+			})
+		}
+		full, spmat := results["full"], results["spmat"]
+		if full == nil || spmat == nil {
+			continue // sub-benchmark filtered out
+		}
+		// The refinement contract the differential tests pin at small
+		// scale must hold at bench scale too.
+		if spmat.ReducedEdges < full.ReducedEdges {
+			b.Fatalf("%s: spmat removed %d transitive edges, full graph removed %d",
+				p.Name, spmat.ReducedEdges, full.ReducedEdges)
+		}
+		if g := results["greedy"]; g != nil && spmat.ReducedEdges < g.ReducedEdges {
+			b.Fatalf("%s: spmat removed %d transitive edges, greedy removed %d",
+				p.Name, spmat.ReducedEdges, g.ReducedEdges)
+		}
+		for _, backend := range backends {
+			res := results[backend]
+			if res == nil {
+				continue
+			}
+			row := graphBenchRow{
+				Dataset:       p.Name,
+				Backend:       backend,
+				ModeledS:      res.TotalModeled.Seconds(),
+				WallS:         res.TotalWall.Seconds(),
+				NNZ:           res.AcceptedEdges + res.ReducedEdges,
+				AcceptedEdges: res.AcceptedEdges,
+				ReducedEdges:  res.ReducedEdges,
+				Contigs:       len(res.Contigs),
+				N50:           res.ContigStats.N50,
+			}
+			if ps, ok := res.PhaseByName(core.PhaseReduce); ok {
+				row.ReduceModeledS = ps.Modeled.Seconds()
+			}
+			for _, ps := range res.Phases {
+				if ps.PeakDevice > row.PeakDeviceBytes {
+					row.PeakDeviceBytes = ps.PeakDevice
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	out := os.Getenv("BENCH_GRAPH_OUT")
+	if out == "" || len(rep.Rows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkTable3 reproduces Table III (phase times, 64 GB + K20X).
 func BenchmarkTable3(b *testing.B) {
 	for i, p := range readsim.Profiles {

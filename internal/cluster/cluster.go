@@ -45,6 +45,8 @@ import (
 	"repro/internal/kvio"
 	"repro/internal/obs"
 	"repro/internal/overlap"
+	"repro/internal/sgraph"
+	"repro/internal/spmat"
 	"repro/internal/stats"
 )
 
@@ -79,6 +81,20 @@ type Config struct {
 	PartitionByFingerprint bool
 	IncludeSingletons      bool
 	BreakCycles            bool
+	// GraphBackend selects the reduce/compress engine, mirroring
+	// core.Config.GraphBackend: "" or core.BackendGreedy runs the paper's
+	// serialized greedy graph with bit-vector token forwarding;
+	// core.BackendSpmat ships every node's candidate list to the master,
+	// builds the CSR string graph there (the spmat Builder is
+	// order-independent, so the cluster's arrival order cannot change the
+	// matrix), and removes transitive edges with the masked SpGEMM pass on
+	// the master's device. Contig output is byte-identical to a
+	// single-node run under the same backend. Output-relevant: part of
+	// the per-node manifest fingerprints.
+	GraphBackend string
+	// TransitiveFuzz is the overhang slack for the spmat transitive
+	// reduction, mirroring core.Config.TransitiveFuzz.
+	TransitiveFuzz int
 	// Resume re-enters an interrupted run from the nodes' private storage
 	// directories, mirroring core.Config.Resume: each node keeps a run
 	// manifest in its own dir, and a per-node stage (Map, Shuffle, Sort)
@@ -142,8 +158,18 @@ func (c Config) Validate() error {
 		DeviceBlockPairs: c.DeviceBlockPairs,
 		MapBatchReads:    c.MapBatchReads,
 		GPU:              c.GPU,
+		GraphBackend:     c.GraphBackend,
+		TransitiveFuzz:   c.TransitiveFuzz,
 	}
 	return single.Validate()
+}
+
+// backend resolves the GraphBackend knob: the empty string means greedy.
+func (c Config) backend() string {
+	if c.GraphBackend == "" {
+		return core.BackendGreedy
+	}
+	return c.GraphBackend
 }
 
 func (c Config) profile() costmodel.Profile {
@@ -175,8 +201,13 @@ type Cluster struct {
 	cfg   Config
 	nodes []*node
 	// serial meters the reduce phase's serialized component: greedy graph
-	// building and bit-vector token forwarding.
+	// building and bit-vector token forwarding (or, under the spmat
+	// backend, CSR assembly on the master).
 	serial *costmodel.Meter
+	// spmatRed holds the master's transitive reduction between the reduce
+	// and compress phases when the spmat backend is selected; reset at the
+	// start of every reduce.
+	spmatRed *spmat.Reduction
 
 	// FaultHook, when set, fires after a node commits a stage to its
 	// manifest, mirroring core.Pipeline.FaultHook. Returning an error
@@ -196,8 +227,12 @@ type Result struct {
 	NumReads       int
 	CandidateEdges int64
 	AcceptedEdges  int64
-	TotalWall      time.Duration
-	TotalModeled   time.Duration
+	// ReducedEdges counts the transitive edges removed by the spmat
+	// backend's masked SpGEMM pass; zero under the greedy backend, which
+	// never materializes transitive edges.
+	ReducedEdges int64
+	TotalWall    time.Duration
+	TotalModeled time.Duration
 
 	// Counters sums every node meter plus the serialized-reduce meter at
 	// the end of the run; Modeled is its per-tier breakdown under the
@@ -381,6 +416,9 @@ func (c Config) fingerprint(nodeID int) string {
 		c.MapBatchReads, c.InputBlockReads, c.GPU.Name, c.GPU.MemBytes)
 	fmt.Fprintf(h, "|fpart=%t|sing=%t|cyc=%t",
 		c.PartitionByFingerprint, c.IncludeSingletons, c.BreakCycles)
+	// The resolved backend, matching core.Config.fingerprint: "" and
+	// "greedy" must fingerprint identically.
+	fmt.Fprintf(h, "|backend=%s|fuzz=%d", c.backend(), c.TransitiveFuzz)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -825,12 +863,15 @@ func runNodeTasks(workers, n int, task func(i int) error) error {
 	return <-errs
 }
 
+// cand is one verified candidate overlap buffered between a node's
+// overlap finding and the serialized graph-building step.
+type cand struct{ u, v uint32 }
+
 // reducePhase runs overlap finding on all nodes in parallel, then applies
 // candidates to the shared greedy discipline strictly in descending
 // partition order, forwarding the out-degree bit-vector between owners.
 func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result) error {
 	maxLen := rs.MaxLen()
-	type cand struct{ u, v uint32 }
 	// candidates[l][nodeID]: with length partitioning only the owner's
 	// slot fills; with fingerprint partitioning every node contributes a
 	// fingerprint-ordered slice, and node-ID order re-assembles the
@@ -879,18 +920,82 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 		return err
 	}
 
-	// Serialized greedy graph building with token forwarding (the t_g
-	// component). The wall-clock cost is tiny; the modeled cost is charged
-	// to the dedicated serial meter and added to the reduce phase.
+	// Serialized graph building (the t_g component). Greedy: token
+	// forwarding between owners in descending length order. Spmat:
+	// candidate lists ship to the master, which assembles the CSR matrix
+	// and runs the device transitive reduction. The wall-clock cost is
+	// tiny; the modeled cost is charged to the dedicated serial meter (and
+	// the master's device meter for the SpGEMM pass) and added to the
+	// reduce phase.
 	serialBefore := c.serial.Snapshot()
 	serialSpan := c.cfg.Obs.Tracer().Begin(obs.Track{}, "stage", "ReduceSerial").
 		Metered(c.serial, c.cfg.profile())
-	token := bitvec.New(2 * rs.NumReads())
-	graphs := make(map[int]*graph.Graph, len(c.nodes))
-	for _, n := range c.nodes {
-		graphs[n.id] = graph.NewWithVector(rs.NumReads(), token)
+	var serialErr error
+	var trTime time.Duration
+	if c.cfg.backend() == core.BackendSpmat {
+		trTime, serialErr = c.reduceSpmatOnMaster(ctx, rs, maxLen, candidates, res)
+	} else {
+		token := bitvec.New(2 * rs.NumReads())
+		graphs := make(map[int]*graph.Graph, len(c.nodes))
+		for _, n := range c.nodes {
+			graphs[n.id] = graph.NewWithVector(rs.NumReads(), token)
+		}
+		prevOwner := -1
+		for l := maxLen - 1; l >= c.cfg.MinOverlap; l-- {
+			slots := candidates[l]
+			if slots == nil {
+				continue
+			}
+			for nodeID, list := range slots {
+				if len(list) == 0 {
+					continue
+				}
+				if prevOwner != -1 && prevOwner != nodeID {
+					// Token hop between nodes.
+					c.serial.AddNet(token.Bytes())
+				}
+				prevOwner = nodeID
+				g := graphs[nodeID]
+				for _, cd := range list {
+					// Each candidate touches ~4 cache lines of randomly-
+					// addressed host memory (two bit-vector probes, two
+					// edge-slot writes), which is what makes graph building
+					// the serialized cost the paper's t_g term captures.
+					c.serial.AddHostMem(4 * 64)
+					g.AddCandidate(cd.u, cd.v, uint16(l))
+				}
+			}
+			delete(candidates, l)
+		}
+		for _, n := range c.nodes {
+			n.edges = graphs[n.id].Edges()
+			res.AcceptedEdges += int64(len(n.edges))
+		}
 	}
-	prevOwner := -1
+	serialSpan.End()
+	serialTime := c.serial.Snapshot().Sub(serialBefore).Time(c.cfg.profile()) + trTime
+	// Fold the serialized component into the recorded reduce phase.
+	last := &res.Phases[len(res.Phases)-1]
+	res.ReduceOverlapModeled = last.Modeled
+	res.ReduceSerialModeled = serialTime
+	last.Modeled += serialTime
+	res.TotalModeled += serialTime
+	return serialErr
+}
+
+// reduceSpmatOnMaster is the spmat backend's serialized component: every
+// node's candidate list ships to the master, which assembles the CSR
+// string graph and runs the masked SpGEMM transitive reduction on its
+// device. The Builder dedupes and sorts internally, so the cluster's
+// candidate arrival order cannot change the matrix — the property that
+// makes cluster output byte-identical to a single-node spmat run.
+// Returns the master's modeled device time for the reduction (overlap
+// savings already netted out), which the caller folds into the reduce
+// phase alongside the serial-meter time.
+func (c *Cluster) reduceSpmatOnMaster(ctx context.Context, rs *dna.ReadSet, maxLen int,
+	candidates map[int][][]cand, res *Result) (time.Duration, error) {
+	master := c.nodes[0]
+	b := spmat.NewBuilder(rs.NumReads())
 	for l := maxLen - 1; l >= c.cfg.MinOverlap; l-- {
 		slots := candidates[l]
 		if slots == nil {
@@ -900,57 +1005,85 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 			if len(list) == 0 {
 				continue
 			}
-			if prevOwner != -1 && prevOwner != nodeID {
-				// Token hop between nodes.
-				c.serial.AddNet(token.Bytes())
+			if nodeID != master.id {
+				// Candidate lists travel to the master: ~6 bytes per edge
+				// (4-byte vertex + overlap length, Section III-C's sizing).
+				c.serial.AddNet(int64(len(list)) * 6)
 			}
-			prevOwner = nodeID
-			g := graphs[nodeID]
 			for _, cd := range list {
-				// Each candidate touches ~4 cache lines of randomly-
-				// addressed host memory (two bit-vector probes, two
-				// edge-slot writes), which is what makes graph building
-				// the serialized cost the paper's t_g term captures.
+				// Same serialized host-memory model as greedy graph
+				// building: each candidate touches ~4 randomly-addressed
+				// cache lines.
 				c.serial.AddHostMem(4 * 64)
-				g.AddCandidate(cd.u, cd.v, uint16(l))
+				b.AddOverlap(cd.u, cd.v, uint16(l))
 			}
 		}
 		delete(candidates, l)
 	}
-	for _, n := range c.nodes {
-		n.edges = graphs[n.id].Edges()
-		res.AcceptedEdges += int64(len(n.edges))
+	master.hostMem.Add(b.ApproxBytes())
+	m := b.Build()
+	master.hostMem.Release(b.ApproxBytes())
+	master.hostMem.Add(m.ApproxBytes())
+	defer master.hostMem.Release(m.ApproxBytes())
+
+	meterBefore := master.meter.Snapshot()
+	savedBefore := master.ledger.SavedSeconds()
+	red, err := m.TransitiveReduce(ctx, spmat.ReduceConfig{
+		Device:           master.dev,
+		VertexLen:        rs.VertexLen,
+		Fuzz:             c.cfg.TransitiveFuzz,
+		MaxResidentBytes: 4 * int64(c.cfg.DeviceBlockPairs) * kv.PairBytes,
+		Overlap:          master.ledger,
+	})
+	if err != nil {
+		return 0, err
 	}
-	serialSpan.End()
-	serialTime := c.serial.Snapshot().Sub(serialBefore).Time(c.cfg.profile())
-	// Fold the serialized component into the recorded reduce phase.
-	last := &res.Phases[len(res.Phases)-1]
-	res.ReduceOverlapModeled = last.Modeled
-	res.ReduceSerialModeled = serialTime
-	last.Modeled += serialTime
-	res.TotalModeled += serialTime
-	return nil
+	trTime := master.meter.Snapshot().Sub(meterBefore).Time(c.cfg.profile()) -
+		time.Duration((master.ledger.SavedSeconds()-savedBefore)*float64(time.Second))
+	if trTime < 0 {
+		trTime = 0
+	}
+	c.spmatRed = red
+	res.ReducedEdges = red.Removed
+	res.AcceptedEdges = m.NNZ() - red.Removed
+	mtr := c.cfg.Obs.Metrics()
+	mtr.Counter(`graph.nnz{backend="spmat"}`).Add(m.NNZ())
+	mtr.Counter(`graph.removed_edges{backend="spmat"}`).Add(red.Removed)
+	mtr.Counter(`graph.spgemm_flops{backend="spmat"}`).Add(red.Flops)
+	return trTime, nil
 }
 
 // compressOnMaster merges the disjoint per-node edge sets and generates
-// contigs on node 0.
+// contigs on node 0. Under the spmat backend the live (post-reduction)
+// matrix entries replace the per-node greedy edge sets, and contigs are
+// spelled from unitig chains — the same rule as the single-node spmat
+// compress, so the FASTA bytes match it exactly.
 func (c *Cluster) compressOnMaster(rs *dna.ReadSet, res *Result) error {
 	master := c.nodes[0]
-	final := graph.New(rs.NumReads())
-	for _, n := range c.nodes {
-		if n.id != master.id {
-			// Edge sets travel to the master: ~6 bytes per edge (4-byte
-			// vertex + overlap length, Section III-C's sizing).
-			master.meter.AddNet(int64(len(n.edges)) * 6)
+	var paths []graph.Path
+	if c.cfg.backend() == core.BackendSpmat {
+		fg := sgraph.New(rs.NumReads())
+		c.spmatRed.Live(func(e spmat.Edge) {
+			fg.InstallEdge(e.U, e.V, e.Len)
+		})
+		paths = fg.Unitigs(rs.VertexLen, c.cfg.IncludeSingletons)
+	} else {
+		final := graph.New(rs.NumReads())
+		for _, n := range c.nodes {
+			if n.id != master.id {
+				// Edge sets travel to the master: ~6 bytes per edge (4-byte
+				// vertex + overlap length, Section III-C's sizing).
+				master.meter.AddNet(int64(len(n.edges)) * 6)
+			}
+			for _, e := range n.edges {
+				final.InstallEdge(e)
+			}
 		}
-		for _, e := range n.edges {
-			final.InstallEdge(e)
-		}
+		paths = final.Traverse(rs.VertexLen, graph.TraverseOptions{
+			IncludeSingletons: c.cfg.IncludeSingletons,
+			BreakCycles:       c.cfg.BreakCycles,
+		})
 	}
-	paths := final.Traverse(rs.VertexLen, graph.TraverseOptions{
-		IncludeSingletons: c.cfg.IncludeSingletons,
-		BreakCycles:       c.cfg.BreakCycles,
-	})
 	res.Contigs = contig.Generate(contig.Config{Device: master.dev}, paths, rs)
 	res.ContigStats = contig.Summarize(res.Contigs)
 

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDistributedSpmatMatchesSingleNode pins the spmat backend's
+// cluster/single-node parity: because the CSR Builder is order-
+// independent and the masked SpGEMM is deterministic, the distributed
+// run must produce byte-identical contig FASTA to a single-node run
+// under the same backend, at every node count.
+func TestDistributedSpmatMatchesSingleNode(t *testing.T) {
+	genome, reads := testData(t)
+	scfg := singleConfig(t)
+	scfg.GraphBackend = core.BackendSpmat
+	single, err := core.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfasta, err := os.ReadFile(sres.ContigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := clusterConfig(t, nodes)
+		cfg.GraphBackend = core.BackendSpmat
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.AcceptedEdges != sres.AcceptedEdges || dres.ReducedEdges != sres.ReducedEdges {
+			t.Errorf("nodes=%d: accepted/reduced = %d/%d, single-node %d/%d",
+				nodes, dres.AcceptedEdges, dres.ReducedEdges,
+				sres.AcceptedEdges, sres.ReducedEdges)
+		}
+		if dres.ReducedEdges == 0 {
+			t.Errorf("nodes=%d: spmat reduction removed no transitive edges", nodes)
+		}
+		dfasta, err := os.ReadFile(dres.ContigPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(dfasta) != string(sfasta) {
+			t.Fatalf("nodes=%d: cluster spmat FASTA differs from single-node spmat FASTA", nodes)
+		}
+		gs, grc := genome.String(), genome.ReverseComplement().String()
+		for i, c := range dres.Contigs {
+			if !strings.Contains(gs, c.String()) && !strings.Contains(grc, c.String()) {
+				t.Errorf("nodes=%d: contig %d not a genome substring", nodes, i)
+			}
+		}
+	}
+}
+
+// TestClusterBackendValidation mirrors the core validation surface.
+func TestClusterBackendValidation(t *testing.T) {
+	cfg := clusterConfig(t, 2)
+	cfg.GraphBackend = "bogus"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown GraphBackend accepted")
+	}
+}
+
+// TestClusterBackendChangesFingerprint keeps the per-node manifests from
+// resuming across an engine switch, while ""/greedy stay equivalent.
+func TestClusterBackendChangesFingerprint(t *testing.T) {
+	base := clusterConfig(t, 2)
+	greedy := base
+	greedy.GraphBackend = core.BackendGreedy
+	if base.fingerprint(0) != greedy.fingerprint(0) {
+		t.Error("empty backend and explicit greedy must fingerprint identically")
+	}
+	sp := base
+	sp.GraphBackend = core.BackendSpmat
+	if base.fingerprint(0) == sp.fingerprint(0) {
+		t.Error("spmat backend must change the node fingerprint")
+	}
+}

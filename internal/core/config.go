@@ -73,9 +73,21 @@ type Config struct {
 	// to the number of overlaps instead of the number of reads.
 	FullGraph bool
 	// TransitiveFuzz is the overhang slack allowed when identifying
-	// transitive edges in FullGraph mode (0 suits exact, error-free
-	// overlaps).
+	// transitive edges in FullGraph and spmat modes (0 suits exact,
+	// error-free overlaps).
 	TransitiveFuzz int
+	// GraphBackend selects the engine behind the Reduce and Compress
+	// stages. "" or BackendGreedy is the paper's pipeline: the greedy
+	// bit-vector graph (or the sgraph full graph when FullGraph is set).
+	// BackendSpmat stores the string graph as a CSR sparse matrix and
+	// removes transitive edges with a masked SpGEMM pass metered as
+	// batched, tiled device kernels (see internal/spmat). spmat removes a
+	// superset of the Myers sweep's transitive edges while preserving
+	// reachability; contigs are spelled from the same unitig rule as
+	// FullGraph (see DESIGN.md, "Sparse-matrix graph backend").
+	// Output-relevant: part of the resume fingerprint. Mutually exclusive
+	// with FullGraph.
+	GraphBackend string
 	// ParallelTraversal extracts paths with the BSP pointer-jumping
 	// traversal (the paper's future-work parallel graph processing)
 	// instead of the sequential walk. Outputs are identical on shotgun
@@ -122,6 +134,19 @@ type Config struct {
 	// HTTP. Execution knob: excluded from the resume fingerprint.
 	Progress func(stage string, event string)
 }
+
+// The Config.GraphBackend values.
+const (
+	// BackendGreedy is the paper's reduce/compress engine (also the
+	// resolution of the empty string).
+	BackendGreedy = "greedy"
+	// BackendSpmat is the sparse-matrix engine: CSR adjacency, masked
+	// SpGEMM transitive reduction, unitig compression.
+	BackendSpmat = "spmat"
+)
+
+// Backends lists the valid GraphBackend values, for CLI/API validation.
+var Backends = []string{BackendGreedy, BackendSpmat}
 
 // Progress events delivered to Config.Progress.
 const (
@@ -176,7 +201,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: device block needs %d bytes, %s has %d",
 			need, c.GPU.Name, c.GPU.MemBytes)
 	}
+	switch c.GraphBackend {
+	case "", BackendGreedy:
+	case BackendSpmat:
+		if c.FullGraph {
+			return fmt.Errorf("core: GraphBackend %q and FullGraph are mutually exclusive graph engines",
+				BackendSpmat)
+		}
+	default:
+		return fmt.Errorf("core: unknown GraphBackend %q (want %q or %q)",
+			c.GraphBackend, BackendGreedy, BackendSpmat)
+	}
 	return nil
+}
+
+// backend resolves the GraphBackend knob: the empty string means greedy.
+func (c Config) backend() string {
+	if c.GraphBackend == "" {
+		return BackendGreedy
+	}
+	return c.GraphBackend
 }
 
 // Profile returns the cost-model profile for the configured hardware.

@@ -57,6 +57,45 @@ func writeEdgeFile(path string, meter *costmodel.Meter, next func() (persistedEd
 	return n, w.Close()
 }
 
+// edgeFileIterator streams edges.kv pull-style for consumers that need a
+// next() interface — the spmat CSR build validates ordering as it
+// consumes, so it cannot use the push-style readEdgeFile.
+type edgeFileIterator struct {
+	r      *kvio.Reader
+	buf    []kv.Pair
+	pos, n int
+	eof    bool
+}
+
+func newEdgeFileIterator(path string, meter *costmodel.Meter) (*edgeFileIterator, error) {
+	r, err := kvio.NewReader(path, meter)
+	if err != nil {
+		return nil, err
+	}
+	return &edgeFileIterator{r: r, buf: make([]kv.Pair, 4096)}, nil
+}
+
+// Next returns the next edge in file order; ok is false at end of file.
+func (it *edgeFileIterator) Next() (persistedEdge, bool, error) {
+	for it.pos >= it.n {
+		if it.eof {
+			return persistedEdge{}, false, nil
+		}
+		n, err := it.r.ReadBatch(it.buf)
+		it.pos, it.n = 0, n
+		if err == io.EOF {
+			it.eof = true
+		} else if err != nil {
+			return persistedEdge{}, false, fmt.Errorf("core: reading edge file: %w", err)
+		}
+	}
+	e := edgeFromPair(it.buf[it.pos])
+	it.pos++
+	return e, true, nil
+}
+
+func (it *edgeFileIterator) Close() error { return it.r.Close() }
+
 // readEdgeFile streams every edge at path into apply, in file order.
 func readEdgeFile(path string, meter *costmodel.Meter, apply func(persistedEdge)) error {
 	r, err := kvio.NewReader(path, meter)

@@ -144,6 +144,9 @@ func (c Config) fingerprint() string {
 	fmt.Fprintf(h, "|sing=%t|cyc=%t|fg=%t|fuzz=%d|ptrav=%t|pack=%t|dedupe=%t|naive=%t|verify=%t",
 		c.IncludeSingletons, c.BreakCycles, c.FullGraph, c.TransitiveFuzz,
 		c.ParallelTraversal, c.PackedReads, c.DedupeReads, c.NaiveMapKernel, c.VerifyOverlaps)
+	// The resolved backend, not the raw knob: "" and "greedy" must
+	// fingerprint identically because they produce identical bytes.
+	fmt.Fprintf(h, "|backend=%s", c.backend())
 	return hex.EncodeToString(h.Sum(nil))
 }
 

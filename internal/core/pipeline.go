@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/sgraph"
+	"repro/internal/spmat"
 	"repro/internal/stats"
 )
 
@@ -142,6 +143,9 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 	p.cfg.Obs.Log().Debug("stage start", "stage", string(name))
 	span := p.cfg.Obs.Tracer().Begin(p.track(), "stage", string(name)).
 		Metered(p.meter, p.cfg.Profile())
+	if name == PhaseReduce || name == PhaseCompress {
+		span.Arg("graph.backend", p.cfg.backend())
+	}
 	before := p.meter.Snapshot()
 	savedBefore := p.ledger.SavedSeconds()
 	timer := stats.StartTimer()
@@ -615,6 +619,9 @@ func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int
 // string graph and transitive edges are removed before persisting.
 func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir string,
 	counts map[int]int64, edgePath string, res *Result) error {
+	if p.cfg.backend() == BackendSpmat {
+		return p.reduceSpmat(ctx, rs, partDir, counts, edgePath, res)
+	}
 	if p.cfg.FullGraph {
 		fg := sgraph.New(rs.NumReads())
 		err := p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
@@ -627,6 +634,9 @@ func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir s
 		defer p.hostMem.Release(fg.ApproxBytes())
 		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
 		res.AcceptedEdges = fg.NumEdges(false)
+		mtr := p.cfg.Obs.Metrics()
+		mtr.Counter(`graph.nnz{backend="greedy"}`).Add(res.AcceptedEdges + res.ReducedEdges)
+		mtr.Counter(`graph.removed_edges{backend="greedy"}`).Add(res.ReducedEdges)
 		edges := fg.DirectedEdges()
 		i := 0
 		_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
@@ -652,6 +662,7 @@ func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir s
 		return err
 	}
 	res.AcceptedEdges = g.NumEdges()
+	p.cfg.Obs.Metrics().Counter(`graph.nnz{backend="greedy"}`).Add(res.AcceptedEdges)
 	edges := g.Edges()
 	i := 0
 	_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
@@ -661,6 +672,50 @@ func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir s
 		e := edges[i]
 		i++
 		return persistedEdge{U: e.U, V: e.V, Len: e.Len}, true
+	})
+	return err
+}
+
+// reduceSpmat is the sparse-matrix reduce: verified candidates become
+// CSR entries, a masked SpGEMM pass removes transitive edges on the
+// device, and the surviving entries persist to edges.kv in CSR order —
+// the sorted-run order FromEdgeRuns validates on reload.
+func (p *Pipeline) reduceSpmat(ctx context.Context, rs dna.ReadSource, partDir string,
+	counts map[int]int64, edgePath string, res *Result) error {
+	b := spmat.NewBuilder(rs.NumReads())
+	err := p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
+		b.AddOverlap(u, v, l)
+	})
+	if err != nil {
+		return err
+	}
+	p.hostMem.Add(b.ApproxBytes())
+	m := b.Build()
+	p.hostMem.Release(b.ApproxBytes())
+	p.hostMem.Add(m.ApproxBytes())
+	defer p.hostMem.Release(m.ApproxBytes())
+	red, err := m.TransitiveReduce(ctx, spmat.ReduceConfig{
+		Device:    p.dev,
+		VertexLen: rs.VertexLen,
+		Fuzz:      p.cfg.TransitiveFuzz,
+		// The same device budget the sort phase works within, so the pass
+		// honors the DeviceDemandBytes lease multi-tenant admission uses.
+		MaxResidentBytes: 4 * int64(p.cfg.DeviceBlockPairs) * kv.PairBytes,
+		Overlap:          p.ledger,
+	})
+	if err != nil {
+		return err
+	}
+	res.ReducedEdges = red.Removed
+	res.AcceptedEdges = m.NNZ() - red.Removed
+	mtr := p.cfg.Obs.Metrics()
+	mtr.Counter(`graph.nnz{backend="spmat"}`).Add(m.NNZ())
+	mtr.Counter(`graph.removed_edges{backend="spmat"}`).Add(red.Removed)
+	mtr.Counter(`graph.spgemm_flops{backend="spmat"}`).Add(red.Flops)
+	next := red.LiveEdges()
+	_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
+		e, ok := next()
+		return persistedEdge{U: e.U, V: e.V, Len: e.Len}, ok
 	})
 	return err
 }
@@ -911,6 +966,34 @@ func (p *Pipeline) verifyOverlap(rs dna.ReadSource, u, v uint32, l int) bool {
 // code path shared by cold and resumed runs, so resumed output is
 // byte-identical by construction.
 func (p *Pipeline) compressPhase(rs dna.ReadSource, edgePath string, res *Result) error {
+	if p.cfg.backend() == BackendSpmat {
+		// Rebuild the CSR matrix from the persisted sorted runs —
+		// FromEdgeRuns validates ordering and ranges, so a corrupted edge
+		// file fails here instead of spelling garbage — then spell
+		// contigs from unitig chains exactly like the full-graph path.
+		it, err := newEdgeFileIterator(edgePath, p.meter)
+		if err != nil {
+			return err
+		}
+		m, err := spmat.FromEdgeRuns(2*rs.NumReads(), func() (spmat.Edge, bool, error) {
+			e, ok, err := it.Next()
+			return spmat.Edge{U: e.U, V: e.V, Len: e.Len}, ok, err
+		})
+		if cerr := it.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		p.hostMem.Add(m.ApproxBytes())
+		defer p.hostMem.Release(m.ApproxBytes())
+		fg := sgraph.New(rs.NumReads())
+		m.Edges(func(e spmat.Edge) { fg.InstallEdge(e.U, e.V, e.Len) })
+		p.hostMem.Add(fg.ApproxBytes())
+		defer p.hostMem.Release(fg.ApproxBytes())
+		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
+		return p.writeContigs(rs, paths, res)
+	}
 	if p.cfg.FullGraph {
 		fg := sgraph.New(rs.NumReads())
 		err := readEdgeFile(edgePath, p.meter, func(e persistedEdge) {

@@ -7,6 +7,30 @@ import (
 	"repro/internal/gpu"
 )
 
+// RunSupersteps drives a bulk-synchronous computation on the device:
+// step(s) runs once per superstep, strictly in order — the sequential
+// execution is the barrier between supersteps — and returns the device
+// traffic its grid generated (bytes moved through device memory, scalar
+// operations). The device is charged once with the summed totals,
+// matching how the modeled kernels batch their charges, and the totals
+// are returned so streamed callers can also place them on a modeled
+// timeline.
+//
+// Both BSP consumers route through here: the pointer-jumping traversal
+// below (each doubling round is a superstep) and spmat's tiled SpGEMM
+// (each row tile is a superstep). The contract — ordered supersteps, one
+// aggregate kernel charge — is pinned by TestRunSuperstepsContract.
+func RunSupersteps(dev *gpu.Device, supersteps int,
+	step func(s int) (memBytes, ops int64)) (memBytes, ops int64) {
+	for s := 0; s < supersteps; s++ {
+		m, o := step(s)
+		memBytes += m
+		ops += o
+	}
+	dev.ChargeKernel(memBytes, ops)
+	return memBytes, ops
+}
+
 // TraverseParallel extracts the same linear paths as Traverse but with a
 // bulk-synchronous pointer-jumping computation — the paper's future-work
 // item "processing the string graph in parallel using a bulk-synchronous
@@ -48,7 +72,7 @@ func (g *Graph) TraverseParallel(dev *gpu.Device, vertexLen func(uint32) int,
 	}
 	nextJump := make([]uint32, n)
 	nextDist := make([]uint32, n)
-	for r := 0; r < rounds; r++ {
+	RunSupersteps(dev, rounds, func(int) (int64, int64) {
 		for v := 0; v < n; v++ {
 			j := jump[v]
 			nextJump[v] = jump[j]
@@ -56,8 +80,8 @@ func (g *Graph) TraverseParallel(dev *gpu.Device, vertexLen func(uint32) int,
 		}
 		jump, nextJump = nextJump, jump
 		dist, nextDist = nextDist, dist
-	}
-	dev.ChargeKernel(int64(rounds)*int64(n)*16, int64(rounds)*int64(n))
+		return int64(n) * 16, int64(n)
+	})
 
 	// Seeds: out-degree 1, in-degree 0 (as in the sequential traversal).
 	type chain struct {
@@ -94,31 +118,33 @@ func (g *Graph) TraverseParallel(dev *gpu.Device, vertexLen func(uint32) int,
 		paths[i] = make(Path, c.len)
 		pathIndex[jump[c.seed]] = i
 	}
-	var placed int64
-	for v := uint32(0); v < uint32(n); v++ {
-		term := jump[v]
-		if g.next[term] != NoVertex {
-			continue
+	RunSupersteps(dev, 1, func(int) (int64, int64) {
+		var placed int64
+		for v := uint32(0); v < uint32(n); v++ {
+			term := jump[v]
+			if g.next[term] != NoVertex {
+				continue
+			}
+			idx, ok := pathIndex[term]
+			if !ok {
+				continue
+			}
+			c := chains[idx]
+			pos := c.len - 1 - int(dist[v])
+			if pos < 0 {
+				continue // off-chain vertex sharing the terminal (tree branch)
+			}
+			overhang := vertexLen(v)
+			if t, l, hasOut := g.OutEdge(v); hasOut && pos < c.len-1 {
+				_ = t
+				overhang -= int(l)
+			}
+			paths[idx][pos] = PathStep{V: v, Overhang: uint16(overhang)}
+			used[dna.ReadOfVertex(v)] = true
+			placed++
 		}
-		idx, ok := pathIndex[term]
-		if !ok {
-			continue
-		}
-		c := chains[idx]
-		pos := c.len - 1 - int(dist[v])
-		if pos < 0 {
-			continue // off-chain vertex sharing the terminal (tree branch)
-		}
-		overhang := vertexLen(v)
-		if t, l, hasOut := g.OutEdge(v); hasOut && pos < c.len-1 {
-			_ = t
-			overhang -= int(l)
-		}
-		paths[idx][pos] = PathStep{V: v, Overhang: uint16(overhang)}
-		used[dna.ReadOfVertex(v)] = true
-		placed++
-	}
-	dev.ChargeKernel(placed*8, placed)
+		return placed * 8, placed
+	})
 
 	// Tree branches: a vertex can share a terminal with the seed chain
 	// without lying on it (it merged mid-way); the pos check above drops

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/gpu"
 )
@@ -102,6 +103,83 @@ func TestTraverseParallelMatchesSequentialRandom(t *testing.T) {
 			t.Fatalf("trial %d: sequential and parallel traversals differ\nseq=%v\npar=%v",
 				trial, seq, par)
 		}
+	}
+}
+
+// chargeRecorder captures every ChargeKernel the device sees, so tests
+// can pin how BSP computations batch their charges.
+type chargeRecorder struct {
+	mem, ops []int64
+}
+
+func (r *chargeRecorder) KernelLaunch(int, time.Time, time.Duration) {}
+func (r *chargeRecorder) KernelCharge(memBytes, ops int64) {
+	r.mem = append(r.mem, memBytes)
+	r.ops = append(r.ops, ops)
+}
+func (r *chargeRecorder) AllocWaited(int64, time.Time, time.Duration) {}
+
+// TestRunSuperstepsContract pins the BSP executor's contract: supersteps
+// run strictly in order (sequential execution is the barrier), per-step
+// charges are summed, and the device is charged exactly once with the
+// aggregate.
+func TestRunSuperstepsContract(t *testing.T) {
+	rec := &chargeRecorder{}
+	dev := bspDevice()
+	dev.SetHooks(rec)
+	var order []int
+	mem, ops := RunSupersteps(dev, 4, func(s int) (int64, int64) {
+		order = append(order, s)
+		return int64(10 * (s + 1)), int64(s + 1)
+	})
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("superstep order = %v, want ascending", order)
+		}
+	}
+	if mem != 100 || ops != 10 {
+		t.Fatalf("totals = (%d, %d), want (100, 10)", mem, ops)
+	}
+	if len(rec.mem) != 1 || rec.mem[0] != 100 || rec.ops[0] != 10 {
+		t.Fatalf("device charges = %v/%v, want one aggregate charge of 100/10",
+			rec.mem, rec.ops)
+	}
+	snap := dev.Meter().Snapshot()
+	if snap.DeviceMemBytes != 100 || snap.DeviceOps != 10 {
+		t.Fatalf("meter = %+v, want 100 device bytes / 10 ops", snap)
+	}
+}
+
+// TestTraverseParallelChargeShape pins the traversal's device charges to
+// the closed-form totals it had before being routed through
+// RunSupersteps: rounds*n*16 + placed*8 bytes and rounds*n + placed ops,
+// batched as exactly two aggregate kernel charges (doubling, placement).
+func TestTraverseParallelChargeShape(t *testing.T) {
+	g := New(4)
+	g.AddCandidate(0, 2, 60)
+	g.AddCandidate(2, 4, 55)
+	g.AddCandidate(4, 6, 50)
+	rec := &chargeRecorder{}
+	dev := bspDevice()
+	dev.SetHooks(rec)
+	g.TraverseParallel(dev, lenFn(100), TraverseOptions{})
+
+	n := int64(g.NumVertices())
+	rounds := int64(1)
+	for size := 1; size < int(n); size *= 2 {
+		rounds++
+	}
+	const placed = 4 // the single chain 0->2->4->6
+	if len(rec.mem) != 2 {
+		t.Fatalf("kernel charges = %d, want 2 (doubling, placement)", len(rec.mem))
+	}
+	if rec.mem[0] != rounds*n*16 || rec.ops[0] != rounds*n {
+		t.Errorf("doubling charge = (%d, %d), want (%d, %d)",
+			rec.mem[0], rec.ops[0], rounds*n*16, rounds*n)
+	}
+	if rec.mem[1] != placed*8 || rec.ops[1] != placed {
+		t.Errorf("placement charge = (%d, %d), want (%d, %d)",
+			rec.mem[1], rec.ops[1], int64(placed*8), int64(placed))
 	}
 }
 

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSubmitGraphBackendSpmat runs a job under the spmat engine over
+// HTTP and pins its FASTA against a direct core run with the same
+// backend.
+func TestSubmitGraphBackendSpmat(t *testing.T) {
+	scfg := testServerConfig(t.TempDir())
+	srv, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fq, reads := testFastq(t, 1401)
+
+	cfg := core.DefaultConfig(t.TempDir())
+	cfg.HostBlockPairs = scfg.HostBlockPairs
+	cfg.DeviceBlockPairs = scfg.DeviceBlockPairs
+	cfg.MapBatchReads = scfg.MapBatchReads
+	cfg.MinOverlap = 31
+	cfg.Workers = 1
+	cfg.GPU = scfg.GPU
+	cfg.GraphBackend = core.BackendSpmat
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(res.ContigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := submitJob(t, ts.URL, fq, "?lmin=31&workers=1&graph-backend=spmat&name=spmat")
+	if rec.Params.GraphBackend != core.BackendSpmat {
+		t.Fatalf("recorded backend = %q, want %q", rec.Params.GraphBackend, core.BackendSpmat)
+	}
+	final := pollJob(t, ts.URL, rec.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	got := fetchResult(t, ts.URL, final.ID)
+	if !bytes.Equal(got, want) {
+		t.Errorf("spmat job FASTA differs from direct spmat assembly (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestSubmitGraphBackendValidation rejects malformed backend submissions
+// before a job record is ever created.
+func TestSubmitGraphBackendValidation(t *testing.T) {
+	scfg := testServerConfig(t.TempDir())
+	srv, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fq, _ := testFastq(t, 1402)
+	for _, query := range []string{
+		"?graph-backend=bogus",
+		"?graph-backend=spmat&fullgraph=true",
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs"+query, "application/octet-stream", bytes.NewReader(fq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want %d", query, resp.StatusCode, http.StatusBadRequest)
+		}
+	}
+}

@@ -55,6 +55,10 @@ type Params struct {
 	DedupeReads       bool `json:"dedupeReads,omitempty"`
 	IncludeSingletons bool `json:"includeSingletons,omitempty"`
 	VerifyOverlaps    bool `json:"verifyOverlaps,omitempty"`
+	// GraphBackend selects the reduce/compress engine ("" or "greedy",
+	// or "spmat" for the sparse-matrix backend); see
+	// core.Config.GraphBackend. Mutually exclusive with FullGraph.
+	GraphBackend string `json:"graphBackend,omitempty"`
 }
 
 // ResultSummary is the part of a finished run worth keeping in the job

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"slices"
 	"strconv"
 	"time"
 
@@ -190,6 +191,7 @@ func (s *Server) jobConfig(rec Record) core.Config {
 	cfg.DedupeReads = rec.Params.DedupeReads
 	cfg.IncludeSingletons = rec.Params.IncludeSingletons
 	cfg.VerifyOverlaps = rec.Params.VerifyOverlaps
+	cfg.GraphBackend = rec.Params.GraphBackend
 	cfg.GPU = s.cfg.GPU
 	if rec.DeviceDemandBytes > 0 {
 		cfg.GPU.MemBytes = rec.DeviceDemandBytes
@@ -333,6 +335,15 @@ func parseParams(r *http.Request) (Params, error) {
 		if err := boolParam(key, dst); err != nil {
 			return p, err
 		}
+	}
+	if v := q.Get("graph-backend"); v != "" {
+		if !slices.Contains(core.Backends, v) {
+			return p, fmt.Errorf("invalid graph-backend %q (want one of %v)", v, core.Backends)
+		}
+		p.GraphBackend = v
+	}
+	if p.GraphBackend == core.BackendSpmat && p.FullGraph {
+		return p, fmt.Errorf("graph-backend %q and fullgraph are mutually exclusive", core.BackendSpmat)
 	}
 	return p, nil
 }

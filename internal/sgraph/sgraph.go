@@ -100,6 +100,23 @@ func (g *Graph) DirectedEdges() []graph.Edge {
 	return out
 }
 
+// ReducedEdges returns every directed edge TransitiveReduce marked
+// transitive, in vertex order, preserving adjacency order — the
+// complement of DirectedEdges. Alternative reduction backends are
+// cross-checked against it: the spmat SpGEMM pass must remove a superset
+// of these edges (see package spmat).
+func (g *Graph) ReducedEdges() []graph.Edge {
+	var out []graph.Edge
+	for u, es := range g.adj {
+		for _, e := range es {
+			if e.reduced {
+				out = append(out, graph.Edge{U: uint32(u), V: e.To, Len: e.Len})
+			}
+		}
+	}
+	return out
+}
+
 // NumEdges returns the number of directed edges, optionally counting
 // reduced ones.
 func (g *Graph) NumEdges(includeReduced bool) int64 {

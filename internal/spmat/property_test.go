@@ -1,0 +1,149 @@
+package spmat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sgraph"
+)
+
+// closure computes the Floyd–Warshall reachability closure over the
+// given directed edges. Small n only (tests).
+func closure(n int, edges [][2]uint32) []bool {
+	reach := make([]bool, n*n)
+	for _, e := range edges {
+		reach[int(e[0])*n+int(e[1])] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k*n+j] {
+					reach[i*n+j] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// TestReducePreservesReachability is the backend's core safety property:
+// on random DAG-ish overlap graphs, masking transitive edges never
+// changes which vertices can reach which.
+func TestReducePreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 25; trial++ {
+		numReads := 8 + rng.Intn(25)
+		vertexLen := 60 + rng.Intn(80)
+		m, _ := randomOverlapMatrix(rng, numReads, vertexLen)
+		fuzz := 0
+		if trial%3 == 1 {
+			fuzz = 1 + rng.Intn(8)
+		}
+		red, err := m.TransitiveReduce(context.Background(), ReduceConfig{
+			Device: testDevice(), VertexLen: lenFn(vertexLen), Fuzz: fuzz,
+			RowBatch: 1 + rng.Intn(16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all, live [][2]uint32
+		m.Edges(func(e Edge) { all = append(all, [2]uint32{e.U, e.V}) })
+		red.Live(func(e Edge) { live = append(live, [2]uint32{e.U, e.V}) })
+		n := m.NumVertices()
+		before, after := closure(n, all), closure(n, live)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("trial %d (fuzz %d): reachability %d->%d changed (%v -> %v), removed %d/%d",
+					trial, fuzz, i/n, i%n, before[i], after[i], red.Removed, m.NNZ())
+			}
+		}
+	}
+}
+
+// TestReduceRemovesSupersetOfSgraph pins the refinement contract: every
+// edge Myers' sweep (sgraph.TransitiveReduce) removes, the SpGEMM mask
+// removes too. The converse need not hold — the sweep skips witness
+// chains whose first hop was already eliminated; the matrix product
+// considers all chains of the original A.
+func TestReduceRemovesSupersetOfSgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	sawStrict := false
+	for trial := 0; trial < 25; trial++ {
+		numReads := 8 + rng.Intn(25)
+		vertexLen := 60 + rng.Intn(80)
+		m, g := randomOverlapMatrix(rng, numReads, vertexLen)
+		fuzz := 0
+		if trial%3 == 2 {
+			fuzz = 1 + rng.Intn(8)
+		}
+		sgRemoved := g.TransitiveReduce(lenFn(vertexLen), fuzz)
+		red, err := m.TransitiveReduce(context.Background(), ReduceConfig{
+			Device: testDevice(), VertexLen: lenFn(vertexLen), Fuzz: fuzz,
+			RowBatch: 1 + rng.Intn(16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Removed < sgRemoved {
+			t.Errorf("trial %d: spmat removed %d < sgraph removed %d",
+				trial, red.Removed, sgRemoved)
+		}
+		if red.Removed > sgRemoved {
+			sawStrict = true
+		}
+		liveSet := make(map[[2]uint32]bool)
+		red.Live(func(e Edge) { liveSet[[2]uint32{e.U, e.V}] = true })
+		for _, e := range g.ReducedEdges() {
+			if liveSet[[2]uint32{e.U, e.V}] {
+				t.Errorf("trial %d (fuzz %d): sgraph removed %d->%d but spmat kept it",
+					trial, fuzz, e.U, e.V)
+			}
+		}
+	}
+	if !sawStrict {
+		t.Log("no trial exercised the strict-superset case (all removals equal)")
+	}
+}
+
+// TestReduceAgreesWithSgraphOnChains checks exact agreement on clean
+// linear-chain graphs, where both reductions must remove exactly the
+// skip edges and the surviving edge sets must be identical.
+func TestReduceAgreesWithSgraphOnChains(t *testing.T) {
+	const numReads, vertexLen = 12, 100
+	b := NewBuilder(numReads)
+	g := sgraph.New(numReads)
+	for i := 0; i+1 < numReads; i++ {
+		b.AddOverlap(uint32(2*i), uint32(2*(i+1)), 70)
+		g.AddOverlap(uint32(2*i), uint32(2*(i+1)), 70)
+		if i+2 < numReads {
+			b.AddOverlap(uint32(2*i), uint32(2*(i+2)), 40)
+			g.AddOverlap(uint32(2*i), uint32(2*(i+2)), 40)
+		}
+	}
+	m := b.Build()
+	sgRemoved := g.TransitiveReduce(lenFn(vertexLen), 0)
+	red, err := m.TransitiveReduce(context.Background(), ReduceConfig{
+		Device: testDevice(), VertexLen: lenFn(vertexLen),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Removed != sgRemoved {
+		t.Fatalf("removed: spmat %d != sgraph %d", red.Removed, sgRemoved)
+	}
+	liveSet := make(map[[2]uint32]uint16)
+	red.Live(func(e Edge) { liveSet[[2]uint32{e.U, e.V}] = e.Len })
+	sgLive := g.DirectedEdges()
+	if len(sgLive) != len(liveSet) {
+		t.Fatalf("live edges: spmat %d != sgraph %d", len(liveSet), len(sgLive))
+	}
+	for _, e := range sgLive {
+		if l, ok := liveSet[[2]uint32{e.U, e.V}]; !ok || l != e.Len {
+			t.Errorf("edge %d->%d (len %d) mismatch in spmat live set", e.U, e.V, e.Len)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package spmat implements the sparse-matrix graph backend: the string
+// graph as a CSR boolean/weighted adjacency matrix, transitive reduction
+// as a masked SpGEMM (A·A two-hop products filtered against A's own
+// entries), selectable per run via core.Config.GraphBackend.
+//
+// Guidi et al. (arXiv:2010.10055) observe that overlap detection and
+// transitive reduction are naturally sparse-matrix operations; this
+// package follows that layout so the reduction can be metered as batched
+// device kernels (tiled row blocks, H2D/D2H transfers) instead of the
+// pointer-chasing sweep sgraph performs.
+//
+// Contract with the sgraph path (see DESIGN.md, "Sparse-matrix graph
+// backend"): the masked SpGEMM removes a superset of the edges Myers'
+// sweep removes — Myers skips witness chains whose first hop was itself
+// eliminated, the matrix product does not — while preserving
+// reachability, because an edge is only masked when a two-hop chain with
+// strictly positive overhangs spells the same placement.
+package spmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dna"
+)
+
+// Edge is one directed overlap edge — a COO triple: the Len-suffix of
+// vertex U matches the Len-prefix of vertex V.
+type Edge struct {
+	U, V uint32
+	Len  uint16
+}
+
+// Matrix is a CSR adjacency matrix over the 2*numReads string-graph
+// vertices: entry (u, v) holds the overlap length of edge u->v. Column
+// indices are strictly increasing within each row, which makes entry
+// lookup a binary search and the serialized edge order deterministic.
+type Matrix struct {
+	n      int
+	rowPtr []int64
+	col    []uint32
+	val    []uint16
+}
+
+// NumVertices returns the matrix dimension (2*numReads).
+func (m *Matrix) NumVertices() int { return m.n }
+
+// NNZ returns the number of stored entries (directed edges).
+func (m *Matrix) NNZ() int64 { return int64(len(m.col)) }
+
+// Row returns the column indices and overlap lengths of row u.
+func (m *Matrix) Row(u uint32) ([]uint32, []uint16) {
+	lo, hi := m.rowPtr[u], m.rowPtr[u+1]
+	return m.col[lo:hi], m.val[lo:hi]
+}
+
+// find returns the nz index of entry (u, v), or -1.
+func (m *Matrix) find(u, v uint32) int64 {
+	lo, hi := m.rowPtr[u], m.rowPtr[u+1]
+	cols := m.col[lo:hi]
+	i := sort.Search(len(cols), func(i int) bool { return cols[i] >= v })
+	if i < len(cols) && cols[i] == v {
+		return lo + int64(i)
+	}
+	return -1
+}
+
+// Edges streams every entry in CSR order: (u, v) ascending.
+func (m *Matrix) Edges(fn func(Edge)) {
+	for u := 0; u < m.n; u++ {
+		for i := m.rowPtr[u]; i < m.rowPtr[u+1]; i++ {
+			fn(Edge{U: uint32(u), V: m.col[i], Len: m.val[i]})
+		}
+	}
+}
+
+// Bytes is the matrix's serialized device footprint: 8 bytes per row
+// pointer plus 6 per entry (column + length). Transfer and kernel
+// metering use it, so it must be a pure function of the structure.
+func (m *Matrix) Bytes() int64 {
+	return 8*int64(len(m.rowPtr)) + 6*int64(len(m.col))
+}
+
+// ApproxBytes estimates the host-memory footprint.
+func (m *Matrix) ApproxBytes() int64 {
+	return 8*int64(cap(m.rowPtr)) + 4*int64(cap(m.col)) + 2*int64(cap(m.val))
+}
+
+// Builder accumulates COO triples and packs them into a CSR Matrix. The
+// result depends only on the set of overlaps offered, not their order:
+// Build sorts by coordinates and dedupes with the same keep-the-longest
+// rule as sgraph.Graph.AddOverlap.
+type Builder struct {
+	numReads int
+	edges    []Edge
+}
+
+// NewBuilder creates a builder for a graph over 2*numReads vertices.
+func NewBuilder(numReads int) *Builder { return &Builder{numReads: numReads} }
+
+// AddOverlap records the candidate overlap (u, v, l) and its complement
+// (v', u', l), mirroring sgraph.Graph.AddOverlap: self-loops and
+// hairpins are rejected; duplicates are resolved at Build time.
+func (b *Builder) AddOverlap(u, v uint32, l uint16) bool {
+	if u == v || u == dna.ComplementVertex(v) {
+		return false
+	}
+	b.edges = append(b.edges,
+		Edge{U: u, V: v, Len: l},
+		Edge{U: dna.ComplementVertex(v), V: dna.ComplementVertex(u), Len: l})
+	return true
+}
+
+// ApproxBytes estimates the builder's host-memory footprint.
+func (b *Builder) ApproxBytes() int64 { return 10 * int64(cap(b.edges)) }
+
+// Build sorts the accumulated triples by (U, V) and packs CSR, keeping
+// the longest overlap among duplicates. Insertion order never leaks into
+// the result.
+func (b *Builder) Build() *Matrix {
+	sort.Slice(b.edges, func(i, j int) bool {
+		ei, ej := b.edges[i], b.edges[j]
+		if ei.U != ej.U {
+			return ei.U < ej.U
+		}
+		if ei.V != ej.V {
+			return ei.V < ej.V
+		}
+		return ei.Len > ej.Len // longest first, so dedupe keeps it
+	})
+	m := &Matrix{n: 2 * b.numReads, rowPtr: make([]int64, 2*b.numReads+1)}
+	for i, e := range b.edges {
+		if i > 0 && e.U == b.edges[i-1].U && e.V == b.edges[i-1].V {
+			continue
+		}
+		m.col = append(m.col, e.V)
+		m.val = append(m.val, e.Len)
+		m.rowPtr[e.U+1]++
+	}
+	for i := 0; i < m.n; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// FromEdgeRuns builds a Matrix from a stream of edges in non-decreasing
+// (U, V) order — the CSR order the pipeline persists edges.kv in. Exact
+// duplicates (same U and V) dedupe deterministically, keeping the
+// longest overlap. A record that regresses the order, falls outside the
+// vertex range, carries a zero length, or is a self-loop is an error —
+// never a panic — so a truncated or corrupted edge file fails loudly
+// instead of assembling garbage.
+func FromEdgeRuns(numVertices int, next func() (Edge, bool, error)) (*Matrix, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("spmat: negative vertex count %d", numVertices)
+	}
+	m := &Matrix{n: numVertices, rowPtr: make([]int64, numVertices+1)}
+	var last Edge
+	first := true
+	for {
+		e, ok, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if int64(e.U) >= int64(numVertices) || int64(e.V) >= int64(numVertices) {
+			return nil, fmt.Errorf("spmat: edge (%d->%d) out of range for %d vertices",
+				e.U, e.V, numVertices)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("spmat: self-loop edge at vertex %d", e.U)
+		}
+		if e.Len == 0 {
+			return nil, fmt.Errorf("spmat: edge (%d->%d) has zero overlap length", e.U, e.V)
+		}
+		if !first {
+			if e.U < last.U || (e.U == last.U && e.V < last.V) {
+				return nil, fmt.Errorf("spmat: edge run not sorted: (%d,%d) after (%d,%d)",
+					e.U, e.V, last.U, last.V)
+			}
+			if e.U == last.U && e.V == last.V {
+				if e.Len > m.val[len(m.val)-1] {
+					m.val[len(m.val)-1] = e.Len
+				}
+				continue
+			}
+		}
+		first = false
+		last = e
+		m.col = append(m.col, e.V)
+		m.val = append(m.val, e.Len)
+		m.rowPtr[e.U+1]++
+	}
+	for i := 0; i < numVertices; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m, nil
+}

@@ -1,0 +1,363 @@
+package spmat
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/gpu"
+	"repro/internal/sgraph"
+)
+
+func lenFn(n int) func(uint32) int { return func(uint32) int { return n } }
+
+func testDevice() *gpu.Device { return gpu.NewDevice(gpu.K40, nil) }
+
+func sliceIter(edges []Edge) func() (Edge, bool, error) {
+	i := 0
+	return func() (Edge, bool, error) {
+		if i >= len(edges) {
+			return Edge{}, false, nil
+		}
+		e := edges[i]
+		i++
+		return e, true, nil
+	}
+}
+
+func collect(m *Matrix) []Edge {
+	var out []Edge
+	m.Edges(func(e Edge) { out = append(out, e) })
+	return out
+}
+
+func TestBuilderMirrorsSgraphRules(t *testing.T) {
+	b := NewBuilder(3)
+	if b.AddOverlap(0, 0, 10) {
+		t.Error("self-loop accepted")
+	}
+	if b.AddOverlap(0, 1, 10) {
+		t.Error("hairpin accepted")
+	}
+	if !b.AddOverlap(0, 2, 50) {
+		t.Fatal("overlap rejected")
+	}
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (edge + complement)", m.NNZ())
+	}
+	// Complement of 0->2 is 3->1.
+	cols, vals := m.Row(3)
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 50 {
+		t.Errorf("complement row = %v/%v", cols, vals)
+	}
+}
+
+func TestBuilderDuplicateKeepsLongest(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddOverlap(0, 2, 30)
+	b.AddOverlap(0, 2, 40)
+	b.AddOverlap(0, 2, 20)
+	m := b.Build()
+	cols, vals := m.Row(0)
+	if len(cols) != 1 || vals[0] != 40 {
+		t.Errorf("row 0 = %v/%v, want single length-40 entry", cols, vals)
+	}
+}
+
+func TestBuilderOrderIndependent(t *testing.T) {
+	type ov struct {
+		u, v uint32
+		l    uint16
+	}
+	ovs := []ov{{0, 2, 50}, {2, 4, 60}, {0, 4, 20}, {4, 6, 30}, {0, 2, 45}}
+	rng := rand.New(rand.NewSource(7))
+	var want []Edge
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]ov(nil), ovs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := NewBuilder(4)
+		for _, o := range shuffled {
+			b.AddOverlap(o.u, o.v, o.l)
+		}
+		got := collect(b.Build())
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: insertion order leaked into matrix:\n%v\n%v",
+				trial, got, want)
+		}
+	}
+}
+
+func TestFromEdgeRunsRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddOverlap(0, 2, 50)
+	b.AddOverlap(2, 4, 60)
+	b.AddOverlap(4, 6, 30)
+	m := b.Build()
+	m2, err := FromEdgeRuns(m.NumVertices(), sliceIter(collect(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collect(m), collect(m2)) {
+		t.Errorf("round trip changed the matrix")
+	}
+}
+
+func TestFromEdgeRunsDedupesKeepMax(t *testing.T) {
+	m, err := FromEdgeRuns(6, sliceIter([]Edge{
+		{0, 2, 30}, {0, 2, 40}, {0, 2, 20}, {1, 3, 10},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 1 || vals[0] != 40 {
+		t.Errorf("row 0 = %v/%v, want single length-40 entry", cols, vals)
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("nnz = %d, want 2", m.NNZ())
+	}
+}
+
+func TestFromEdgeRunsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"unsorted rows", 6, []Edge{{2, 0, 10}, {0, 2, 10}}},
+		{"unsorted cols", 6, []Edge{{0, 4, 10}, {0, 2, 10}}},
+		{"u out of range", 4, []Edge{{4, 0, 10}}},
+		{"v out of range", 4, []Edge{{0, 4, 10}}},
+		{"zero length", 4, []Edge{{0, 2, 0}}},
+		{"self loop", 4, []Edge{{2, 2, 10}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromEdgeRuns(tc.n, sliceIter(tc.edges)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	wantErr := errors.New("stream broke")
+	i := 0
+	_, err := FromEdgeRuns(6, func() (Edge, bool, error) {
+		if i++; i > 1 {
+			return Edge{}, false, wantErr
+		}
+		return Edge{0, 2, 10}, true, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("stream error not propagated: %v", err)
+	}
+}
+
+// reduceAll runs TransitiveReduce with the given config defaults filled.
+func reduceAll(t *testing.T, m *Matrix, cfg ReduceConfig) *Reduction {
+	t.Helper()
+	if cfg.Device == nil {
+		cfg.Device = testDevice()
+	}
+	red, err := m.TransitiveReduce(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return red
+}
+
+// The sgraph_test.go triangle fixture: a->b (80), b->c (80), a->c (60)
+// over length-100 reads; a->c and its complement are transitive.
+func TestTransitiveReduceTriangleMatchesSgraph(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddOverlap(0, 2, 80)
+	b.AddOverlap(2, 4, 80)
+	b.AddOverlap(0, 4, 60)
+	red := reduceAll(t, b.Build(), ReduceConfig{VertexLen: lenFn(100)})
+	if red.Removed != 2 {
+		t.Fatalf("removed = %d, want 2 (a->c and complement)", red.Removed)
+	}
+	red.Live(func(e Edge) {
+		if e.U == 0 && e.V == 4 {
+			t.Error("transitive edge a->c survived")
+		}
+	})
+}
+
+// The sgraph_test.go inconsistent-edge fixture: overhangs 20+20 vs a
+// direct overhang of 50 — kept at fuzz 0, removed at fuzz 10.
+func TestTransitiveReduceFuzzMatchesSgraph(t *testing.T) {
+	build := func() *Matrix {
+		b := NewBuilder(3)
+		b.AddOverlap(0, 2, 80)
+		b.AddOverlap(2, 4, 80)
+		b.AddOverlap(0, 4, 50)
+		return b.Build()
+	}
+	if red := reduceAll(t, build(), ReduceConfig{VertexLen: lenFn(100)}); red.Removed != 0 {
+		t.Fatalf("fuzz 0 removed = %d, want 0", red.Removed)
+	}
+	if red := reduceAll(t, build(), ReduceConfig{VertexLen: lenFn(100), Fuzz: 10}); red.Removed != 2 {
+		t.Fatalf("fuzz 10 removed = %d, want 2", red.Removed)
+	}
+}
+
+func TestLiveEdgesMatchesLive(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddOverlap(0, 2, 80)
+	b.AddOverlap(2, 4, 80)
+	b.AddOverlap(0, 4, 60)
+	red := reduceAll(t, b.Build(), ReduceConfig{VertexLen: lenFn(100)})
+	var viaLive []Edge
+	red.Live(func(e Edge) { viaLive = append(viaLive, e) })
+	var viaIter []Edge
+	next := red.LiveEdges()
+	for {
+		e, ok := next()
+		if !ok {
+			break
+		}
+		viaIter = append(viaIter, e)
+	}
+	if !reflect.DeepEqual(viaLive, viaIter) {
+		t.Errorf("Live %v != LiveEdges %v", viaLive, viaIter)
+	}
+}
+
+// randomOverlapMatrix builds a dense-ish consistent overlap graph plus
+// noise, identically into a Builder and an sgraph.Graph.
+func randomOverlapMatrix(rng *rand.Rand, numReads, vertexLen int) (*Matrix, *sgraph.Graph) {
+	b := NewBuilder(numReads)
+	g := sgraph.New(numReads)
+	// Reads laid out at increasing genomic offsets; consistent overlaps
+	// between nearby reads.
+	offsets := make([]int, numReads)
+	pos := 0
+	for i := range offsets {
+		pos += 1 + rng.Intn(vertexLen/2)
+		offsets[i] = pos
+	}
+	for i := 0; i < numReads; i++ {
+		for j := i + 1; j < numReads; j++ {
+			d := offsets[j] - offsets[i]
+			if d <= 0 || d >= vertexLen {
+				continue
+			}
+			u, v := uint32(2*i), uint32(2*j)
+			b.AddOverlap(u, v, uint16(vertexLen-d))
+			g.AddOverlap(u, v, uint16(vertexLen-d))
+		}
+	}
+	// Noise: repeat-like edges with lengths that need not be consistent.
+	for k := 0; k < numReads; k++ {
+		u := uint32(rng.Intn(2 * numReads))
+		v := uint32(rng.Intn(2 * numReads))
+		l := uint16(1 + rng.Intn(vertexLen-1))
+		b.AddOverlap(u, v, l)
+		g.AddOverlap(u, v, l)
+	}
+	return b.Build(), g
+}
+
+// TestReduceDeterministicAcrossStreamsAndResidency pins that streams
+// on/off and in-core/out-of-core execution change neither the removal
+// mask nor any cost counter except modeled overlap.
+func TestReduceDeterministicAcrossStreamsAndResidency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, _ := randomOverlapMatrix(rng, 30, 100)
+
+	type run struct {
+		name    string
+		ledger  *costmodel.OverlapLedger
+		maxRes  int64
+		counter costmodel.Counters
+		removed int64
+		flops   int64
+	}
+	// The streamed run is also out-of-core: savings come from the next
+	// tile's H2D prefetch overlapping the current tile's compute, so a
+	// fully resident matrix legitimately has nothing to hide.
+	runs := []*run{
+		{name: "plain"},
+		{name: "streams", maxRes: 256,
+			ledger: costmodel.NewOverlapLedger(gpu.K40.CostProfile(
+				costmodel.DefaultDisk.ReadBps, costmodel.DefaultDisk.WriteBps))},
+		{name: "out-of-core", maxRes: 256},
+	}
+	for _, r := range runs {
+		dev := testDevice()
+		red := reduceAll(t, m, ReduceConfig{
+			Device: dev, VertexLen: lenFn(100), RowBatch: 7,
+			Overlap: r.ledger, MaxResidentBytes: r.maxRes,
+		})
+		r.counter = dev.Meter().Snapshot()
+		r.removed = red.Removed
+		r.flops = red.Flops
+	}
+	base := runs[0]
+	for _, r := range runs[1:] {
+		if r.removed != base.removed || r.flops != base.flops {
+			t.Errorf("%s: removed/flops = %d/%d, want %d/%d",
+				r.name, r.removed, r.flops, base.removed, base.flops)
+		}
+	}
+	// Streams change no counter at all versus the same residency; the
+	// out-of-core runs only add PCIe versus the resident one.
+	if runs[1].counter != runs[2].counter {
+		t.Errorf("streams changed counters: %+v vs %+v", runs[1].counter, runs[2].counter)
+	}
+	ooc := runs[2].counter
+	if ooc.PCIeBytes <= base.counter.PCIeBytes {
+		t.Errorf("out-of-core should stream more PCIe: %d vs %d",
+			ooc.PCIeBytes, base.counter.PCIeBytes)
+	}
+	ooc.PCIeBytes = base.counter.PCIeBytes
+	if ooc != base.counter {
+		t.Errorf("out-of-core changed non-PCIe counters: %+v vs %+v",
+			runs[2].counter, base.counter)
+	}
+	if runs[1].ledger.SavedSeconds() <= 0 {
+		t.Errorf("streamed run saved no modeled time")
+	}
+}
+
+func TestReduceChargesDevice(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddOverlap(0, 2, 80)
+	b.AddOverlap(2, 4, 80)
+	b.AddOverlap(0, 4, 60)
+	dev := testDevice()
+	red := reduceAll(t, b.Build(), ReduceConfig{Device: dev, VertexLen: lenFn(100)})
+	snap := dev.Meter().Snapshot()
+	if snap.DeviceOps == 0 || snap.DeviceMemBytes == 0 {
+		t.Errorf("SpGEMM charged no device work: %+v", snap)
+	}
+	if snap.PCIeBytes == 0 {
+		t.Errorf("SpGEMM charged no transfers: %+v", snap)
+	}
+	if red.Flops == 0 {
+		t.Error("no flops counted on a graph with products")
+	}
+	if dev.InUse() != 0 {
+		t.Errorf("device memory leaked: %d bytes", dev.InUse())
+	}
+}
+
+func TestReduceCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := randomOverlapMatrix(rng, 20, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.TransitiveReduce(ctx, ReduceConfig{
+		Device: testDevice(), VertexLen: lenFn(100),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

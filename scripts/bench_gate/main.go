@@ -1,0 +1,121 @@
+// Command bench_gate compares a committed benchmark baseline JSON
+// against a freshly generated one and fails when any modeled-seconds
+// metric regressed by more than the threshold (default 15%).
+//
+//	go run ./scripts/bench_gate [-threshold 0.15] baseline.json current.json
+//
+// The gate is intentionally narrow: it walks both documents and compares
+// only numeric fields whose key contains "modeled" (case-insensitive) —
+// the deterministic cost-model outputs. Wall-clock fields, edge counts,
+// and throughput numbers are machine- or load-dependent and are ignored,
+// as are paths present in only one file (new benchmarks don't fail the
+// gate until their baseline is committed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// floorS ignores modeled values below this many seconds: relative drift
+// on near-zero baselines is dominated by formatting noise, not cost.
+const floorS = 1e-6
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum allowed relative regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench_gate [-threshold 0.15] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := loadMetrics(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_gate:", err)
+		os.Exit(2)
+	}
+	cur, err := loadMetrics(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_gate:", err)
+		os.Exit(2)
+	}
+
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		if _, ok := cur[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Printf("bench_gate: %s vs %s: no shared modeled metrics (nothing to gate)\n",
+			flag.Arg(0), flag.Arg(1))
+		return
+	}
+
+	failed := 0
+	for _, p := range paths {
+		b, c := base[p], cur[p]
+		if b < floorS {
+			continue
+		}
+		rel := (c - b) / b
+		if rel > *threshold {
+			failed++
+			fmt.Printf("REGRESSION %s: %.6f -> %.6f (%+.1f%%, limit %+.0f%%)\n",
+				p, b, c, 100*rel, 100**threshold)
+		}
+	}
+	fmt.Printf("bench_gate: compared %d modeled metrics from %s, %d regressed\n",
+		len(paths), flag.Arg(0), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadMetrics flattens the JSON document at path into dotted-path ->
+// value for every numeric leaf whose final key contains "modeled".
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	walk(doc, "", out)
+	return out, nil
+}
+
+func walk(v any, prefix string, out map[string]float64) {
+	switch node := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(node))
+		for k := range node {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			if f, ok := node[k].(float64); ok {
+				if strings.Contains(strings.ToLower(k), "modeled") {
+					out[p] = f
+				}
+				continue
+			}
+			walk(node[k], p, out)
+		}
+	case []any:
+		for i, item := range node {
+			walk(item, fmt.Sprintf("%s[%d]", prefix, i), out)
+		}
+	}
+}

@@ -30,6 +30,7 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestStreamStress|TestAllocPeakNeverExceedsCapacity|TestAllocationConcurrentFreeIdempotent' ./internal/gpu/
+	$(GO) test -race -count=3 -run 'TestFleetSchedulerStress|TestSchedulerWorkStealing|TestSchedulerPreemptionDrain' ./internal/serve/
 
 # Short fuzz passes over the parsers and the packed encoding; the seed
 # corpora live under testdata/fuzz/.
@@ -42,33 +43,40 @@ fuzz:
 
 # One benchmark per paper table/figure plus the ablations, then the job
 # service's end-to-end throughput (BENCH_serve.json: jobs/sec, queue
-# latency), the serial-vs-overlapped stream comparison
-# (BENCH_streams.json: modeled and wall seconds per phase), and the
-# graph-backend comparison (BENCH_graph.json: modeled seconds and edge
-# counts per engine).
+# latency), the fleet scaling sweep (BENCH_fleet.json: jobs/sec and
+# p50/p99 queue latency at 1/2/4 devices, steal on/off), the
+# serial-vs-overlapped stream comparison (BENCH_streams.json: modeled and
+# wall seconds per phase), and the graph-backend comparison
+# (BENCH_graph.json: modeled seconds and edge counts per engine).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json \
+		$(GO) test -run=NONE -bench=FleetThroughput -benchtime=1x ./internal/serve/
 	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
 		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
 	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
 
-# Regenerate the three JSON-emitting benchmarks and compare their modeled
+# Regenerate the JSON-emitting benchmarks and compare their modeled
 # metrics against the committed baselines under bench/, failing on any
 # >15% modeled-seconds regression. Wall-clock and throughput numbers are
-# machine-dependent and are not gated (BENCH_serve.json has no modeled
-# fields, so its comparison is a structural no-op by design).
+# machine-dependent and are not gated (BENCH_serve.json and
+# BENCH_fleet.json have no modeled fields, so their comparisons are
+# structural no-ops by design).
 bench-gate:
 	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
 		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run=NONE -bench=ServeThroughput -benchtime=8x ./internal/serve/
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json \
+		$(GO) test -run=NONE -bench=FleetThroughput -benchtime=1x ./internal/serve/
 	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
 	$(GO) run ./scripts/bench_gate bench/BENCH_streams.json BENCH_streams.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_serve.json BENCH_serve.json
+	$(GO) run ./scripts/bench_gate bench/BENCH_fleet.json BENCH_fleet.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_graph.json BENCH_graph.json
 
 cover:
@@ -99,6 +107,6 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_streams.json BENCH_graph.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_fleet.json BENCH_streams.json BENCH_graph.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

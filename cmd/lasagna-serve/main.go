@@ -1,16 +1,20 @@
 // Command lasagna-serve runs the multi-tenant assembly job service: an
-// HTTP API that accepts FASTQ jobs, schedules them with queue and
-// device-memory admission control onto one shared simulated GPU, persists
-// every job transition, and resumes interrupted jobs after a restart.
+// HTTP API that accepts FASTQ jobs, schedules them with priority-lane and
+// device-memory admission control onto a fleet of simulated GPUs (with
+// work stealing and batch preemption between cards), persists every job
+// transition, and resumes interrupted jobs after a restart.
 //
 // Usage:
 //
 //	lasagna-serve -addr localhost:8844 -root ./serve-data
-//	lasagna-serve -root ./serve-data -gpu P100 -max-jobs 4 -queue-cap 32
+//	lasagna-serve -root ./serve-data -gpu P100 -devices 4 -max-jobs 4 -queue-cap 32
+//	lasagna-serve -root ./serve-data -device-specs "2xK40,P100" -tenant-share 0.5
 //
 // Submit, watch, fetch:
 //
 //	curl -sf --data-binary @reads.fastq 'http://localhost:8844/v1/jobs?lmin=31&workers=2'
+//	curl -sf --data-binary @reads.fastq 'http://localhost:8844/v1/jobs?priority=interactive&tenant=lab1'
+//	curl -sf --data-binary @reads.fastq 'http://localhost:8844/v1/jobs?shards=4'
 //	curl -sf http://localhost:8844/v1/jobs/<id>
 //	curl -sf http://localhost:8844/v1/jobs/<id>/result > contigs.fasta
 //
@@ -41,9 +45,13 @@ func main() {
 	var (
 		addr      = flag.String("addr", "localhost:8844", "HTTP listen address")
 		root      = flag.String("root", "", "data directory for job records, inputs, and workspaces (required)")
-		gpuName   = flag.String("gpu", "K40", "modeled GPU shared by all jobs (K20X, K40, P40, P100, V100)")
+		gpuName   = flag.String("gpu", "K40", "modeled GPU card jobs are costed against (K20X, K40, P40, P100, V100)")
+		devices   = flag.Int("devices", 1, "fleet size: number of -gpu cards jobs are scheduled onto")
+		devSpecs  = flag.String("device-specs", "", `explicit (possibly heterogeneous) fleet, e.g. "2xK40,P100"; overrides -gpu/-devices`)
+		noSteal   = flag.Bool("no-steal", false, "disable work stealing between fleet devices")
+		tenantSh  = flag.Float64("tenant-share", 0, "per-tenant cap as a fraction of fleet capacity (0 = uncapped)")
 		queueCap  = flag.Int("queue-cap", 16, "run-queue bound; submissions beyond it get HTTP 429")
-		maxJobs   = flag.Int("max-jobs", 2, "maximum concurrently running jobs")
+		maxJobs   = flag.Int("max-jobs", 2, "maximum concurrently running jobs per device")
 		hostBlock = flag.Int("host-block", 1<<20, "host block size m_h in pairs, shared by all jobs")
 		devBlock  = flag.Int("device-block", 1<<16, "device block size m_d in pairs, shared by all jobs")
 		mapBatch  = flag.Int("map-batch", 0, "reads per map device batch (0 = core default)")
@@ -71,6 +79,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lasagna-serve: unknown GPU %q\n", *gpuName)
 		os.Exit(2)
 	}
+	var fleetSpecs []gpu.Spec
+	if *devSpecs != "" {
+		var err error
+		fleetSpecs, err = gpu.ParseSpecs(*devSpecs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lasagna-serve: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	level := slog.LevelInfo
 	switch {
@@ -85,6 +102,10 @@ func main() {
 	srv, err := serve.New(serve.Config{
 		Root:             *root,
 		GPU:              spec,
+		Devices:          *devices,
+		DeviceSpecs:      fleetSpecs,
+		NoSteal:          *noSteal,
+		TenantShare:      *tenantSh,
 		QueueCap:         *queueCap,
 		MaxConcurrent:    *maxJobs,
 		HostBlockPairs:   *hostBlock,
@@ -100,7 +121,7 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr, "root", *root, "gpu", spec.Name,
-		"queueCap", *queueCap, "maxJobs", *maxJobs)
+		"devices", srv.Fleet().Size(), "queueCap", *queueCap, "maxJobs", *maxJobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -70,9 +70,17 @@ type Config struct {
 	// Output is identical for every value.
 	WorkersPerNode int
 	GPU            gpu.Spec
-	DiskReadBps    float64
-	DiskWriteBps   float64
-	NetBps         float64
+	// Fleet, when set, supplies the nodes' devices instead of fresh
+	// per-node cards: node i runs on Fleet.Device(i) and meters on that
+	// device's meter, so a serving layer that leased fleet devices to a
+	// sharded job sees the job's device traffic on the cards it placed it
+	// on. Requires Fleet.Size() >= Nodes. GPU must still describe the
+	// per-node card for cost modeling and manifest fingerprints; callers
+	// hand the cluster a fleet whose devices match it.
+	Fleet        *gpu.Fleet
+	DiskReadBps  float64
+	DiskWriteBps float64
+	NetBps       float64
 	// PartitionByFingerprint switches the shuffle from length-based to
 	// fingerprint-range-based ownership (the paper's future work,
 	// Section IV-D): every node reduces a slice of every partition, so
@@ -150,6 +158,10 @@ func (c Config) Validate() error {
 	}
 	if c.WorkersPerNode < 0 {
 		return fmt.Errorf("cluster: WorkersPerNode must be >= 0, got %d", c.WorkersPerNode)
+	}
+	if c.Fleet != nil && c.Fleet.Size() < c.Nodes {
+		return fmt.Errorf("cluster: %d nodes need %d fleet devices, fleet has %d",
+			c.Nodes, c.Nodes, c.Fleet.Size())
 	}
 	single := core.Config{
 		Workspace:        c.Workspace,
@@ -279,8 +291,15 @@ func New(cfg Config) (*Cluster, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		meter := costmodel.NewMeter()
-		dev := gpu.NewDevice(cfg.GPU, meter)
+		var dev *gpu.Device
+		var meter *costmodel.Meter
+		if cfg.Fleet != nil {
+			dev = cfg.Fleet.Device(i)
+			meter = dev.Meter()
+		} else {
+			meter = costmodel.NewMeter()
+			dev = gpu.NewDevice(cfg.GPU, meter)
+		}
 		if cfg.Obs != nil {
 			dev.SetHooks(obs.DeviceHooks(cfg.Obs, int64(i)+1))
 			tr := cfg.Obs.Tracer()

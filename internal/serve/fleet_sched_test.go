@@ -1,0 +1,583 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testJobP returns a submittable job with explicit params (lane, tenant,
+// shards).
+func testJobP(id string, demand int64, p Params) *Job {
+	j := testJob(id, demand)
+	j.Update(func(r *Record) { r.Params = p })
+	return j
+}
+
+// releaseMap hands tests per-job blocking: a job whose ID has an entry
+// blocks until that channel closes; every other job returns immediately.
+type releaseMap struct {
+	mu sync.Mutex
+	ch map[string]chan struct{}
+}
+
+func newReleaseMap(ids ...string) *releaseMap {
+	m := &releaseMap{ch: make(map[string]chan struct{})}
+	for _, id := range ids {
+		m.ch[id] = make(chan struct{})
+	}
+	return m
+}
+
+func (m *releaseMap) release(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ch, ok := m.ch[id]; ok {
+		close(ch)
+		delete(m.ch, id)
+	}
+}
+
+func (m *releaseMap) run(ctx context.Context, j *Job) error {
+	m.mu.Lock()
+	ch, ok := m.ch[j.Record().ID]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TestSchedulerWorkStealing pins one blocking job on each of two devices,
+// queues four instant jobs (the load balancer splits them two per lane),
+// then frees only one device. Its dispatcher must drain its own lane and
+// then steal the other device's queued jobs while that device is still
+// busy — all four run on the freed card, and exactly two claims count as
+// steals.
+func TestSchedulerWorkStealing(t *testing.T) {
+	rel := newReleaseMap("a", "b")
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100, 100),
+		QueueCap:      16,
+		MaxConcurrent: 1,
+		Run:           rel.run,
+		Obs:           obs.New(nil, nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	a, b := testJob("a", 100), testJob("b", 100)
+	if err := s.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, StateRunning)
+	if err := s.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, b, StateRunning)
+
+	// Full-card demands force a and b onto distinct devices.
+	devA, devB := a.Record().Devices[0], b.Record().Devices[0]
+	if devA == devB {
+		t.Fatalf("blockers share device %d; leases oversubscribed", devA)
+	}
+
+	cs := make([]*Job, 4)
+	for i := range cs {
+		cs[i] = testJob(fmt.Sprintf("c%d", i), 100)
+		if err := s.Submit(cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stealsBase := reg.Snapshot().Counters["fleet.steals"]
+
+	rel.release("a")
+	for _, c := range cs {
+		waitState(t, c, StateSucceeded)
+	}
+	if got := b.State(); got != StateRunning {
+		t.Fatalf("blocker b left running state early: %s", got)
+	}
+	for _, c := range cs {
+		if devs := c.Record().Devices; len(devs) != 1 || devs[0] != devA {
+			t.Errorf("job %s ran on %v, want [%d] (the freed device)", c.Record().ID, devs, devA)
+		}
+	}
+	if got := reg.Snapshot().Counters["fleet.steals"] - stealsBase; got != 2 {
+		t.Errorf("fleet.steals grew by %d, want 2 (two jobs homed on the busy device)", got)
+	}
+
+	rel.release("b")
+	waitState(t, b, StateSucceeded)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerNoStealKeepsLanes is the same setup with stealing
+// disabled: the freed device may only run the two jobs homed on it; the
+// two on the busy device's lane wait for that device.
+func TestSchedulerNoStealKeepsLanes(t *testing.T) {
+	rel := newReleaseMap("a", "b")
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100, 100),
+		QueueCap:      16,
+		MaxConcurrent: 1,
+		NoSteal:       true,
+		Run:           rel.run,
+		Obs:           obs.New(nil, nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	a, b := testJob("a", 100), testJob("b", 100)
+	for _, j := range []*Job{a, b} {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateRunning)
+	}
+	cs := make([]*Job, 4)
+	for i := range cs {
+		cs[i] = testJob(fmt.Sprintf("c%d", i), 100)
+		if err := s.Submit(cs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rel.release("a")
+	succeeded := func() int {
+		n := 0
+		for _, c := range cs {
+			if c.State() == StateSucceeded {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for succeeded() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Settle: with stealing off, the other two must stay queued while b
+	// blocks its device.
+	time.Sleep(100 * time.Millisecond)
+	if got := succeeded(); got != 2 {
+		t.Fatalf("%d jobs succeeded with one device freed, want exactly 2", got)
+	}
+	if got := reg.Snapshot().Counters["fleet.steals"]; got != 0 {
+		t.Errorf("fleet.steals = %d with NoSteal, want 0", got)
+	}
+
+	rel.release("b")
+	for _, c := range cs {
+		waitState(t, c, StateSucceeded)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerPreemptionDrain blocks the only device with a batch job,
+// then submits an interactive job that fits the card's capacity but not
+// its free bytes. The enqueue must ask the batch job to drain; the batch
+// job returns ErrPreempted, requeues resumable, the interactive job takes
+// the lease, and the batch job's second attempt completes.
+func TestSchedulerPreemptionDrain(t *testing.T) {
+	var bgAttempts atomic.Int32
+	bgStarted := make(chan struct{})
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100),
+		QueueCap:      8,
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, j *Job) error {
+			if j.Record().ID != "bg" {
+				return nil
+			}
+			if bgAttempts.Add(1) == 1 {
+				close(bgStarted)
+				select {
+				case <-j.Preempted():
+					return ErrPreempted
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return nil
+		},
+		Obs: obs.New(nil, nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	bg := testJob("bg", 100)
+	if err := s.Submit(bg); err != nil {
+		t.Fatal(err)
+	}
+	<-bgStarted
+
+	fg := testJobP("fg", 100, Params{Priority: PriorityInteractive})
+	if err := s.Submit(fg); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, fg, StateSucceeded)
+	waitState(t, bg, StateSucceeded)
+
+	bgRec := bg.Record()
+	if bgRec.Preemptions != 1 {
+		t.Errorf("batch job Preemptions = %d, want 1", bgRec.Preemptions)
+	}
+	if bgRec.Attempts != 2 {
+		t.Errorf("batch job Attempts = %d, want 2 (preempt + resume)", bgRec.Attempts)
+	}
+	if fgRec := fg.Record(); fgRec.Attempts != 1 || fgRec.Preemptions != 0 {
+		t.Errorf("interactive job attempts=%d preemptions=%d, want 1 and 0",
+			fgRec.Attempts, fgRec.Preemptions)
+	}
+	if got := reg.Snapshot().Counters["fleet.preemptions"]; got != 1 {
+		t.Errorf("fleet.preemptions = %d, want 1", got)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerHeterogeneousPlacement checks that a big job only lands on
+// the big card and a small job prefers the idle small card.
+func TestSchedulerHeterogeneousPlacement(t *testing.T) {
+	rel := newReleaseMap("big")
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100, 1000),
+		QueueCap:      8,
+		MaxConcurrent: 1,
+		Run:           rel.run,
+		Obs:           obs.New(nil, nil, obs.NewRegistry()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	big := testJob("big", 500)
+	if err := s.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, big, StateRunning)
+	if devs := big.Record().Devices; len(devs) != 1 || devs[0] != 1 {
+		t.Fatalf("big job ran on %v, want [1] (the only card that fits)", devs)
+	}
+
+	small := testJob("small", 50)
+	if err := s.Submit(small); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, small, StateSucceeded)
+	if devs := small.Record().Devices; len(devs) != 1 || devs[0] != 0 {
+		t.Errorf("small job ran on %v, want [0] (the idle small card)", devs)
+	}
+
+	rel.release("big")
+	waitState(t, big, StateSucceeded)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerTenantFairness caps each tenant at half the fleet and
+// checks a tenant at its cap is skipped — without blocking the lane for
+// other tenants — and resumes once its in-flight bytes drop.
+func TestSchedulerTenantFairness(t *testing.T) {
+	rel := newReleaseMap("a1", "a2", "a3", "b1")
+	started := make(chan string, 8)
+	baseRun := rel.run
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(1000),
+		QueueCap:      8,
+		MaxConcurrent: 8,
+		TenantShare:   0.5, // 500 bytes per tenant
+		Run: func(ctx context.Context, j *Job) error {
+			started <- j.Record().ID
+			return baseRun(ctx, j)
+		},
+		Obs: obs.New(nil, nil, obs.NewRegistry()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	jobs := map[string]*Job{
+		"a1": testJobP("a1", 200, Params{Tenant: "alice"}),
+		"a2": testJobP("a2", 200, Params{Tenant: "alice"}),
+		"a3": testJobP("a3", 200, Params{Tenant: "alice"}),
+		"b1": testJobP("b1", 200, Params{Tenant: "bob"}),
+	}
+	for _, id := range []string{"a1", "a2", "a3", "b1"} {
+		if err := s.Submit(jobs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case id := <-started:
+			first[id] = true
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d jobs started, want 3 concurrent", len(first))
+		}
+	}
+	if !first["a1"] || !first["a2"] || !first["b1"] {
+		t.Fatalf("first wave = %v, want a1+a2 (alice at cap) and b1 (bob's first job)", first)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := jobs["a3"].State(); got != StateQueued {
+		t.Fatalf("a3 state = %s while alice is at her share, want queued", got)
+	}
+
+	// Freeing one alice job brings her under the 500-byte cap; a3 starts.
+	rel.release("a1")
+	select {
+	case id := <-started:
+		if id != "a3" {
+			t.Fatalf("job %s started after a1 freed, want a3", id)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("a3 never started after alice dropped below her share")
+	}
+
+	for _, id := range []string{"a2", "a3", "b1"} {
+		rel.release(id)
+	}
+	for _, j := range jobs {
+		waitState(t, j, StateSucceeded)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Snapshot(); snap.Devices[0].LeasedBytes != 0 {
+		t.Errorf("device still shows %d leased bytes after drain", snap.Devices[0].LeasedBytes)
+	}
+}
+
+// TestSchedulerShardedPlacement runs a Shards=3 job on a 4-device fleet:
+// it must lease three distinct devices at once, and a second sharded job
+// must wait until enough devices free up.
+func TestSchedulerShardedPlacement(t *testing.T) {
+	rel := newReleaseMap("sh1")
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100, 100, 100, 100),
+		QueueCap:      8,
+		MaxConcurrent: 2,
+		Run:           rel.run,
+		Obs:           obs.New(nil, nil, obs.NewRegistry()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	sh1 := testJobP("sh1", 60, Params{Shards: 3})
+	if err := s.Submit(sh1); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, sh1, StateRunning)
+
+	devs := sh1.Record().Devices
+	if len(devs) != 3 {
+		t.Fatalf("sharded job leased devices %v, want 3", devs)
+	}
+	seen := map[int]bool{}
+	for _, d := range devs {
+		if seen[d] {
+			t.Fatalf("sharded job leased device %d twice: %v", d, devs)
+		}
+		seen[d] = true
+	}
+	snap := s.Snapshot()
+	for _, ds := range snap.Devices {
+		want := int64(0)
+		if seen[ds.Device] {
+			want = 60
+		}
+		if ds.LeasedBytes != want {
+			t.Errorf("device %d leased %d bytes, want %d", ds.Device, ds.LeasedBytes, want)
+		}
+	}
+
+	// Only one device is free: a second 3-shard job must wait.
+	sh2 := testJobP("sh2", 60, Params{Shards: 3})
+	if err := s.Submit(sh2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := sh2.State(); got != StateQueued {
+		t.Fatalf("second sharded job state = %s with only one free device, want queued", got)
+	}
+
+	rel.release("sh1")
+	waitState(t, sh1, StateSucceeded)
+	waitState(t, sh2, StateSucceeded)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range s.Snapshot().Devices {
+		if ds.LeasedBytes != 0 {
+			t.Errorf("device %d still leased %d bytes after drain", ds.Device, ds.LeasedBytes)
+		}
+	}
+}
+
+// TestSchedulerRetryAfterEstimate checks the adaptive Retry-After: the
+// floor holds with no history, the estimate tracks the service-time mean
+// once jobs finish, scales with the backlog, and lands on the gauge.
+func TestSchedulerRetryAfterEstimate(t *testing.T) {
+	rel := newReleaseMap("blocker")
+	reg := obs.NewRegistry()
+	baseRun := rel.run
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100),
+		QueueCap:      8,
+		MaxConcurrent: 1,
+		Run: func(ctx context.Context, j *Job) error {
+			if err := baseRun(ctx, j); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		},
+		Obs: obs.New(nil, nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	if got := s.EstimateRetryAfter(2 * time.Second); got != 2*time.Second {
+		t.Errorf("estimate with no history = %v, want the 2s floor", got)
+	}
+
+	warm := testJob("warm", 10)
+	if err := s.Submit(warm); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, warm, StateSucceeded)
+
+	idle := s.EstimateRetryAfter(time.Millisecond)
+	if idle < 20*time.Millisecond {
+		t.Errorf("idle estimate %v below the 20ms mean service time", idle)
+	}
+	if got := s.EstimateRetryAfter(time.Minute); got != time.Minute {
+		t.Errorf("estimate %v, want the 1m floor to win over the mean", got)
+	}
+	if got := reg.Snapshot().Gauges["serve.retry_after_ms"]; got != 60_000 {
+		t.Errorf("serve.retry_after_ms gauge = %d, want 60000", got)
+	}
+
+	// A backlog multiplies the estimate by the number of queue waves.
+	blocker := testJob("blocker", 100)
+	if err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+	queued := make([]*Job, 3)
+	for i := range queued {
+		queued[i] = testJob(fmt.Sprintf("q%d", i), 10)
+		if err := s.Submit(queued[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loaded := s.EstimateRetryAfter(time.Millisecond); loaded < 3*idle {
+		t.Errorf("estimate %v with 3 queued jobs, want at least 3x the idle estimate %v", loaded, idle)
+	}
+
+	rel.release("blocker")
+	for _, j := range queued {
+		waitState(t, j, StateSucceeded)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetSchedulerStress hammers a heterogeneous 4-device fleet with
+// mixed lanes, tenants, shard counts, and naturally occurring preemptions.
+// Run under -race: every lease decision, steal, and drain crosses the
+// scheduler lock and this shakes the orderings out.
+func TestFleetSchedulerStress(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(100, 100, 200, 200),
+		QueueCap:      64,
+		MaxConcurrent: 2,
+		TenantShare:   0.5,
+		Run: func(ctx context.Context, j *Job) error {
+			select {
+			case <-j.Preempted():
+				return ErrPreempted
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(500 * time.Microsecond):
+				return nil
+			}
+		},
+		Obs: obs.New(nil, nil, reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	demands := []int64{50, 100, 150, 200}
+	jobs := make([]*Job, 40)
+	for i := range jobs {
+		p := Params{Tenant: fmt.Sprintf("t%d", i%3)}
+		demand := demands[i%4]
+		if i%3 == 0 {
+			p.Priority = PriorityInteractive
+		}
+		if i%8 == 0 {
+			p.Shards = 2 // demand 50: every card fits a shard
+		}
+		jobs[i] = testJobP(fmt.Sprintf("s%02d", i), demand, p)
+		if err := s.Submit(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		waitState(t, j, StateSucceeded)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for d, ds := range s.Snapshot().Devices {
+		if ds.LeasedBytes != 0 {
+			t.Errorf("device %d still leased %d bytes after drain", d, ds.LeasedBytes)
+		}
+		if used := s.Fleet().Device(d).InUse(); used != 0 {
+			t.Errorf("device %d allocator still holds %d bytes", d, used)
+		}
+	}
+	if s.QueueDepth() != 0 {
+		t.Errorf("queue depth %d after all jobs finished, want 0", s.QueueDepth())
+	}
+}

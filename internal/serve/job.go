@@ -1,16 +1,24 @@
 // Package serve turns the single-shot assembly pipeline into a
-// multi-tenant job service: an HTTP API accepts FASTQ jobs, a scheduler
-// with real admission control packs them onto one shared simulated GPU,
-// and per-job JSON records plus the core run manifests make the whole
-// thing crash-safe — a killed server restarts, re-lists its jobs, and
-// resumes in-flight ones mid-pipeline.
+// multi-tenant job service: an HTTP API accepts FASTQ jobs, a sharded
+// scheduler with real admission control packs them onto a fleet of
+// simulated GPUs, and per-job JSON records plus the core run manifests
+// make the whole thing crash-safe — a killed server restarts, re-lists
+// its jobs, and resumes in-flight ones mid-pipeline, possibly on
+// different devices than the crashed attempt.
 //
 // Admission happens at two levels, mirroring the paper's two-level memory
-// model: a bounded FIFO run queue with HTTP 429 backpressure bounds the
-// host-side backlog, and device-memory leases (Config.DeviceDemandBytes
-// claimed off the shared gpu.Device via AllocWait) bound how many jobs
-// run concurrently — the sum of admitted leases can never exceed the
-// card, so concurrent jobs never oversubscribe device memory.
+// model: bounded priority lanes with HTTP 429 backpressure (and an
+// adaptive Retry-After) bound the host-side backlog, and device-memory
+// leases (Config.DeviceDemandBytes claimed against specific fleet
+// devices) bound how many jobs run concurrently — the sum of admitted
+// leases can never exceed any card, so concurrent jobs never
+// oversubscribe device memory. Each device runs its own dispatcher:
+// idle cards steal queued work from loaded ones, interactive jobs go
+// ahead of batch jobs and may preempt them (drain at the next stage
+// commit, requeue resumable), tenants are capped at a share of in-flight
+// fleet bytes, and a Shards=K job runs across K devices via the cluster
+// layer. A job's FASTA output is byte-identical regardless of which
+// devices ran it, how often it was preempted, or its shard count.
 package serve
 
 import (
@@ -19,6 +27,14 @@ import (
 	"encoding/hex"
 	"sync"
 	"time"
+
+	"repro/internal/core"
+)
+
+// The admission lanes, re-exported from core for the HTTP layer.
+const (
+	PriorityInteractive = core.PriorityInteractive
+	PriorityBatch       = core.PriorityBatch
 )
 
 // State is one point in a job's lifecycle. The transitions are:
@@ -59,6 +75,34 @@ type Params struct {
 	// or "spmat" for the sparse-matrix backend); see
 	// core.Config.GraphBackend. Mutually exclusive with FullGraph.
 	GraphBackend string `json:"graphBackend,omitempty"`
+	// Priority selects the admission lane: "" or "batch", or
+	// "interactive" for jobs dispatched ahead of every batch job (and
+	// allowed to preempt running batch jobs when no device has room).
+	Priority string `json:"priority,omitempty"`
+	// Tenant groups jobs for fairness accounting: the scheduler caps each
+	// tenant's in-flight device bytes at its configured share of the
+	// fleet. "" is the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Shards splits the job across this many fleet devices via the
+	// cluster layer (0 or 1 = single-device pipeline). Output is
+	// byte-identical at every shard count.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Lane returns the resolved priority lane ("" means batch).
+func (p Params) Lane() string {
+	if p.Priority == "" {
+		return PriorityBatch
+	}
+	return p.Priority
+}
+
+// ShardCount returns the resolved shard count (0 means 1).
+func (p Params) ShardCount() int {
+	if p.Shards < 1 {
+		return 1
+	}
+	return p.Shards
 }
 
 // ResultSummary is the part of a finished run worth keeping in the job
@@ -87,10 +131,18 @@ type Record struct {
 
 	NumReads   int `json:"numReads"`
 	MaxReadLen int `json:"maxReadLen"`
-	// DeviceDemandBytes is the device-memory lease this job needs
-	// (core.Config.DeviceDemandBytes), fixed at submit time so a restarted
-	// server admits — and fingerprints — the job identically.
+	// DeviceDemandBytes is the device-memory lease this job needs on each
+	// device it runs on (core.Config.DeviceDemandBytes; a sharded job
+	// leases this much on every shard's device), fixed at submit time so a
+	// restarted server admits — and fingerprints — the job identically.
 	DeviceDemandBytes int64 `json:"deviceDemandBytes"`
+	// Devices lists the fleet device indices the job's current (or last)
+	// attempt leased: one entry for an unsharded job, Shards entries for a
+	// sharded one. Cleared while the job waits in a lane.
+	Devices []int `json:"devices,omitempty"`
+	// Preemptions counts how many times a running attempt was drained at a
+	// stage commit to make room for a higher-priority job.
+	Preemptions int `json:"preemptions,omitempty"`
 
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -111,17 +163,70 @@ type Record struct {
 }
 
 // Job is the scheduler's runtime handle on one record: the record itself
-// plus the cancellation plumbing that never touches disk.
+// plus the cancellation and preemption plumbing that never touches disk.
 type Job struct {
 	mu              sync.Mutex
 	rec             Record
 	cancel          context.CancelFunc // run context; set at dispatch
 	cancelRequested bool
 	enqueuedAt      time.Time
+	// preemptCh is closed when the scheduler asks the running attempt to
+	// drain at its next stage commit; replaced with a fresh channel on
+	// every requeue so a resumed attempt starts unpreempted.
+	preemptCh chan struct{}
 }
 
 // NewJob wraps a record for scheduling.
-func NewJob(rec Record) *Job { return &Job{rec: rec} }
+func NewJob(rec Record) *Job { return &Job{rec: rec, preemptCh: make(chan struct{})} }
+
+// Preempted returns a channel closed when the scheduler has asked this
+// attempt to drain at its next stage commit. Run functions select on it
+// at stage boundaries and return ErrPreempted to hand the device back;
+// the scheduler then requeues the job with its committed stages
+// resumable.
+func (j *Job) Preempted() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.preemptCh
+}
+
+// requestPreempt asks the current attempt to drain. Idempotent per
+// attempt. Reports whether this call delivered a new request.
+func (j *Job) requestPreempt() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.preemptCh:
+		return false // already requested for this attempt
+	default:
+		close(j.preemptCh)
+		return true
+	}
+}
+
+// preemptRequested reports whether the current attempt has been asked to
+// drain.
+func (j *Job) preemptRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.preemptCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// resetPreempt arms a fresh preemption channel for the next attempt.
+func (j *Job) resetPreempt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.preemptCh:
+		j.preemptCh = make(chan struct{})
+	default:
+	}
+}
 
 // Record returns a consistent deep copy of the job's record.
 func (j *Job) Record() Record {
@@ -157,6 +262,7 @@ func (r Record) clone() Record {
 	c := r
 	c.StagesDone = append([]string(nil), r.StagesDone...)
 	c.CachedStages = append([]string(nil), r.CachedStages...)
+	c.Devices = append([]int(nil), r.Devices...)
 	if r.StartedAt != nil {
 		t := *r.StartedAt
 		c.StartedAt = &t

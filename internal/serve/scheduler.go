@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,72 +24,146 @@ var ErrDraining = errors.New("serve: server is draining")
 // state.
 var ErrJobTerminal = errors.New("serve: job is already in a terminal state")
 
+// ErrPreempted is returned by a run function that drained at a stage
+// commit because the scheduler asked for the device back (Job.Preempted).
+// The scheduler requeues the job instead of failing it; the committed
+// stages resume on the next attempt.
+var ErrPreempted = errors.New("serve: job preempted at stage commit")
+
 // RunFunc executes one job to completion under ctx. It returns nil on
 // success; a ctx cancellation error means the job was interrupted (by
-// user cancel, drain, or kill) with its committed stages resumable.
+// user cancel, drain, or kill) with its committed stages resumable, and
+// ErrPreempted means the job drained voluntarily at a stage commit after
+// a preemption request.
 type RunFunc func(ctx context.Context, j *Job) error
 
 // SchedulerConfig parameterizes a Scheduler.
 type SchedulerConfig struct {
-	// Device is the shared simulated card every job leases device memory
-	// from before it may run.
-	Device *gpu.Device
-	// QueueCap bounds how many jobs may sit in the run queue; submissions
+	// Fleet is the set of simulated cards jobs lease device memory from.
+	// Every job is placed on (and leases its demand from) specific fleet
+	// devices before it may run.
+	Fleet *gpu.Fleet
+	// QueueCap bounds how many jobs may sit across all lanes; submissions
 	// beyond it are rejected with ErrQueueFull.
 	QueueCap int
-	// MaxConcurrent bounds how many jobs run at once, independent of
-	// device capacity (a host-side CPU/IO limit).
+	// MaxConcurrent bounds how many jobs run at once per device,
+	// independent of device capacity (a host-side CPU/IO limit).
 	MaxConcurrent int
+	// NoSteal disables work stealing: an idle device then never claims
+	// work queued on a loaded one. Stealing is on by default.
+	NoSteal bool
+	// TenantShare caps each tenant's in-flight leased device bytes at
+	// this fraction of the fleet's total capacity (0 disables the cap).
+	// A tenant with nothing in flight may always start one job, so a
+	// small share never starves a tenant outright.
+	TenantShare float64
 	// Run executes one job; the server injects the real pipeline, tests
 	// inject controllable stand-ins.
 	Run RunFunc
 	// OnTransition fires after every persistent state change, outside the
 	// job lock; the server persists the record (and cleans terminal
-	// workspaces) here. May be nil.
+	// workspaces) here. On a preemption or drain requeue it fires before
+	// the job re-enters the lanes, so the server can sweep scratch state
+	// while the job is provably not running. May be nil.
 	OnTransition func(j *Job)
 	// Obs carries the scheduler's logger and metrics registry; nil
 	// disables both.
 	Obs *obs.Observer
 }
 
-// Scheduler is the admission-controlled job runner: one dispatcher
-// goroutine pops the FIFO queue, takes a concurrency slot, leases the
-// job's declared device-memory demand off the shared device (blocking —
-// this is the admission backpressure), and only then starts the job.
-// Because a single dispatcher performs the blocking lease acquisition,
-// jobs start in strict submission order and the lease wait can never
-// deadlock against other leases.
+// Scheduler is the fleet-wide admission-controlled job runner. Each
+// device runs its own dispatcher goroutine pulling from that device's
+// two priority lanes (interactive before batch, FIFO within a lane).
+// Placement, lease accounting, and tenant fairness all happen under one
+// scheduler lock, so device-memory grants are race-free by construction:
+// a dispatcher only claims a job when its device has the free bytes, and
+// the matching gpu.Device allocation can then never fail.
+//
+// An idle dispatcher with free memory steals eligible work from its
+// peers' lanes (most-loaded peer first). When an interactive job fits a
+// device's capacity but not its current free bytes, the dispatcher asks
+// running batch jobs on that device to drain at their next stage commit
+// (preemption); the drained job requeues with its committed stages
+// resumable and the interactive job takes the freed lease.
 type Scheduler struct {
 	cfg    SchedulerConfig
 	ctx    context.Context
 	stop   context.CancelFunc
-	queue  *jobQueue
-	sem    chan struct{}
-	wg     sync.WaitGroup // dispatcher + running jobs
-	runWG  sync.WaitGroup // running jobs only
+	wg     sync.WaitGroup // dispatchers + running jobs
 	killed atomic.Bool
 	drain  atomic.Bool
+
+	// qmu guards the lanes, per-device lease ledgers, tenant accounting,
+	// and the running-job index; qcond wakes dispatchers when any of them
+	// change.
+	qmu         sync.Mutex
+	qcond       *sync.Cond
+	lanes       []deviceLanes // per device
+	queuedTotal int
+	leased      []int64            // per device: bytes claimed by admitted jobs
+	tenantInUse map[string]int64   // in-flight leased bytes per tenant
+	runningByID map[string]*runRef // running jobs, for preemption targeting
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string // registration order, for listing
 
-	queueDepth  *obs.Gauge
-	runningG    *obs.Gauge
-	leasedG     *obs.Gauge
-	admitted    *obs.Counter
-	rejected    *obs.Counter
-	succeeded   *obs.Counter
-	failed      *obs.Counter
-	canceledC   *obs.Counter
-	queueWaitMs *obs.Histogram
-	running     atomic.Int64
+	// service-time window for the adaptive Retry-After estimate.
+	svcMu    sync.Mutex
+	svcTimes []time.Duration // ring buffer of recent run durations
+	svcNext  int
+	svcFull  bool
+
+	queueDepth   *obs.Gauge
+	runningG     *obs.Gauge
+	retryAfterG  *obs.Gauge
+	devInUse     []*obs.Gauge
+	devQueued    []*obs.Gauge
+	admitted     *obs.Counter
+	rejected     *obs.Counter
+	succeeded    *obs.Counter
+	failed       *obs.Counter
+	canceledC    *obs.Counter
+	stealsC      *obs.Counter
+	preemptionsC *obs.Counter
+	queueWaitMs  *obs.Histogram
+	running      atomic.Int64
 }
 
-// NewScheduler builds a scheduler and starts its dispatcher.
+// laneCount and the lane indices: lane 0 is served strictly before
+// lane 1 on every dispatch decision.
+const (
+	laneInteractive = 0
+	laneBatch       = 1
+	laneCount       = 2
+)
+
+// deviceLanes holds one device's queued jobs, highest priority first.
+type deviceLanes [laneCount][]*Job
+
+func laneIndex(priority string) int {
+	if priority == PriorityInteractive {
+		return laneInteractive
+	}
+	return laneBatch
+}
+
+// runRef tracks one running attempt for preemption targeting and lease
+// release.
+type runRef struct {
+	j       *Job
+	devices []int
+	demand  int64 // per-device lease
+	lane    int
+	started time.Time
+	leases  []*gpu.Allocation
+}
+
+// NewScheduler builds a scheduler and starts one dispatcher per fleet
+// device.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
-	if cfg.Device == nil {
-		return nil, fmt.Errorf("serve: scheduler needs a device")
+	if cfg.Fleet == nil || cfg.Fleet.Size() == 0 {
+		return nil, fmt.Errorf("serve: scheduler needs a device fleet")
 	}
 	if cfg.Run == nil {
 		return nil, fmt.Errorf("serve: scheduler needs a run function")
@@ -99,29 +174,50 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
+	if cfg.TenantShare < 0 || cfg.TenantShare > 1 {
+		return nil, fmt.Errorf("serve: TenantShare %v outside [0,1]", cfg.TenantShare)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := cfg.Obs.Metrics()
+	n := cfg.Fleet.Size()
 	s := &Scheduler{
-		cfg:         cfg,
-		ctx:         ctx,
-		stop:        stop,
-		queue:       newJobQueue(cfg.QueueCap),
-		sem:         make(chan struct{}, cfg.MaxConcurrent),
-		jobs:        make(map[string]*Job),
-		queueDepth:  m.Gauge("serve.queue_depth"),
-		runningG:    m.Gauge("serve.jobs_running"),
-		leasedG:     m.Gauge("serve.device_leased_bytes"),
-		admitted:    m.Counter("serve.jobs_admitted"),
-		rejected:    m.Counter("serve.jobs_rejected"),
-		succeeded:   m.Counter("serve.jobs_succeeded"),
-		failed:      m.Counter("serve.jobs_failed"),
-		canceledC:   m.Counter("serve.jobs_canceled"),
-		queueWaitMs: m.Histogram("serve.queue_wait_ms", 1, 10, 100, 1e3, 10e3, 60e3),
+		cfg:          cfg,
+		ctx:          ctx,
+		stop:         stop,
+		lanes:        make([]deviceLanes, n),
+		leased:       make([]int64, n),
+		tenantInUse:  make(map[string]int64),
+		runningByID:  make(map[string]*runRef),
+		jobs:         make(map[string]*Job),
+		svcTimes:     make([]time.Duration, 32),
+		queueDepth:   m.Gauge("serve.queue_depth"),
+		runningG:     m.Gauge("serve.jobs_running"),
+		retryAfterG:  m.Gauge("serve.retry_after_ms"),
+		admitted:     m.Counter("serve.jobs_admitted"),
+		rejected:     m.Counter("serve.jobs_rejected"),
+		succeeded:    m.Counter("serve.jobs_succeeded"),
+		failed:       m.Counter("serve.jobs_failed"),
+		canceledC:    m.Counter("serve.jobs_canceled"),
+		stealsC:      m.Counter("fleet.steals"),
+		preemptionsC: m.Counter("fleet.preemptions"),
+		queueWaitMs:  m.Histogram("serve.queue_wait_ms", 1, 10, 100, 1e3, 10e3, 60e3),
 	}
-	s.wg.Add(1)
-	go s.dispatch()
+	s.qcond = sync.NewCond(&s.qmu)
+	s.devInUse = make([]*obs.Gauge, n)
+	s.devQueued = make([]*obs.Gauge, n)
+	for d := 0; d < n; d++ {
+		s.devInUse[d] = m.Gauge(fmt.Sprintf("fleet.device_inuse_bytes{device=%q}", fmt.Sprint(d)))
+		s.devQueued[d] = m.Gauge(fmt.Sprintf("fleet.device_queued{device=%q}", fmt.Sprint(d)))
+	}
+	for d := 0; d < n; d++ {
+		s.wg.Add(1)
+		go s.dispatch(d)
+	}
 	return s, nil
 }
+
+// Fleet exposes the device inventory.
+func (s *Scheduler) Fleet() *gpu.Fleet { return s.cfg.Fleet }
 
 // Register adds a job to the scheduler's index without queueing it; used
 // for terminal jobs reloaded at startup so they stay listable.
@@ -135,29 +231,40 @@ func (s *Scheduler) Register(j *Job) {
 	}
 }
 
+// placeable reports whether the fleet can ever run a job of this shape:
+// an unsharded job must fit on some device; a sharded job needs Shards
+// distinct devices that each fit the per-shard demand.
+func (s *Scheduler) placeable(rec Record) error {
+	demand := rec.DeviceDemandBytes
+	if demand <= 0 {
+		return fmt.Errorf("serve: job %s declares no device demand", rec.ID)
+	}
+	shards := rec.Params.ShardCount()
+	if fit := s.cfg.Fleet.FitCount(demand); fit < shards {
+		return fmt.Errorf("serve: job %s needs %d device(s) with %d bytes free, fleet has %d that large",
+			rec.ID, shards, demand, fit)
+	}
+	return nil
+}
+
 // Submit queues a new job, honouring the queue bound. The job must carry
-// a positive DeviceDemandBytes no larger than the device capacity.
+// a positive DeviceDemandBytes placeable on the fleet.
 func (s *Scheduler) Submit(j *Job) error {
 	if s.drain.Load() {
 		return ErrDraining
 	}
 	rec := j.Record()
-	if rec.DeviceDemandBytes <= 0 || rec.DeviceDemandBytes > s.cfg.Device.Capacity() {
-		return fmt.Errorf("serve: job %s needs %d bytes of device memory, device has %d",
-			rec.ID, rec.DeviceDemandBytes, s.cfg.Device.Capacity())
+	if err := s.placeable(rec); err != nil {
+		return err
 	}
 	s.Register(j)
 	j.Update(func(r *Record) { r.State = StateQueued })
-	j.mu.Lock()
-	j.enqueuedAt = time.Now()
-	j.mu.Unlock()
-	if !s.queue.tryPush(j) {
+	if err := s.enqueue(j, false); err != nil {
 		s.unregister(rec.ID)
 		s.rejected.Add(1)
-		return ErrQueueFull
+		return err
 	}
 	s.admitted.Add(1)
-	s.queueDepth.Set(int64(s.queue.depth()))
 	s.notify(j)
 	return nil
 }
@@ -168,12 +275,124 @@ func (s *Scheduler) Submit(j *Job) error {
 func (s *Scheduler) Recover(j *Job) {
 	s.Register(j)
 	j.Update(func(r *Record) { r.State = StateQueued })
+	s.enqueue(j, true)
+	s.notify(j)
+}
+
+// enqueue places the job on its home device's lane: the device with the
+// smallest committed load (leased bytes plus already-queued demand) among
+// those large enough. force bypasses the queue cap (crash recovery).
+func (s *Scheduler) enqueue(j *Job, force bool) error {
+	demand := j.Record().DeviceDemandBytes
+	lane := laneIndex(j.Record().Params.Lane())
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if !force && s.queuedTotal >= s.cfg.QueueCap {
+		return ErrQueueFull
+	}
+	home := s.pickHomeLocked(demand)
 	j.mu.Lock()
 	j.enqueuedAt = time.Now()
 	j.mu.Unlock()
-	s.queue.forcePush(j)
-	s.queueDepth.Set(int64(s.queue.depth()))
-	s.notify(j)
+	j.Update(func(r *Record) { r.Devices = nil })
+	s.lanes[home][lane] = append(s.lanes[home][lane], j)
+	s.queuedTotal++
+	s.preemptScanLocked(j)
+	s.publishQueueGaugesLocked()
+	s.qcond.Broadcast()
+	return nil
+}
+
+// requeueFront puts a preempted or drained job back at the head of its
+// lane on a freshly chosen home device, so it resumes as soon as capacity
+// frees without losing its place to later arrivals.
+func (s *Scheduler) requeueFront(j *Job) {
+	demand := j.Record().DeviceDemandBytes
+	lane := laneIndex(j.Record().Params.Lane())
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	home := s.pickHomeLocked(demand)
+	j.mu.Lock()
+	j.enqueuedAt = time.Now()
+	j.mu.Unlock()
+	j.Update(func(r *Record) { r.Devices = nil })
+	s.lanes[home][lane] = append([]*Job{j}, s.lanes[home][lane]...)
+	s.queuedTotal++
+	s.preemptScanLocked(j)
+	s.publishQueueGaugesLocked()
+	s.qcond.Broadcast()
+}
+
+// preemptScanLocked fires when a job enters a lane: if it is interactive
+// and no set of devices can currently host it (free-bytes-wise) even
+// though the fleet could capacity-wise, running batch jobs on the
+// candidate devices are asked to drain. This is the trigger that works
+// even when every dispatcher slot is occupied — a dispatcher parked on
+// its concurrency semaphore never scans the queue, so the enqueue itself
+// must start the drain that will eventually free its slot.
+func (s *Scheduler) preemptScanLocked(j *Job) {
+	rec := j.Record()
+	if laneIndex(rec.Params.Lane()) != laneInteractive {
+		return
+	}
+	demand := rec.DeviceDemandBytes
+	shards := rec.Params.ShardCount()
+	freeNow := 0
+	for d := 0; d < s.cfg.Fleet.Size(); d++ {
+		if c := s.cfg.Fleet.Device(d).Capacity(); c >= demand && c-s.leased[d] >= demand {
+			freeNow++
+		}
+	}
+	if freeNow >= shards {
+		return // placeable already; a dispatcher will pick it up
+	}
+	need := shards - freeNow
+	for d := 0; d < s.cfg.Fleet.Size() && need > 0; d++ {
+		c := s.cfg.Fleet.Device(d).Capacity()
+		if c < demand || c-s.leased[d] >= demand {
+			continue
+		}
+		s.preemptForLocked(d, demand)
+		need--
+	}
+}
+
+// pickHomeLocked returns the least-loaded device that can ever fit a
+// demand of the given size, measured by leased plus queued bytes.
+// Heterogeneous fleets therefore route big jobs to big cards and keep
+// small jobs off them when smaller cards are idle.
+func (s *Scheduler) pickHomeLocked(demand int64) int {
+	best, bestLoad := -1, int64(0)
+	for d := 0; d < s.cfg.Fleet.Size(); d++ {
+		if s.cfg.Fleet.Device(d).Capacity() < demand {
+			continue
+		}
+		load := s.leased[d]
+		for lane := 0; lane < laneCount; lane++ {
+			for _, q := range s.lanes[d][lane] {
+				load += q.Record().DeviceDemandBytes
+			}
+		}
+		if best == -1 || load < bestLoad {
+			best, bestLoad = d, load
+		}
+	}
+	if best == -1 {
+		best = 0 // placeable() vetted the shape; sharded jobs place lazily
+	}
+	return best
+}
+
+// publishQueueGaugesLocked refreshes the queue-depth gauges.
+func (s *Scheduler) publishQueueGaugesLocked() {
+	s.queueDepth.Set(int64(s.queuedTotal))
+	for d := range s.lanes {
+		n := 0
+		for lane := 0; lane < laneCount; lane++ {
+			n += len(s.lanes[d][lane])
+		}
+		s.devQueued[d].Set(int64(n))
+	}
 }
 
 // unregister drops a job that was never admitted (queue-full rejection).
@@ -208,11 +427,68 @@ func (s *Scheduler) Jobs() []*Job {
 	return out
 }
 
-// QueueDepth returns how many jobs are waiting in the run queue.
-func (s *Scheduler) QueueDepth() int { return s.queue.depth() }
+// QueueDepth returns how many jobs are waiting across all lanes.
+func (s *Scheduler) QueueDepth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queuedTotal
+}
 
 // Running returns how many jobs are currently executing.
 func (s *Scheduler) Running() int { return int(s.running.Load()) }
+
+// recordServiceTime folds a finished run's duration into the adaptive
+// Retry-After window.
+func (s *Scheduler) recordServiceTime(d time.Duration) {
+	s.svcMu.Lock()
+	s.svcTimes[s.svcNext] = d
+	s.svcNext++
+	if s.svcNext == len(s.svcTimes) {
+		s.svcNext = 0
+		s.svcFull = true
+	}
+	s.svcMu.Unlock()
+}
+
+// meanServiceTime returns the mean of the recent-service window, or 0
+// when no job has finished yet.
+func (s *Scheduler) meanServiceTime() time.Duration {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	n := s.svcNext
+	if s.svcFull {
+		n = len(s.svcTimes)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.svcTimes[i]
+	}
+	return sum / time.Duration(n)
+}
+
+// EstimateRetryAfter predicts how long a rejected submission should wait
+// before retrying: the current backlog (queued plus one) divided by the
+// fleet's run-slot count, times the recent mean job service time. floor
+// is returned when no service history exists yet; the estimate is also
+// never below it. The estimate is published on the serve.retry_after_ms
+// gauge.
+func (s *Scheduler) EstimateRetryAfter(floor time.Duration) time.Duration {
+	mean := s.meanServiceTime()
+	est := floor
+	if mean > 0 {
+		slots := s.cfg.Fleet.Size() * s.cfg.MaxConcurrent
+		waves := (s.QueueDepth() + 1 + slots - 1) / slots
+		est = time.Duration(waves) * mean
+		if est < floor {
+			est = floor
+		}
+	}
+	s.retryAfterG.Set(est.Milliseconds())
+	return est
+}
 
 // Cancel requests cancellation of a job. A queued job transitions to
 // canceled immediately; a running job has its context cancelled and
@@ -249,20 +525,61 @@ func (s *Scheduler) Cancel(id string) (Record, error) {
 		if cancel != nil {
 			cancel()
 		}
+		s.dropQueued(j)
 		s.canceledC.Add(1)
 		s.notify(j)
 		return rec, nil
 	}
 }
 
+// Preempt asks a running job to drain at its next stage commit and hand
+// its device leases back, exactly as a higher-priority placement would.
+// The job requeues with its committed stages resumable. Exposed for
+// operators and tests; scheduling-policy preemptions use the same path.
+func (s *Scheduler) Preempt(id string) error {
+	s.qmu.Lock()
+	ref, ok := s.runningByID[id]
+	s.qmu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: job %s is not running", id)
+	}
+	if ref.j.requestPreempt() {
+		s.preemptionsC.Add(1)
+	}
+	return nil
+}
+
+// dropQueued removes a job from whatever lane it waits in (no-op when it
+// is not queued, e.g. already claimed by a dispatcher).
+func (s *Scheduler) dropQueued(j *Job) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for d := range s.lanes {
+		for lane := 0; lane < laneCount; lane++ {
+			q := s.lanes[d][lane]
+			for i, x := range q {
+				if x == j {
+					s.lanes[d][lane] = append(q[:i], q[i+1:]...)
+					s.queuedTotal--
+					s.publishQueueGaugesLocked()
+					return
+				}
+			}
+		}
+	}
+}
+
 // Drain begins a graceful shutdown: new submissions are rejected, the
-// dispatcher stops starting jobs, running jobs are cancelled (their
+// dispatchers stop starting jobs, running jobs are cancelled (their
 // committed stages stay resumable) and persisted back to queued, and
 // queued jobs simply stay queued on disk. Returns when every job
 // goroutine has unwound or ctx expires.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.drain.Store(true)
-	s.stop() // cancels the dispatcher and every running job's context
+	s.stop() // cancels the dispatchers and every running job's context
+	s.qmu.Lock()
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -284,100 +601,360 @@ func (s *Scheduler) Kill() {
 	s.killed.Store(true)
 	s.drain.Store(true)
 	s.stop()
+	s.qmu.Lock()
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	s.wg.Wait()
 }
 
-// dispatch is the single scheduling goroutine: concurrency slot, FIFO
-// pop, device lease, start. The slot is taken before the pop so jobs
-// stay in the queue — and countable against the queue cap — until they
-// can actually run; otherwise one job would always sit invisibly between
-// the queue and the semaphore, silently extending the cap by one.
-func (s *Scheduler) dispatch() {
+// claim is a dispatcher's successful placement decision, made atomically
+// under qmu.
+type claim struct {
+	j       *Job
+	devices []int // lease targets; devices[0] is the dispatching device
+	lane    int
+	stolen  bool
+	wait    time.Duration
+}
+
+// dispatch is device d's scheduling loop: claim an eligible job (own
+// lanes first, then steal), take the pre-accounted device leases, and
+// start it. Claims happen entirely under the scheduler lock, so the
+// gpu.Device allocations that follow can never fail and multi-device
+// (sharded) leases can never deadlock.
+func (s *Scheduler) dispatch(d int) {
 	defer s.wg.Done()
+	sem := make(chan struct{}, s.cfg.MaxConcurrent)
 	for {
 		select {
-		case s.sem <- struct{}{}:
+		case sem <- struct{}{}:
 		case <-s.ctx.Done():
 			return
 		}
-		var j *Job
-		for {
-			var ok bool
-			j, ok = s.queue.pop(s.ctx)
-			if !ok {
-				return
-			}
-			s.queueDepth.Set(int64(s.queue.depth()))
-			if j.State() == StateQueued {
-				break
-			}
-			// Cancelled while queued; reuse the slot for the next job.
+		c, ok := s.nextClaim(d)
+		if !ok {
+			return
 		}
-		// The job's run context exists before the lease wait so a user
-		// cancel unparks the dispatcher instead of stalling the queue
-		// behind an unstartable job.
+		if c.stolen {
+			s.stealsC.Add(1)
+		}
+		leases := make([]*gpu.Allocation, len(c.devices))
+		demand := c.j.Record().DeviceDemandBytes
+		for i, dev := range c.devices {
+			a, err := s.cfg.Fleet.Device(dev).Alloc(demand)
+			if err != nil {
+				// Unreachable by construction: the claim reserved the bytes
+				// under qmu and nothing else allocates on fleet devices.
+				panic(fmt.Sprintf("serve: claimed lease failed on device %d: %v", dev, err))
+			}
+			leases[i] = a
+		}
 		jobCtx, cancel := context.WithCancel(s.ctx)
-		j.mu.Lock()
-		j.cancel = cancel
-		demand := j.rec.DeviceDemandBytes
-		wait := time.Since(j.enqueuedAt)
-		j.mu.Unlock()
-		lease, err := s.cfg.Device.AllocWait(jobCtx, demand)
-		if err != nil {
+		c.j.mu.Lock()
+		c.j.cancel = cancel
+		c.j.mu.Unlock()
+		if c.j.CancelRequested() {
+			// Cancelled between the lane pop and the lease grant.
+			s.releaseLeases(c, leases)
 			cancel()
-			<-s.sem
-			if s.ctx.Err() != nil {
-				return
-			}
-			// User cancel while waiting for the lease: Cancel already
-			// marked the record canceled and notified.
+			<-sem
 			continue
 		}
-		if j.CancelRequested() {
-			// Cancelled between the queue pop and the lease grant.
-			lease.Free()
-			cancel()
-			<-s.sem
-			continue
-		}
-		s.queueWaitMs.Observe(float64(wait.Milliseconds()))
-		s.startJob(j, jobCtx, cancel, lease, wait)
+		s.queueWaitMs.Observe(float64(c.wait.Milliseconds()))
+		s.startJob(c, jobCtx, cancel, leases, sem)
 	}
 }
 
+// nextClaim blocks until device d can claim an eligible job or the
+// scheduler stops. Own lanes are tried before stealing; within a source,
+// the interactive lane is drained before batch and FIFO order holds
+// inside a lane (skipping only jobs the device cannot take yet).
+func (s *Scheduler) nextClaim(d int) (claim, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for {
+		if s.ctx.Err() != nil {
+			return claim{}, false
+		}
+		if c, ok := s.claimFromLocked(d, d, false); ok {
+			return c, true
+		}
+		if !s.cfg.NoSteal {
+			for _, peer := range s.stealOrderLocked(d) {
+				if c, ok := s.claimFromLocked(d, peer, true); ok {
+					return c, true
+				}
+			}
+		}
+		s.qcond.Wait()
+	}
+}
+
+// stealOrderLocked lists the other devices, most-queued-bytes first, so
+// an idle card relieves the most loaded peer.
+func (s *Scheduler) stealOrderLocked(d int) []int {
+	type loaded struct {
+		dev   int
+		bytes int64
+	}
+	peers := make([]loaded, 0, s.cfg.Fleet.Size()-1)
+	for p := 0; p < s.cfg.Fleet.Size(); p++ {
+		if p == d {
+			continue
+		}
+		var qb int64
+		for lane := 0; lane < laneCount; lane++ {
+			for _, j := range s.lanes[p][lane] {
+				qb += j.Record().DeviceDemandBytes
+			}
+		}
+		if qb > 0 {
+			peers = append(peers, loaded{p, qb})
+		}
+	}
+	sort.Slice(peers, func(i, k int) bool {
+		if peers[i].bytes != peers[k].bytes {
+			return peers[i].bytes > peers[k].bytes
+		}
+		return peers[i].dev < peers[k].dev
+	})
+	order := make([]int, len(peers))
+	for i, p := range peers {
+		order[i] = p.dev
+	}
+	return order
+}
+
+// claimFromLocked tries to claim, for dispatcher d, the first eligible
+// job queued on device src. It removes terminal (cancelled) jobs it
+// walks past, and triggers batch preemption on d when an interactive job
+// fits d's capacity but not its free bytes.
+func (s *Scheduler) claimFromLocked(d, src int, stolen bool) (claim, bool) {
+	for lane := 0; lane < laneCount; lane++ {
+		q := s.lanes[src][lane]
+		for i := 0; i < len(q); i++ {
+			j := q[i]
+			if j.State() != StateQueued {
+				// Cancelled while queued; drop it and keep scanning.
+				q = append(q[:i], q[i+1:]...)
+				s.lanes[src][lane] = q
+				s.queuedTotal--
+				i--
+				continue
+			}
+			rec := j.Record()
+			demand := rec.DeviceDemandBytes
+			shards := rec.Params.ShardCount()
+			if !s.tenantEligibleLocked(rec.Params.Tenant, demand*int64(shards)) {
+				continue
+			}
+			var devices []int
+			if shards == 1 {
+				if s.cfg.Fleet.Device(d).Capacity() < demand {
+					continue
+				}
+				if s.leased[d]+demand > s.cfg.Fleet.Device(d).Capacity() {
+					if lane == laneInteractive {
+						s.preemptForLocked(d, demand)
+					}
+					continue
+				}
+				devices = []int{d}
+			} else {
+				devices = s.shardPlacementLocked(d, demand, shards)
+				if devices == nil {
+					if lane == laneInteractive {
+						s.preemptForLocked(d, demand)
+					}
+					continue
+				}
+			}
+			// Claim: reserve the bytes and take the job off its lane.
+			s.lanes[src][lane] = append(q[:i], q[i+1:]...)
+			s.queuedTotal--
+			for _, dev := range devices {
+				s.leased[dev] += demand
+				s.devInUse[dev].Set(s.leased[dev])
+			}
+			s.tenantInUse[rec.Params.Tenant] += demand * int64(shards)
+			j.mu.Lock()
+			wait := time.Since(j.enqueuedAt)
+			j.mu.Unlock()
+			s.publishQueueGaugesLocked()
+			return claim{j: j, devices: devices, lane: lane, stolen: stolen, wait: wait}, true
+		}
+	}
+	return claim{}, false
+}
+
+// tenantEligibleLocked enforces the per-tenant share of in-flight leased
+// bytes. A tenant with nothing running may always start one job.
+func (s *Scheduler) tenantEligibleLocked(tenant string, bytes int64) bool {
+	if s.cfg.TenantShare <= 0 {
+		return true
+	}
+	used := s.tenantInUse[tenant]
+	if used == 0 {
+		return true
+	}
+	limit := int64(s.cfg.TenantShare * float64(s.cfg.Fleet.TotalCapacity()))
+	return used+bytes <= limit
+}
+
+// shardPlacementLocked picks shard-count distinct devices with free
+// bytes for the per-shard demand, preferring the dispatching device and
+// then the freest peers. Returns nil when the fleet cannot host all
+// shards right now.
+func (s *Scheduler) shardPlacementLocked(d int, demand int64, shards int) []int {
+	type free struct {
+		dev   int
+		bytes int64
+	}
+	var candidates []free
+	for p := 0; p < s.cfg.Fleet.Size(); p++ {
+		avail := s.cfg.Fleet.Device(p).Capacity() - s.leased[p]
+		if avail >= demand {
+			candidates = append(candidates, free{p, avail})
+		}
+	}
+	if len(candidates) < shards {
+		return nil
+	}
+	sort.Slice(candidates, func(i, k int) bool {
+		// The dispatching device always sorts first so the claim stays
+		// anchored to the dispatcher that made it.
+		if candidates[i].dev == d {
+			return true
+		}
+		if candidates[k].dev == d {
+			return false
+		}
+		if candidates[i].bytes != candidates[k].bytes {
+			return candidates[i].bytes > candidates[k].bytes
+		}
+		return candidates[i].dev < candidates[k].dev
+	})
+	devices := make([]int, shards)
+	for i := 0; i < shards; i++ {
+		devices[i] = candidates[i].dev
+	}
+	return devices
+}
+
+// preemptForLocked asks enough running batch jobs on device d to drain at
+// their next stage commit to eventually free `need` bytes for a blocked
+// interactive job. Youngest batch jobs drain first (they have the least
+// committed work to redo). Interactive jobs are never preempted.
+func (s *Scheduler) preemptForLocked(d int, need int64) {
+	avail := s.cfg.Fleet.Device(d).Capacity() - s.leased[d]
+	if avail >= need {
+		return
+	}
+	var targets []*runRef
+	for _, ref := range s.runningByID {
+		if ref.lane != laneBatch || ref.j.preemptRequested() {
+			continue
+		}
+		for _, dev := range ref.devices {
+			if dev == d {
+				targets = append(targets, ref)
+				break
+			}
+		}
+	}
+	sort.Slice(targets, func(i, k int) bool { return targets[i].started.After(targets[k].started) })
+	for _, ref := range targets {
+		if avail >= need {
+			return
+		}
+		if ref.j.requestPreempt() {
+			s.preemptionsC.Add(1)
+			avail += ref.demand
+		}
+	}
+}
+
+// releaseLeases returns a claim's reserved bytes and allocations.
+func (s *Scheduler) releaseLeases(c claim, leases []*gpu.Allocation) {
+	demand := c.j.Record().DeviceDemandBytes
+	shards := int64(len(c.devices))
+	for _, a := range leases {
+		a.Free()
+	}
+	s.qmu.Lock()
+	for _, dev := range c.devices {
+		s.leased[dev] -= demand
+		s.devInUse[dev].Set(s.leased[dev])
+	}
+	tenant := c.j.Record().Params.Tenant
+	s.tenantInUse[tenant] -= demand * shards
+	if s.tenantInUse[tenant] <= 0 {
+		delete(s.tenantInUse, tenant)
+	}
+	delete(s.runningByID, c.j.Record().ID)
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+}
+
 // startJob transitions the job to running and executes it on its own
-// goroutine, returning the concurrency slot and the device lease when it
+// goroutine, returning the concurrency slot and the device leases when it
 // finishes.
-func (s *Scheduler) startJob(j *Job, ctx context.Context, cancel context.CancelFunc, lease *gpu.Allocation, wait time.Duration) {
+func (s *Scheduler) startJob(c claim, ctx context.Context, cancel context.CancelFunc,
+	leases []*gpu.Allocation, sem chan struct{}) {
+	j := c.j
 	now := time.Now()
+	devices := append([]int(nil), c.devices...)
 	j.Update(func(r *Record) {
 		r.State = StateRunning
 		r.StartedAt = &now
 		r.Attempts++
 		r.Error = ""
+		r.Devices = devices
 	})
+	ref := &runRef{j: j, devices: c.devices, demand: j.Record().DeviceDemandBytes,
+		lane: c.lane, started: now, leases: leases}
+	s.qmu.Lock()
+	s.runningByID[j.Record().ID] = ref
+	s.qmu.Unlock()
 	s.running.Add(1)
 	s.runningG.Set(s.running.Load())
-	s.leasedG.Set(s.cfg.Device.InUse())
 	s.notify(j)
 	s.wg.Add(1)
-	s.runWG.Add(1)
 	go func() {
 		defer s.wg.Done()
-		defer s.runWG.Done()
-		defer func() { <-s.sem }()
+		defer func() { <-sem }()
 		defer cancel()
 		err := s.cfg.Run(ctx, j)
-		lease.Free()
+		runWall := time.Since(now)
+		s.releaseLeases(c, leases)
 		s.running.Add(-1)
 		s.runningG.Set(s.running.Load())
-		s.leasedG.Set(s.cfg.Device.InUse())
-		s.finish(j, wait, err)
+		s.traceRun(j, c.devices, now, runWall, err)
+		s.finish(j, c.wait, runWall, err)
 	}()
 }
 
+// traceRun drops a per-device span for the finished attempt on the
+// fleet's trace tracks (device i is pid i+1; the scheduler is pid 0).
+func (s *Scheduler) traceRun(j *Job, devices []int, start time.Time, wall time.Duration, err error) {
+	tr := s.cfg.Obs.Tracer()
+	rec := j.Record()
+	outcome := "ok"
+	switch {
+	case errors.Is(err, ErrPreempted):
+		outcome = "preempted"
+	case err != nil:
+		outcome = "interrupted"
+	}
+	for _, d := range devices {
+		tr.Complete(obs.Track{Pid: int64(d) + 1}, "job", rec.ID, start, wall,
+			map[string]any{"tenant": rec.Params.Tenant, "lane": rec.Params.Lane(),
+				"leaseBytes": rec.DeviceDemandBytes, "outcome": outcome})
+	}
+}
+
 // finish settles a run's outcome into the job record.
-func (s *Scheduler) finish(j *Job, wait time.Duration, err error) {
+func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 	canceledByUser := j.CancelRequested()
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	now := time.Now()
@@ -391,12 +968,28 @@ func (s *Scheduler) finish(j *Job, wait time.Duration, err error) {
 			}
 		})
 		s.succeeded.Add(1)
-	case canceledByUser && interrupted:
+		s.recordServiceTime(runWall)
+		s.notify(j)
+	case errors.Is(err, ErrPreempted) && !canceledByUser:
+		// The job drained at a stage commit to hand its leases to a
+		// higher-priority claim: back to the head of the queue, committed
+		// stages resumable. The transition notifies (and the server sweeps
+		// scratch) BEFORE the job re-enters the lanes, so no new attempt
+		// can be racing the cleanup.
+		j.resetPreempt()
+		j.Update(func(r *Record) {
+			r.State = StateQueued
+			r.Preemptions++
+		})
+		s.notify(j)
+		s.requeueFront(j)
+	case canceledByUser && (interrupted || errors.Is(err, ErrPreempted)):
 		j.Update(func(r *Record) {
 			r.State = StateCanceled
 			r.FinishedAt = &now
 		})
 		s.canceledC.Add(1)
+		s.notify(j)
 	case interrupted:
 		if s.killed.Load() {
 			// Crash simulation: leave the on-disk record saying "running".
@@ -404,7 +997,9 @@ func (s *Scheduler) finish(j *Job, wait time.Duration, err error) {
 		}
 		// Drain: the job goes back to queued on disk; the next server
 		// start resumes it through the run manifest.
+		j.resetPreempt()
 		j.Update(func(r *Record) { r.State = StateQueued })
+		s.notify(j)
 	default:
 		j.Update(func(r *Record) {
 			r.State = StateFailed
@@ -412,8 +1007,8 @@ func (s *Scheduler) finish(j *Job, wait time.Duration, err error) {
 			r.Error = err.Error()
 		})
 		s.failed.Add(1)
+		s.notify(j)
 	}
-	s.notify(j)
 }
 
 // notify delivers a transition to the server's persistence hook.
@@ -426,63 +1021,57 @@ func (s *Scheduler) notify(j *Job) {
 	}
 }
 
-// jobQueue is a FIFO with a soft capacity: tryPush honours the bound
-// (HTTP backpressure), forcePush bypasses it (crash recovery must not
-// drop previously admitted jobs).
-type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*Job
-	maxCap int
+// DeviceState is one device's admission snapshot for health reporting.
+type DeviceState struct {
+	Device        int      `json:"device"`
+	Card          string   `json:"card"`
+	CapacityBytes int64    `json:"capacityBytes"`
+	LeasedBytes   int64    `json:"leasedBytes"`
+	Queued        int      `json:"queued"`
+	Running       []string `json:"running,omitempty"`
 }
 
-func newJobQueue(capacity int) *jobQueue {
-	q := &jobQueue{maxCap: capacity}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+// FleetSnapshot is the scheduler-wide admission state served by /healthz
+// and folded into job listings.
+type FleetSnapshot struct {
+	Devices     []DeviceState `json:"devices"`
+	QueueDepth  int           `json:"queueDepth"`
+	JobsRunning int           `json:"jobsRunning"`
+	Steals      int64         `json:"steals"`
+	Preemptions int64         `json:"preemptions"`
 }
 
-func (q *jobQueue) tryPush(j *Job) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.items) >= q.maxCap {
-		return false
+// Snapshot reports the fleet's current admission state.
+func (s *Scheduler) Snapshot() FleetSnapshot {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	snap := FleetSnapshot{
+		QueueDepth:  s.queuedTotal,
+		JobsRunning: int(s.running.Load()),
+		Steals:      s.stealsC.Value(),
+		Preemptions: s.preemptionsC.Value(),
 	}
-	q.items = append(q.items, j)
-	q.cond.Signal()
-	return true
-}
-
-func (q *jobQueue) forcePush(j *Job) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.items = append(q.items, j)
-	q.cond.Signal()
-}
-
-// pop blocks until a job is available or ctx is cancelled.
-func (q *jobQueue) pop(ctx context.Context) (*Job, bool) {
-	stop := context.AfterFunc(ctx, func() {
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	})
-	defer stop()
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && ctx.Err() == nil {
-		q.cond.Wait()
+	for d := 0; d < s.cfg.Fleet.Size(); d++ {
+		dev := s.cfg.Fleet.Device(d)
+		ds := DeviceState{
+			Device:        d,
+			Card:          dev.Spec().Name,
+			CapacityBytes: dev.Capacity(),
+			LeasedBytes:   s.leased[d],
+		}
+		for lane := 0; lane < laneCount; lane++ {
+			ds.Queued += len(s.lanes[d][lane])
+		}
+		for id, ref := range s.runningByID {
+			for _, rd := range ref.devices {
+				if rd == d {
+					ds.Running = append(ds.Running, id)
+					break
+				}
+			}
+		}
+		sort.Strings(ds.Running)
+		snap.Devices = append(snap.Devices, ds)
 	}
-	if ctx.Err() != nil {
-		return nil, false
-	}
-	j := q.items[0]
-	q.items = q.items[1:]
-	return j, true
-}
-
-func (q *jobQueue) depth() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
+	return snap
 }

@@ -13,9 +13,17 @@ import (
 	"repro/internal/obs"
 )
 
-// testDevice returns a shared card with the given capacity.
-func testDevice(capacity int64) *gpu.Device {
-	return gpu.NewDevice(gpu.Spec{Name: "testcard", MemBytes: capacity}, nil)
+// testFleet returns a fleet with one card per capacity.
+func testFleet(capacities ...int64) *gpu.Fleet {
+	specs := make([]gpu.Spec, len(capacities))
+	for i, c := range capacities {
+		specs[i] = gpu.Spec{Name: "testcard", MemBytes: c}
+	}
+	f, err := gpu.NewFleet(specs)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // testJob returns a submittable job with the given demand.
@@ -46,7 +54,7 @@ func TestSchedulerQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 16)
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        testDevice(1 << 20),
+		Fleet:         testFleet(1 << 20),
 		QueueCap:      2,
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, j *Job) error {
@@ -103,7 +111,7 @@ func TestSchedulerFIFOOrder(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        testDevice(1 << 20),
+		Fleet:         testFleet(1 << 20),
 		QueueCap:      n,
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, j *Job) error {
@@ -150,10 +158,11 @@ func TestSchedulerDeviceAdmission(t *testing.T) {
 		demand   = 400 // two fit, three do not
 		n        = 12
 	)
-	dev := testDevice(capacity)
+	fleet := testFleet(capacity)
+	dev := fleet.Device(0)
 	var inFlight, peak atomic.Int64
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        dev,
+		Fleet:         fleet,
 		QueueCap:      n,
 		MaxConcurrent: n, // device memory is the only binding constraint
 		Run: func(ctx context.Context, j *Job) error {
@@ -206,7 +215,7 @@ func TestSchedulerCancelWhileQueued(t *testing.T) {
 	started := make(chan string, 4)
 	reg := obs.NewRegistry()
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        testDevice(1 << 20),
+		Fleet:         testFleet(1 << 20),
 		QueueCap:      4,
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, j *Job) error {
@@ -265,7 +274,7 @@ func TestSchedulerCancelWhileQueued(t *testing.T) {
 func TestSchedulerCancelWhileRunning(t *testing.T) {
 	started := make(chan struct{})
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        testDevice(1 << 20),
+		Fleet:         testFleet(1 << 20),
 		QueueCap:      4,
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, j *Job) error {
@@ -299,7 +308,7 @@ func TestSchedulerDrainRequeues(t *testing.T) {
 	started := make(chan struct{})
 	var transitions sync.Map
 	s, err := NewScheduler(SchedulerConfig{
-		Device:        testDevice(1 << 20),
+		Fleet:         testFleet(1 << 20),
 		QueueCap:      4,
 		MaxConcurrent: 1,
 		Run: func(ctx context.Context, j *Job) error {

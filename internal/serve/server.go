@@ -8,13 +8,16 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"slices"
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dna"
 	"repro/internal/fastq"
 	"repro/internal/gpu"
 	"repro/internal/obs"
@@ -24,10 +27,23 @@ import (
 type Config struct {
 	// Root is the data directory (job records, inputs, workspaces).
 	Root string
-	// GPU is the one shared simulated card all jobs lease memory from.
+	// GPU is the card model jobs are costed and fingerprinted against.
+	// Every job runs under this spec (with its lease as the memory bound),
+	// so results and resume manifests are identical no matter which fleet
+	// device admission placed the job on.
 	GPU gpu.Spec
+	// Devices sizes a homogeneous fleet of GPU-spec cards (default 1).
+	// DeviceSpecs, when set, overrides both with an explicit — possibly
+	// heterogeneous — device list.
+	Devices     int
+	DeviceSpecs []gpu.Spec
+	// NoSteal disables work stealing between fleet devices.
+	NoSteal bool
+	// TenantShare caps each tenant's in-flight leased bytes at this
+	// fraction of total fleet capacity (0 = no cap).
+	TenantShare float64
 	// QueueCap bounds the run queue (default 16); MaxConcurrent bounds
-	// simultaneous runs (default 2).
+	// simultaneous runs per device (default 2).
 	QueueCap      int
 	MaxConcurrent int
 	// Pipeline geometry shared by all jobs; zero values take the core
@@ -37,7 +53,9 @@ type Config struct {
 	MapBatchReads    int
 	// MaxBodyBytes caps a submission body (default 256 MiB).
 	MaxBodyBytes int64
-	// RetryAfter is advertised on 429 responses (default 2s).
+	// RetryAfter floors the Retry-After advertised on 429 responses
+	// (default 2s). Once jobs have finished, the advertised value adapts:
+	// queue depth times the recent mean service time, never below this.
 	RetryAfter time.Duration
 	// Obs is the server's observability sink. Its metrics registry (one is
 	// created if absent) carries the scheduler gauges/counters and the
@@ -45,25 +63,26 @@ type Config struct {
 	Obs *obs.Observer
 	// StageCommitHook, when set, fires after every stage a job commits,
 	// with the job's run context; tests use it to pause a job or kill the
-	// server at a precise recovery point.
+	// server at a precise recovery point. For sharded jobs it fires per
+	// node-stage commit.
 	StageCommitHook func(ctx context.Context, jobID string, stage core.PhaseName) error
 }
 
 // Server is the multi-tenant assembly job service: HTTP API + scheduler +
-// store, sharing one bounded device.
+// store, sharing a fleet of bounded devices.
 type Server struct {
 	cfg   Config
 	store *Store
 	sched *Scheduler
-	dev   *gpu.Device
+	fleet *gpu.Fleet
 	mux   *http.ServeMux
 	log   *slog.Logger
 }
 
 // New opens the data directory, sweeps orphaned state from crashed runs,
 // recovers persisted jobs (terminal ones become listable, interrupted
-// ones re-queue and resume through their manifests), and starts the
-// scheduler.
+// ones re-queue and resume through their manifests), builds the device
+// fleet, and starts the scheduler.
 func New(cfg Config) (*Server, error) {
 	if cfg.Root == "" {
 		return nil, fmt.Errorf("serve: empty root directory")
@@ -80,6 +99,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Obs == nil || cfg.Obs.Metrics() == nil {
 		cfg.Obs = obs.New(cfg.Obs.Log(), cfg.Obs.Tracer(), obs.NewRegistry())
 	}
+	specs := cfg.DeviceSpecs
+	if len(specs) == 0 {
+		if cfg.Devices <= 0 {
+			cfg.Devices = 1
+		}
+		specs = make([]gpu.Spec, cfg.Devices)
+		for i := range specs {
+			specs[i] = cfg.GPU
+		}
+	}
+	fleet, err := gpu.NewFleet(specs)
+	if err != nil {
+		return nil, err
+	}
 	store, err := NewStore(cfg.Root)
 	if err != nil {
 		return nil, err
@@ -87,13 +120,20 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		store: store,
-		dev:   gpu.NewDevice(cfg.GPU, nil),
+		fleet: fleet,
 		log:   cfg.Obs.Log(),
 	}
+	tr := cfg.Obs.Tracer()
+	tr.NameProcess(0, "scheduler")
+	for d := 0; d < fleet.Size(); d++ {
+		tr.NameProcess(int64(d)+1, fmt.Sprintf("device%02d %s", d, fleet.Device(d).Spec().Name))
+	}
 	s.sched, err = NewScheduler(SchedulerConfig{
-		Device:        s.dev,
+		Fleet:         fleet,
 		QueueCap:      cfg.QueueCap,
 		MaxConcurrent: cfg.MaxConcurrent,
+		NoSteal:       cfg.NoSteal,
+		TenantShare:   cfg.TenantShare,
 		Run:           s.runJob,
 		OnTransition:  s.onTransition,
 		Obs:           cfg.Obs,
@@ -114,7 +154,9 @@ func New(cfg Config) (*Server, error) {
 // recover reloads every persisted job: terminal records register for
 // listing; submitted/queued/running records re-enter the queue (in
 // original submission order) and resume mid-pipeline via their run
-// manifests.
+// manifests — possibly on different devices than the crashed attempt,
+// which is safe because jobs are fingerprinted against the base GPU spec,
+// not the fleet card they land on.
 func (s *Server) recover() error {
 	recs, err := s.store.List()
 	if err != nil {
@@ -136,8 +178,8 @@ func (s *Server) recover() error {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Device exposes the shared card (admission accounting, tests).
-func (s *Server) Device() *gpu.Device { return s.dev }
+// Fleet exposes the device inventory (admission accounting, tests).
+func (s *Server) Fleet() *gpu.Fleet { return s.fleet }
 
 // Scheduler exposes the scheduler (metrics, tests).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
@@ -156,15 +198,23 @@ func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
 func (s *Server) Kill() { s.sched.Kill() }
 
 // onTransition persists every job state change and finishes terminal
-// jobs' workspace cleanup.
+// jobs' workspace cleanup. A job handed back to the queue after running
+// (preemption or drain) gets its sort scratch swept here — the scheduler
+// fires this before the job can start again, and its next attempt may
+// land on different devices.
 func (s *Server) onTransition(j *Job) {
 	rec := j.Record()
 	if err := s.store.Save(rec); err != nil {
 		s.log.Error("persisting job record", "job", rec.ID, "err", err)
 	}
-	if rec.State.Terminal() {
+	switch {
+	case rec.State.Terminal():
 		if err := s.store.CleanupWorkspace(rec.ID); err != nil {
 			s.log.Error("cleaning job workspace", "job", rec.ID, "err", err)
+		}
+	case rec.State == StateQueued && rec.Attempts > 0:
+		if err := s.store.SweepScratch(rec.ID); err != nil {
+			s.log.Error("sweeping job scratch", "job", rec.ID, "err", err)
 		}
 	}
 }
@@ -173,7 +223,8 @@ func (s *Server) onTransition(j *Job) {
 // device is a private handle whose capacity equals the job's lease, so a
 // job can never use more device memory than admission granted it; the
 // demand is persisted in the record, which keeps the config fingerprint —
-// and therefore manifest resume — stable across server restarts.
+// and therefore manifest resume — stable across server restarts and
+// across whichever fleet device the attempt lands on.
 func (s *Server) jobConfig(rec Record) core.Config {
 	cfg := core.DefaultConfig(s.store.WorkDir(rec.ID))
 	if s.cfg.HostBlockPairs > 0 {
@@ -200,24 +251,31 @@ func (s *Server) jobConfig(rec Record) core.Config {
 	return cfg
 }
 
-// runJob executes one job through the core pipeline: reads come from the
-// persisted input, progress events update the record live, and the job's
-// private metrics registry is mounted on the server registry under a
-// job="<id>" label for the lifetime of the run.
+// runJob executes one job, single-device through the core pipeline or
+// sharded across its leased devices through the cluster layer. Reads come
+// from the persisted input, and the job's private metrics registry is
+// mounted on the server registry under a job="<id>" label for the
+// lifetime of the run.
 func (s *Server) runJob(ctx context.Context, j *Job) error {
 	rec := j.Record()
 	reads, _, err := fastq.ReadFile(s.store.InputPath(rec.ID))
 	if err != nil {
 		return fmt.Errorf("serve: reloading job input: %w", err)
 	}
-	cfg := s.jobConfig(rec)
 
 	jobReg := obs.NewRegistry()
 	parent := s.cfg.Obs.Metrics()
 	label := `job="` + rec.ID + `"`
 	parent.AttachChild(label, jobReg)
 	defer parent.DetachChild(label)
-	cfg.Obs = obs.New(s.log.With("job", rec.ID), nil, jobReg)
+	jobObs := obs.New(s.log.With("job", rec.ID), nil, jobReg)
+
+	if rec.Params.ShardCount() > 1 {
+		return s.runShardedJob(ctx, j, reads, jobObs)
+	}
+
+	cfg := s.jobConfig(rec)
+	cfg.Obs = jobObs
 	cfg.Progress = func(stage, event string) {
 		j.Update(func(r *Record) {
 			r.Stage = stage
@@ -238,12 +296,105 @@ func (s *Server) runJob(ctx context.Context, j *Job) error {
 	if err != nil {
 		return err
 	}
-	if s.cfg.StageCommitHook != nil {
-		p.FaultHook = func(stage core.PhaseName) error {
+	p.FaultHook = func(stage core.PhaseName) error {
+		if err := s.checkPreempt(j); err != nil {
+			return err
+		}
+		if s.cfg.StageCommitHook != nil {
 			return s.cfg.StageCommitHook(ctx, rec.ID, stage)
 		}
+		return nil
 	}
 	res, err := p.AssembleContext(ctx, reads)
+	if err != nil {
+		return err
+	}
+	if err := s.store.InstallResult(rec.ID); err != nil {
+		return err
+	}
+	j.Update(func(r *Record) {
+		r.CachedStages = append([]string(nil), res.CachedStages...)
+		r.Result = &ResultSummary{
+			NumContigs:     res.ContigStats.NumContigs,
+			TotalBases:     res.ContigStats.TotalBases,
+			MaxContigLen:   res.ContigStats.MaxLen,
+			N50:            res.ContigStats.N50,
+			CandidateEdges: res.CandidateEdges,
+			AcceptedEdges:  res.AcceptedEdges,
+			WallMillis:     res.TotalWall.Milliseconds(),
+			ModeledMillis:  res.TotalModeled.Milliseconds(),
+		}
+	})
+	return nil
+}
+
+// checkPreempt turns a pending preemption request into the drain error a
+// run function returns at a stage commit.
+func (s *Server) checkPreempt(j *Job) error {
+	select {
+	case <-j.Preempted():
+		return ErrPreempted
+	default:
+		return nil
+	}
+}
+
+// runShardedJob executes a Shards>1 job through the cluster layer: one
+// simulated node per shard, node i bound to a private device whose
+// capacity equals the per-shard lease admission granted on fleet device
+// Devices[i]. The cluster's lockstep manifests make the sharded job
+// exactly as preemptible and crash-resumable as a single-device one, and
+// its contig output is byte-identical to the unsharded pipeline under the
+// same parameters.
+func (s *Server) runShardedJob(ctx context.Context, j *Job, reads *dna.ReadSet, jobObs *obs.Observer) error {
+	rec := j.Record()
+	k := rec.Params.ShardCount()
+	base := s.cfg.GPU
+	if rec.DeviceDemandBytes > 0 {
+		base.MemBytes = rec.DeviceDemandBytes
+	}
+	specs := make([]gpu.Spec, k)
+	for i := range specs {
+		specs[i] = base
+	}
+	jobFleet, err := gpu.NewFleet(specs)
+	if err != nil {
+		return err
+	}
+
+	ccfg := cluster.DefaultConfig(s.store.WorkDir(rec.ID), k)
+	if s.cfg.HostBlockPairs > 0 {
+		ccfg.HostBlockPairs = s.cfg.HostBlockPairs
+	}
+	if s.cfg.DeviceBlockPairs > 0 {
+		ccfg.DeviceBlockPairs = s.cfg.DeviceBlockPairs
+	}
+	if s.cfg.MapBatchReads > 0 {
+		ccfg.MapBatchReads = s.cfg.MapBatchReads
+	}
+	ccfg.MinOverlap = rec.Params.MinOverlap
+	ccfg.WorkersPerNode = rec.Params.Workers
+	ccfg.IncludeSingletons = rec.Params.IncludeSingletons
+	ccfg.GraphBackend = rec.Params.GraphBackend
+	ccfg.GPU = base
+	ccfg.Fleet = jobFleet
+	ccfg.Resume = true
+	ccfg.Obs = jobObs
+
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return err
+	}
+	cl.FaultHook = func(nodeID int, stage core.PhaseName) error {
+		if err := s.checkPreempt(j); err != nil {
+			return err
+		}
+		if s.cfg.StageCommitHook != nil {
+			return s.cfg.StageCommitHook(ctx, rec.ID, stage)
+		}
+		return nil
+	}
+	res, err := cl.AssembleContext(ctx, reads)
 	if err != nil {
 		return err
 	}
@@ -314,6 +465,13 @@ func parseParams(r *http.Request) (Params, error) {
 		}
 		p.Workers = n
 	}
+	if v := q.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("invalid shards %q", v)
+		}
+		p.Shards = n
+	}
 	boolParam := func(key string, dst *bool) error {
 		v := q.Get(key)
 		if v == "" {
@@ -345,14 +503,26 @@ func parseParams(r *http.Request) (Params, error) {
 	if p.GraphBackend == core.BackendSpmat && p.FullGraph {
 		return p, fmt.Errorf("graph-backend %q and fullgraph are mutually exclusive", core.BackendSpmat)
 	}
+	if v := q.Get("priority"); v != "" {
+		if !slices.Contains(core.Priorities, v) {
+			return p, fmt.Errorf("invalid priority %q (want one of %v)", v, core.Priorities)
+		}
+		p.Priority = v
+	}
+	p.Tenant = q.Get("tenant")
+	if p.ShardCount() > 1 {
+		if p.FullGraph || p.DedupeReads || p.VerifyOverlaps {
+			return p, fmt.Errorf("shards > 1 does not support fullgraph, dedupe, or verify")
+		}
+	}
 	return p, nil
 }
 
 // handleSubmit accepts a FASTQ/FASTA body plus query-string knobs,
 // persists the job, and queues it. Responses: 201 with the job record,
 // 400 on bad input, 413 when the body exceeds the limit, 422 when the job
-// can never fit on the device, 429 (+ Retry-After) when the run queue is
-// full, 503 while draining.
+// can never fit on the fleet, 429 (+ adaptive Retry-After) when the run
+// queue is full, 503 while draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
@@ -393,10 +563,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		SubmittedAt: time.Now().UTC(),
 	}
 	rec.DeviceDemandBytes = s.jobConfig(rec).DeviceDemandBytes(reads.MaxLen())
-	if rec.DeviceDemandBytes > s.dev.Capacity() {
+	if fit := s.fleet.FitCount(rec.DeviceDemandBytes); fit < params.ShardCount() {
 		writeError(w, http.StatusUnprocessableEntity,
-			"job needs %d bytes of device memory, %s has %d: lower workers",
-			rec.DeviceDemandBytes, s.cfg.GPU.Name, s.dev.Capacity())
+			"job needs %d device(s) with %d bytes of memory, fleet has %d that large: lower workers or shards",
+			params.ShardCount(), rec.DeviceDemandBytes, fit)
 		return
 	}
 	if err := s.store.CreateJob(rec, body); err != nil {
@@ -410,7 +580,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+			retry := s.sched.EstimateRetryAfter(s.cfg.RetryAfter)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 			writeError(w, http.StatusTooManyRequests, "run queue is full, retry later")
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -429,7 +600,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		recs = append(recs, j.Record())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": recs})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  recs,
+		"fleet": s.sched.Snapshot(),
+	})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -476,15 +650,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness plus the per-device admission state:
+// every fleet card's capacity, leased bytes, queue, and running jobs,
+// alongside the fleet-wide steal/preemption counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.sched.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
-		"queueDepth":      s.sched.QueueDepth(),
-		"jobsRunning":     s.sched.Running(),
-		"deviceLeased":    s.dev.InUse(),
-		"deviceCapacity":  s.dev.Capacity(),
-		"deviceWaitQueue": s.dev.Waiters(),
-		"deviceCard":      s.cfg.GPU.Name,
+		"status":      "ok",
+		"queueDepth":  snap.QueueDepth,
+		"jobsRunning": snap.JobsRunning,
+		"fleet":       snap,
 	})
 }
 

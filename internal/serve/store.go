@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Store is the job service's on-disk layout, rooted at one data
@@ -162,11 +163,47 @@ func (st *Store) CleanupWorkspace(id string) error {
 	return nil
 }
 
+// SweepScratch removes a job's per-sort spill directories
+// (sort_<kind>_<len>) under both the single-device workspace layout
+// (work/partitions/) and the sharded per-node layout (work/node*/).
+// Called when a preempted or drained attempt hands the job back to the
+// queue, and for every resumable job at startup: the next attempt may
+// land on different devices, and stale spills from an interrupted sort
+// must never leak into it. Sorted partition files and manifests are
+// untouched — resume validates those itself.
+func (st *Store) SweepScratch(id string) error {
+	dirs := []string{filepath.Join(st.WorkDir(id), "partitions")}
+	nodes, err := filepath.Glob(filepath.Join(st.WorkDir(id), "node*"))
+	if err != nil {
+		return err
+	}
+	dirs = append(dirs, nodes...)
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		for _, e := range ents {
+			if e.IsDir() && strings.HasPrefix(e.Name(), "sort_") {
+				if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Sweep removes orphaned job state left by crashed runs: directories with
 // no parseable record (a crash mid-create) are deleted outright, and
 // terminal jobs that crashed between their final record write and their
-// workspace cleanup get the cleanup finished now. Returns how many job
-// directories were repaired or removed.
+// workspace cleanup get the cleanup finished now. Resumable jobs get
+// their sort scratch swept (SweepScratch) so a crashed attempt's spills
+// never leak into the resumed one. Returns how many job directories were
+// repaired or removed.
 func (st *Store) Sweep(log *slog.Logger) (int, error) {
 	ents, err := os.ReadDir(st.JobsDir())
 	if err != nil {
@@ -195,6 +232,10 @@ func (st *Store) Sweep(log *slog.Logger) (int, error) {
 				}
 				swept++
 			}
+			continue
+		}
+		if err := st.SweepScratch(id); err != nil {
+			return swept, err
 		}
 	}
 	return swept, nil

@@ -55,6 +55,7 @@ func main() {
 		hostBlock = flag.Int("host-block", 1<<20, "host block size m_h in pairs, shared by all jobs")
 		devBlock  = flag.Int("device-block", 1<<16, "device block size m_d in pairs, shared by all jobs")
 		mapBatch  = flag.Int("map-batch", 0, "reads per map device batch (0 = core default)")
+		recorder  = flag.Int("flight-recorder", 4096, "flight-recorder event-log capacity: per-job lifecycle events, traces, and SLO histograms (0 disables)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to unwind")
 		verbose   = flag.Bool("v", false, "verbose logging: debug-level scheduler and stage events")
 		quiet     = flag.Bool("quiet", false, "log errors only")
@@ -100,18 +101,19 @@ func main() {
 	observer := obs.New(logger, nil, obs.NewRegistry())
 
 	srv, err := serve.New(serve.Config{
-		Root:             *root,
-		GPU:              spec,
-		Devices:          *devices,
-		DeviceSpecs:      fleetSpecs,
-		NoSteal:          *noSteal,
-		TenantShare:      *tenantSh,
-		QueueCap:         *queueCap,
-		MaxConcurrent:    *maxJobs,
-		HostBlockPairs:   *hostBlock,
-		DeviceBlockPairs: *devBlock,
-		MapBatchReads:    *mapBatch,
-		Obs:              observer,
+		Root:                 *root,
+		GPU:                  spec,
+		Devices:              *devices,
+		DeviceSpecs:          fleetSpecs,
+		NoSteal:              *noSteal,
+		TenantShare:          *tenantSh,
+		QueueCap:             *queueCap,
+		MaxConcurrent:        *maxJobs,
+		HostBlockPairs:       *hostBlock,
+		DeviceBlockPairs:     *devBlock,
+		MapBatchReads:        *mapBatch,
+		FlightRecorderEvents: *recorder,
+		Obs:                  observer,
 	})
 	if err != nil {
 		fatal(err)

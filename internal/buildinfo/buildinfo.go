@@ -11,12 +11,12 @@ import (
 	"runtime/debug"
 )
 
-// String returns the one-line version report for the named binary, e.g.
-//
-//	lasagna-serve devel (rev 9993a6c..., modified, go1.24.0)
-func String(binary string) string {
-	version, revision := "devel", "unknown"
-	modified := false
+// Info returns the raw build identity fields: the module version, the
+// VCS revision, and whether the checkout had uncommitted changes when
+// the binary was built. Outside a stamped build (go run, test binaries)
+// it reports "devel"/"unknown"/false.
+func Info() (version, revision string, modified bool) {
+	version, revision = "devel", "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if v := bi.Main.Version; v != "" && v != "(devel)" {
 			version = v
@@ -30,9 +30,16 @@ func String(binary string) string {
 			}
 		}
 	}
-	rev := revision
+	return version, revision, modified
+}
+
+// String returns the one-line version report for the named binary, e.g.
+//
+//	lasagna-serve devel (rev 9993a6c..., modified, go1.24.0)
+func String(binary string) string {
+	version, revision, modified := Info()
 	if modified {
-		rev += ", modified"
+		revision += ", modified"
 	}
-	return fmt.Sprintf("%s %s (rev %s, %s)", binary, version, rev, runtime.Version())
+	return fmt.Sprintf("%s %s (rev %s, %s)", binary, version, revision, runtime.Version())
 }

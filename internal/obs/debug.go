@@ -3,32 +3,27 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sync/atomic"
-)
-
-// debugRegistry is the registry the expvar-published "metrics" var reads.
-// expvar panics on duplicate Publish, so the var is published exactly once
-// per process and indirected through this pointer; successive DebugServers
-// (tests start several) just swap the pointer.
-var (
-	debugRegistry  atomic.Pointer[Registry]
-	publishMetrics = func() {
-		expvar.Publish("metrics", expvar.Func(func() any {
-			return debugRegistry.Load().Snapshot()
-		}))
-	}
-	published atomic.Bool
 )
 
 // DebugServer is the live debugging endpoint behind the CLI's -debug-addr
-// flag: expvar at /debug/vars, the metrics snapshot at /debug/metrics, and
-// net/http/pprof under /debug/pprof/.
+// flag: expvar at /debug/vars, the metrics snapshot at /debug/metrics,
+// Prometheus text exposition at /metrics, and net/http/pprof under
+// /debug/pprof/.
+//
+// Each server is scoped to its own registry. An earlier revision
+// published one process-global expvar var backed by a swap-on-construct
+// pointer, so two live DebugServers silently cross-wired /debug/vars:
+// both reported whichever registry was registered last. The vars handler
+// now renders the expvar globals itself and scopes the "metrics" var to
+// the owning server's registry.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	reg *Registry
 }
 
 // NewDebugServer binds addr (":0" picks a free port) and starts serving in
@@ -37,18 +32,19 @@ func NewDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	debugRegistry.Store(reg)
-	if published.CompareAndSwap(false, true) {
-		publishMetrics()
-	}
-
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		writeVars(w, reg)
+	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(debugRegistry.Load().Snapshot())
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		WritePrometheus(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -60,9 +56,28 @@ func NewDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, reg: reg}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// writeVars renders the expvar JSON object (same shape expvar.Handler
+// produces) with this server's own registry as the "metrics" var, keeping
+// concurrent DebugServers independent.
+func writeVars(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "metrics" {
+			return // scoped per server below
+		}
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		snap = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "metrics", snap)
 }
 
 // Addr returns the bound address (useful with ":0").

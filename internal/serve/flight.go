@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The flight-recorder event vocabulary. Every scheduling decision that
+// moves a job through its lifecycle emits exactly one of these, so the
+// global log (and the per-job slice persisted in the record) replays the
+// full history: where the job queued, who claimed or stole it, when it
+// was asked to drain, and how each attempt ended.
+const (
+	// EventEnqueue: the job entered a device's lane (fresh submission or
+	// crash recovery). Attrs: device, lane, tenant, demandBytes.
+	EventEnqueue = "enqueue"
+	// EventClaim: a dispatcher took the job off a lane and leased its
+	// devices. Attrs: devices, waitMs, lane, stolen, attempt.
+	EventClaim = "claim"
+	// EventSteal: the claim crossed devices — an idle dispatcher relieved
+	// a loaded peer. Attrs: src, dst.
+	EventSteal = "steal"
+	// EventPreemptRequest: the scheduler asked the running attempt to
+	// drain at its next stage commit. Attrs: device+needBytes for policy
+	// preemptions, operator=true for the admin endpoint.
+	EventPreemptRequest = "preempt-request"
+	// EventDrain: the attempt gave its devices back without finishing —
+	// voluntarily at a stage commit (reason "preempt", with drainMs) or
+	// because the server shut down (reason "shutdown").
+	EventDrain = "drain"
+	// EventRequeue: the drained job re-entered a lane at the head.
+	// Attrs: device, reason.
+	EventRequeue = "requeue"
+	// EventShardPlace: a Shards>1 claim placed its shards. Attrs: devices.
+	EventShardPlace = "shard-place"
+	// EventStageCommit: the run committed one pipeline stage. Attrs:
+	// stage (and node for sharded jobs).
+	EventStageCommit = "stage-commit"
+	// EventTerminal: the job reached succeeded/failed/canceled. Attrs:
+	// outcome, attempts, error.
+	EventTerminal = "terminal"
+)
+
+// Track layout of a per-job flight trace. The job's pipeline spans keep
+// their native pids (0 for the single-device pipeline, 1..k for cluster
+// nodes), so lifecycle tracks live far above: one scheduler track for
+// queued/gap spans and one track per fleet device for run attempts.
+const (
+	flightSchedulerPid  = 900
+	flightDevicePidBase = 1000
+)
+
+// maxJobRecordEvents bounds the event slice persisted inside each job
+// record; Record.TotalEvents keeps counting past it.
+const maxJobRecordEvents = 512
+
+// FlightRecorder is the scheduler's audit channel: a bounded global
+// event log, a copy of each event inside the owning job's record, and
+// the SLO latency instruments derived from the same lifecycle points.
+// A nil *FlightRecorder (the default) disables all of it — no events,
+// no extra instruments, no per-job tracers — which is what keeps the
+// recorder's cost strictly zero when off.
+type FlightRecorder struct {
+	events  *obs.EventLog
+	metrics *obs.Registry
+}
+
+// NewFlightRecorder builds a recorder whose global log retains capacity
+// events and whose SLO instruments register on metrics.
+func NewFlightRecorder(capacity int, metrics *obs.Registry) *FlightRecorder {
+	return &FlightRecorder{events: obs.NewEventLog(capacity), metrics: metrics}
+}
+
+// Log returns the global event log; nil when the recorder is disabled.
+func (f *FlightRecorder) Log() *obs.EventLog {
+	if f == nil {
+		return nil
+	}
+	return f.events
+}
+
+// Emit appends one lifecycle event to the global log and mirrors it into
+// the job's record (bounded at maxJobRecordEvents; TotalEvents counts
+// every emission). The returned sequence number totally orders the event
+// against all concurrent scheduler activity.
+func (f *FlightRecorder) Emit(j *Job, typ string, attrs map[string]any) {
+	if f == nil {
+		return
+	}
+	e := f.events.Append(typ, j.ID(), attrs)
+	j.Update(func(r *Record) {
+		r.TotalEvents++
+		if len(r.Events) >= maxJobRecordEvents {
+			r.Events = r.Events[1:]
+		}
+		r.Events = append(r.Events, e)
+	})
+}
+
+// sloBuckets are the shared latency bounds (seconds) of the SLO
+// histograms: sub-10ms dispatches up through multi-minute batch waits.
+var sloBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// observeLatency records d on a per-lane, per-tenant histogram family.
+func (f *FlightRecorder) observeLatency(base, lane, tenant string, d time.Duration) {
+	if f == nil {
+		return
+	}
+	name := fmt.Sprintf("%s{lane=%q,tenant=%q}", base, lane, tenant)
+	f.metrics.Histogram(name, sloBuckets...).Observe(d.Seconds())
+}
+
+// ObserveQueueWait records the lane time of one claim.
+func (f *FlightRecorder) ObserveQueueWait(lane, tenant string, d time.Duration) {
+	f.observeLatency("serve.queue_seconds", lane, tenant, d)
+}
+
+// ObserveRun records the wall time of one successful run.
+func (f *FlightRecorder) ObserveRun(lane, tenant string, d time.Duration) {
+	f.observeLatency("serve.run_seconds", lane, tenant, d)
+}
+
+// ObserveE2E records submit-to-success latency.
+func (f *FlightRecorder) ObserveE2E(lane, tenant string, d time.Duration) {
+	f.observeLatency("serve.e2e_seconds", lane, tenant, d)
+}
+
+// ObserveDrain records how long a preempted attempt took to reach its
+// stage commit and hand the device back after the request.
+func (f *FlightRecorder) ObserveDrain(d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.metrics.Histogram("fleet.preempt_drain_seconds", sloBuckets...).Observe(d.Seconds())
+}
+
+// CountSteal bumps the per-device-pair steal counter.
+func (f *FlightRecorder) CountSteal(src, dst int) {
+	if f == nil {
+		return
+	}
+	f.metrics.Counter(fmt.Sprintf("fleet.steals_routed{src=%q,dst=%q}",
+		fmt.Sprint(src), fmt.Sprint(dst))).Add(1)
+}

@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// tokenRun is a controllable RunFunc: each attempt of a job blocks until
+// the test sends it a token, drains with ErrPreempted when asked, and
+// unwinds on context cancellation.
+type tokenRun struct {
+	mu sync.Mutex
+	ch map[string]chan struct{}
+}
+
+func newTokenRun(ids ...string) *tokenRun {
+	m := &tokenRun{ch: make(map[string]chan struct{})}
+	for _, id := range ids {
+		m.ch[id] = make(chan struct{}, 4)
+	}
+	return m
+}
+
+func (m *tokenRun) release(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch[id] <- struct{}{}
+}
+
+func (m *tokenRun) run(ctx context.Context, j *Job) error {
+	m.mu.Lock()
+	ch := m.ch[j.ID()]
+	m.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-j.Preempted():
+		return ErrPreempted
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// eventTypes projects a job's recorded event history onto its type names.
+func eventTypes(evs []obs.LogEvent) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Type
+	}
+	return out
+}
+
+// TestFlightRecorderLifecycle drives the acceptance scenario at the
+// scheduler level: on a heterogeneous two-device fleet, a job is
+// enqueued on device 0, stolen by device 1, preempted there mid-run by
+// an interactive arrival, and resumed on device 0. Its event log must
+// reconstruct that lifecycle in order, and its flight trace must carry
+// run spans on both device tracks.
+func TestFlightRecorderLifecycle(t *testing.T) {
+	rel := newTokenRun("b0", "b1", "v", "i")
+	reg := obs.NewRegistry()
+	recorder := NewFlightRecorder(128, reg)
+	s, err := NewScheduler(SchedulerConfig{
+		Fleet:         testFleet(600, 1000),
+		QueueCap:      16,
+		MaxConcurrent: 1,
+		Run:           rel.run,
+		Obs:           obs.New(nil, nil, reg),
+		Recorder:      recorder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	// Blockers pin the fleet. b1 fills device 1 first (nothing else can
+	// host 1000 bytes), so a busy device 1 cannot steal b0, which then
+	// deterministically fills device 0.
+	b0, b1 := testJob("b0", 600), testJob("b1", 1000)
+	if err := s.Submit(b1); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, b1, StateRunning)
+	if err := s.Submit(b0); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, b0, StateRunning)
+
+	// The victim homes on device 0 (least committed load) and waits.
+	v := testJob("v", 300)
+	if err := s.Submit(v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeing device 1 makes its dispatcher steal v from device 0's lane.
+	rel.release("b1")
+	waitState(t, v, StateRunning)
+	if devs := v.Record().Devices; len(devs) != 1 || devs[0] != 1 {
+		t.Fatalf("stolen victim ran on %v, want [1]", devs)
+	}
+
+	// An interactive job that fits only device 1's capacity — and not its
+	// current free bytes — forces the victim to drain at its next commit.
+	i := testJobP("i", 800, Params{Priority: PriorityInteractive})
+	if err := s.Submit(i); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, v, StateQueued)
+	waitState(t, i, StateRunning)
+
+	// Freeing device 0 resumes the victim there: a different device than
+	// the preempted attempt.
+	rel.release("b0")
+	waitState(t, v, StateRunning)
+	if devs := v.Record().Devices; len(devs) != 1 || devs[0] != 0 {
+		t.Fatalf("resumed victim ran on %v, want [0]", devs)
+	}
+	rel.release("v")
+	waitState(t, v, StateSucceeded)
+	rel.release("i")
+	waitState(t, i, StateSucceeded)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The persisted event history replays the full lifecycle in order.
+	rec := v.Record()
+	want := []string{EventEnqueue, EventSteal, EventClaim, EventPreemptRequest,
+		EventDrain, EventRequeue, EventClaim, EventTerminal}
+	got := eventTypes(rec.Events)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("victim event history = %v, want %v", got, want)
+	}
+	if rec.TotalEvents != uint64(len(want)) {
+		t.Errorf("TotalEvents = %d, want %d", rec.TotalEvents, len(want))
+	}
+	for k := 1; k < len(rec.Events); k++ {
+		if rec.Events[k].Seq <= rec.Events[k-1].Seq {
+			t.Errorf("event %d seq %d not after %d", k, rec.Events[k].Seq, rec.Events[k-1].Seq)
+		}
+	}
+	steal := rec.Events[1]
+	if steal.Attrs["src"] != 0 || steal.Attrs["dst"] != 1 {
+		t.Errorf("steal attrs = %v, want src=0 dst=1", steal.Attrs)
+	}
+	firstClaim, secondClaim := rec.Events[2], rec.Events[6]
+	if devs := firstClaim.Attrs["devices"].([]int); len(devs) != 1 || devs[0] != 1 {
+		t.Errorf("first claim on %v, want [1]", devs)
+	}
+	if devs := secondClaim.Attrs["devices"].([]int); len(devs) != 1 || devs[0] != 0 {
+		t.Errorf("second claim on %v, want [0]", devs)
+	}
+	if rec.Events[4].Attrs["reason"] != "preempt" {
+		t.Errorf("drain reason = %v, want preempt", rec.Events[4].Attrs["reason"])
+	}
+	if rec.Events[7].Attrs["outcome"] != string(StateSucceeded) {
+		t.Errorf("terminal outcome = %v, want succeeded", rec.Events[7].Attrs["outcome"])
+	}
+
+	// The flight trace shows run attempts on BOTH device tracks plus the
+	// queued/preempted gaps on the scheduler track.
+	spans := map[string][]int64{}
+	for _, e := range v.Tracer().Events() {
+		if e.Phase == "X" {
+			spans[e.Name] = append(spans[e.Name], e.Pid)
+		}
+	}
+	if pids := spans["run attempt 1"]; len(pids) != 1 || pids[0] != flightDevicePidBase+1 {
+		t.Errorf("run attempt 1 on pids %v, want [%d]", pids, flightDevicePidBase+1)
+	}
+	if pids := spans["run attempt 2"]; len(pids) != 1 || pids[0] != flightDevicePidBase+0 {
+		t.Errorf("run attempt 2 on pids %v, want [%d]", pids, flightDevicePidBase+0)
+	}
+	if len(spans["queued"]) != 1 || len(spans["preempted gap"]) != 1 {
+		t.Errorf("scheduler-track gaps = %v, want one queued and one preempted gap", spans)
+	}
+
+	// The global audit log totally orders the victim's events against the
+	// other jobs' traffic.
+	var lastSeq uint64
+	victimEvents := 0
+	for _, e := range recorder.Log().Events() {
+		if e.Seq <= lastSeq {
+			t.Fatalf("global log seq %d not increasing after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Job == "v" {
+			victimEvents++
+		}
+	}
+	if victimEvents != len(want) {
+		t.Errorf("global log has %d victim events, want %d", victimEvents, len(want))
+	}
+
+	// SLO instruments registered and observed.
+	snap := reg.Snapshot()
+	if c := snap.Counters[`fleet.steals_routed{src="0",dst="1"}`]; c != 1 {
+		t.Errorf("fleet.steals_routed{0->1} = %d, want 1", c)
+	}
+	if h, ok := snap.Histograms["fleet.preempt_drain_seconds"]; !ok || h.Count != 1 {
+		t.Errorf("fleet.preempt_drain_seconds count = %+v, want 1 observation", h)
+	}
+	queueHist := fmt.Sprintf("serve.queue_seconds{lane=%q,tenant=%q}", PriorityBatch, "")
+	if h, ok := snap.Histograms[queueHist]; !ok || h.Count < 2 {
+		t.Errorf("%s = %+v, want >= 2 observations", queueHist, h)
+	}
+}
+
+// TestServerFlightEndpoints exercises the HTTP surface end to end with a
+// real pipeline job that gets preempted and resumed: the per-job events
+// endpoint replays the lifecycle, the trace endpoint serves valid
+// trace-event JSON holding both lifecycle and pipeline spans, /metrics
+// round-trips through the exposition parser, and every response carries
+// an X-Request-Id.
+func TestServerFlightEndpoints(t *testing.T) {
+	scfg := testServerConfig(t.TempDir())
+	scfg.MaxConcurrent = 1
+	scfg.FlightRecorderEvents = 256
+	fq, _ := testFastq(t, 5521)
+
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	scfg.StageCommitHook = func(ctx context.Context, id string, stage core.PhaseName) error {
+		if stage == core.PhaseMap && first.CompareAndSwap(true, false) {
+			close(reached)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	srv, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rec := submitJob(t, ts.URL, fq, "?lmin=31&workers=1&name=flight&tenant=lab9")
+	<-reached
+	if err := srv.Scheduler().Preempt(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	final := pollJob(t, ts.URL, rec.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+
+	// Events endpoint: lifecycle order with stage commits interleaved.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		t.Error("response missing X-Request-Id")
+	}
+	var evBody struct {
+		Job         string         `json:"job"`
+		TotalEvents uint64         `json:"totalEvents"`
+		Events      []obs.LogEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&evBody)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evBody.Job != rec.ID || len(evBody.Events) == 0 {
+		t.Fatalf("events body = %+v, want non-empty for %s", evBody, rec.ID)
+	}
+	var lifecycle []string
+	commits := 0
+	for _, e := range evBody.Events {
+		if e.Type == EventStageCommit {
+			commits++
+			continue
+		}
+		lifecycle = append(lifecycle, e.Type)
+	}
+	wantLifecycle := []string{EventEnqueue, EventClaim, EventPreemptRequest,
+		EventDrain, EventRequeue, EventClaim, EventTerminal}
+	if fmt.Sprint(lifecycle) != fmt.Sprint(wantLifecycle) {
+		t.Errorf("lifecycle events = %v, want %v", lifecycle, wantLifecycle)
+	}
+	if commits == 0 {
+		t.Error("no stage-commit events recorded")
+	}
+
+	// Trace endpoint: valid trace-event JSON with lifecycle spans on the
+	// scheduler/device tracks AND the pipeline's own spans (pid 0).
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + rec.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var trace struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBody, &trace); err != nil {
+		t.Fatalf("trace is not valid trace-event JSON: %v", err)
+	}
+	pids := map[int64]bool{}
+	for _, e := range trace.TraceEvents {
+		if e.Phase == "X" {
+			pids[e.Pid] = true
+		}
+	}
+	if !pids[flightSchedulerPid] {
+		t.Errorf("trace has no scheduler-track span (pids %v)", pids)
+	}
+	if !pids[flightDevicePidBase] {
+		t.Errorf("trace has no device-track run span (pids %v)", pids)
+	}
+	if !pids[0] {
+		t.Errorf("trace has no pipeline spans on pid 0 (pids %v)", pids)
+	}
+
+	// /metrics parses back as exposition format and carries the SLO series.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, obs.ContentTypePrometheus)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	types, samples, err := obs.ParsePrometheus(bytes.NewReader(promBody))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, promBody)
+	}
+	if types["serve_jobs_succeeded"] != "counter" {
+		t.Errorf("TYPE serve_jobs_succeeded = %q, want counter", types["serve_jobs_succeeded"])
+	}
+	if types["serve_e2e_seconds"] != "histogram" {
+		t.Errorf("TYPE serve_e2e_seconds = %q, want histogram", types["serve_e2e_seconds"])
+	}
+	foundSLO := false
+	for _, sm := range samples {
+		if sm.Name == "serve_e2e_seconds_count" && sm.Labels["tenant"] == "lab9" && sm.Value >= 1 {
+			foundSLO = true
+		}
+	}
+	if !foundSLO {
+		t.Errorf("no serve_e2e_seconds_count{tenant=\"lab9\"} sample in /metrics:\n%s", promBody)
+	}
+
+	// Global audit log with ?since= paging.
+	resp, err = http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var global struct {
+		Total  uint64         `json:"total"`
+		Events []obs.LogEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&global)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Total == 0 || len(global.Events) == 0 {
+		t.Fatalf("/debug/events empty: %+v", global)
+	}
+	mid := global.Events[len(global.Events)/2].Seq
+	resp, err = http.Get(fmt.Sprintf("%s/debug/events?since=%d", ts.URL, mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Events []obs.LogEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range page.Events {
+		if e.Seq <= mid {
+			t.Errorf("?since=%d returned seq %d", mid, e.Seq)
+		}
+	}
+
+	// /healthz gained build identity and uptime.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Version       string   `json:"version"`
+		Revision      string   `json:"revision"`
+		UptimeSeconds *float64 `json:"uptimeSeconds"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Version == "" || health.Revision == "" || health.UptimeSeconds == nil {
+		t.Errorf("healthz build fields = %+v, want version/revision/uptimeSeconds set", health)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightRecorderOffByDefault pins the disabled path: without
+// FlightRecorderEvents the job record carries no events, the trace
+// endpoint 404s, the registry grows no flight instruments — and the
+// FASTA output and modeled result are byte-for-byte the same as an
+// identical job on a recorder-enabled server.
+func TestFlightRecorderOffByDefault(t *testing.T) {
+	fq, _ := testFastq(t, 6161)
+	run := func(recorderEvents int) (Record, []byte, obs.Snapshot, *httptest.Server, *Server) {
+		scfg := testServerConfig(t.TempDir())
+		scfg.FlightRecorderEvents = recorderEvents
+		srv, err := New(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		rec := submitJob(t, ts.URL, fq, "?lmin=31&workers=1")
+		final := pollJob(t, ts.URL, rec.ID)
+		if final.State != StateSucceeded {
+			t.Fatalf("job finished %s: %s", final.State, final.Error)
+		}
+		fasta := fetchResult(t, ts.URL, final.ID)
+		return final, fasta, debugMetrics(t, ts.URL), ts, srv
+	}
+
+	offRec, offFasta, offSnap, offTS, offSrv := run(0)
+	onRec, onFasta, _, onTS, onSrv := run(256)
+	defer offTS.Close()
+	defer onTS.Close()
+
+	if len(offRec.Events) != 0 || offRec.TotalEvents != 0 {
+		t.Errorf("disabled recorder left %d events (total %d) in the record",
+			len(offRec.Events), offRec.TotalEvents)
+	}
+	if len(onRec.Events) == 0 {
+		t.Error("enabled recorder recorded no events")
+	}
+	resp, err := http.Get(offTS.URL + "/v1/jobs/" + offRec.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("trace endpoint with recorder off: status %d, want 404", resp.StatusCode)
+	}
+	for name := range offSnap.Counters {
+		if strings.Contains(name, "steals_routed") {
+			t.Errorf("disabled recorder registered counter %q", name)
+		}
+	}
+	for name := range offSnap.Histograms {
+		if strings.Contains(name, "_seconds") {
+			t.Errorf("disabled recorder registered histogram %q", name)
+		}
+	}
+
+	// The output contract: recorder on/off changes nothing the job
+	// produces.
+	if !bytes.Equal(offFasta, onFasta) {
+		t.Errorf("FASTA differs with recorder on vs off (%d vs %d bytes)",
+			len(onFasta), len(offFasta))
+	}
+	offRes, onRes := *offRec.Result, *onRec.Result
+	offRes.WallMillis, onRes.WallMillis = 0, 0
+	offRes.QueueWaitMs, onRes.QueueWaitMs = 0, 0
+	if offRes != onRes {
+		t.Errorf("modeled result differs with recorder on vs off:\noff %+v\non  %+v", offRes, onRes)
+	}
+
+	if err := offSrv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := onSrv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The admission lanes, re-exported from core for the HTTP layer.
@@ -160,6 +161,14 @@ type Record struct {
 
 	Error  string         `json:"error,omitempty"`
 	Result *ResultSummary `json:"result,omitempty"`
+
+	// Events is the job's flight-recorder history: every lifecycle event
+	// the scheduler emitted for it (enqueue, claim, steal, drain, ...),
+	// bounded at maxJobRecordEvents with the oldest evicted first.
+	// TotalEvents counts every emission, so a gap is detectable. Both stay
+	// empty while the recorder is disabled.
+	Events      []obs.LogEvent `json:"events,omitempty"`
+	TotalEvents uint64         `json:"totalEvents,omitempty"`
 }
 
 // Job is the scheduler's runtime handle on one record: the record itself
@@ -174,6 +183,17 @@ type Job struct {
 	// drain at its next stage commit; replaced with a fresh channel on
 	// every requeue so a resumed attempt starts unpreempted.
 	preemptCh chan struct{}
+	// preemptRequestedAt stamps the current attempt's drain request, for
+	// the preempt-drain latency histogram; zero when none is pending.
+	preemptRequestedAt time.Time
+	// requeueReason records why the job most recently left a device
+	// ("preempt" or "drain"), so the claim that resumes it can name the
+	// gap span it just closed. Consumed at claim time.
+	requeueReason string
+	// tracer collects the job's flight trace (lifecycle spans from the
+	// scheduler plus the run's own pipeline spans); nil unless the
+	// scheduler's flight recorder is enabled.
+	tracer *obs.Tracer
 }
 
 // NewJob wraps a record for scheduling.
@@ -200,8 +220,60 @@ func (j *Job) requestPreempt() bool {
 		return false // already requested for this attempt
 	default:
 		close(j.preemptCh)
+		j.preemptRequestedAt = time.Now()
 		return true
 	}
+}
+
+// preemptLatency returns how long ago the pending drain request was
+// delivered, or 0 when none is pending.
+func (j *Job) preemptLatency() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.preemptRequestedAt.IsZero() {
+		return 0
+	}
+	return time.Since(j.preemptRequestedAt)
+}
+
+// setRequeueReason records why the job is about to leave its devices.
+func (j *Job) setRequeueReason(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.requeueReason = reason
+}
+
+// peekRequeueReason reads the pending requeue reason without consuming.
+func (j *Job) peekRequeueReason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.requeueReason
+}
+
+// takeRequeueReason consumes the pending requeue reason: the claim that
+// resumes the job uses it once to name the gap span it closes.
+func (j *Job) takeRequeueReason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := j.requeueReason
+	j.requeueReason = ""
+	return r
+}
+
+// Tracer returns the job's flight trace collector; nil unless the
+// scheduler's flight recorder is enabled. All Tracer methods are
+// nil-safe.
+func (j *Job) Tracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
+}
+
+// ID returns the job's identifier without cloning the whole record.
+func (j *Job) ID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.ID
 }
 
 // preemptRequested reports whether the current attempt has been asked to
@@ -221,6 +293,7 @@ func (j *Job) preemptRequested() bool {
 func (j *Job) resetPreempt() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.preemptRequestedAt = time.Time{}
 	select {
 	case <-j.preemptCh:
 		j.preemptCh = make(chan struct{})
@@ -263,6 +336,7 @@ func (r Record) clone() Record {
 	c.StagesDone = append([]string(nil), r.StagesDone...)
 	c.CachedStages = append([]string(nil), r.CachedStages...)
 	c.Devices = append([]int(nil), r.Devices...)
+	c.Events = append([]obs.LogEvent(nil), r.Events...)
 	if r.StartedAt != nil {
 		t := *r.StartedAt
 		c.StartedAt = &t

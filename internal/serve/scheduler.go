@@ -69,6 +69,10 @@ type SchedulerConfig struct {
 	// Obs carries the scheduler's logger and metrics registry; nil
 	// disables both.
 	Obs *obs.Observer
+	// Recorder is the flight recorder lifecycle events, per-job trace
+	// tracks, and SLO histograms flow through; nil (the default) disables
+	// all of them.
+	Recorder *FlightRecorder
 }
 
 // Scheduler is the fleet-wide admission-controlled job runner. Each
@@ -257,6 +261,7 @@ func (s *Scheduler) Submit(j *Job) error {
 	if err := s.placeable(rec); err != nil {
 		return err
 	}
+	s.attachFlight(j)
 	s.Register(j)
 	j.Update(func(r *Record) { r.State = StateQueued })
 	if err := s.enqueue(j, false); err != nil {
@@ -273,18 +278,41 @@ func (s *Scheduler) Submit(j *Job) error {
 // queue bound — recovered jobs were admitted by a previous server
 // incarnation and must not be dropped.
 func (s *Scheduler) Recover(j *Job) {
+	s.attachFlight(j)
 	s.Register(j)
 	j.Update(func(r *Record) { r.State = StateQueued })
 	s.enqueue(j, true)
 	s.notify(j)
 }
 
+// attachFlight arms the job's flight trace when the recorder is on: a
+// fresh tracer with the scheduler and per-device lifecycle tracks named,
+// which the run later also feeds its pipeline spans into.
+func (s *Scheduler) attachFlight(j *Job) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.tracer != nil {
+		return
+	}
+	tr := obs.NewTracer()
+	tr.NameProcess(flightSchedulerPid, "scheduler")
+	for d := 0; d < s.cfg.Fleet.Size(); d++ {
+		tr.NameProcess(int64(flightDevicePidBase+d),
+			fmt.Sprintf("device%02d %s", d, s.cfg.Fleet.Device(d).Spec().Name))
+	}
+	j.tracer = tr
+}
+
 // enqueue places the job on its home device's lane: the device with the
 // smallest committed load (leased bytes plus already-queued demand) among
 // those large enough. force bypasses the queue cap (crash recovery).
 func (s *Scheduler) enqueue(j *Job, force bool) error {
-	demand := j.Record().DeviceDemandBytes
-	lane := laneIndex(j.Record().Params.Lane())
+	rec := j.Record()
+	demand := rec.DeviceDemandBytes
+	lane := laneIndex(rec.Params.Lane())
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	if !force && s.queuedTotal >= s.cfg.QueueCap {
@@ -297,6 +325,9 @@ func (s *Scheduler) enqueue(j *Job, force bool) error {
 	j.Update(func(r *Record) { r.Devices = nil })
 	s.lanes[home][lane] = append(s.lanes[home][lane], j)
 	s.queuedTotal++
+	s.cfg.Recorder.Emit(j, EventEnqueue, map[string]any{
+		"device": home, "lane": rec.Params.Lane(), "tenant": rec.Params.Tenant,
+		"demandBytes": demand})
 	s.preemptScanLocked(j)
 	s.publishQueueGaugesLocked()
 	s.qcond.Broadcast()
@@ -318,6 +349,8 @@ func (s *Scheduler) requeueFront(j *Job) {
 	j.Update(func(r *Record) { r.Devices = nil })
 	s.lanes[home][lane] = append([]*Job{j}, s.lanes[home][lane]...)
 	s.queuedTotal++
+	s.cfg.Recorder.Emit(j, EventRequeue, map[string]any{
+		"device": home, "reason": j.peekRequeueReason()})
 	s.preemptScanLocked(j)
 	s.publishQueueGaugesLocked()
 	s.qcond.Broadcast()
@@ -527,6 +560,8 @@ func (s *Scheduler) Cancel(id string) (Record, error) {
 		}
 		s.dropQueued(j)
 		s.canceledC.Add(1)
+		s.cfg.Recorder.Emit(j, EventTerminal, map[string]any{
+			"outcome": string(StateCanceled), "whileQueued": true})
 		s.notify(j)
 		return rec, nil
 	}
@@ -545,6 +580,7 @@ func (s *Scheduler) Preempt(id string) error {
 	}
 	if ref.j.requestPreempt() {
 		s.preemptionsC.Add(1)
+		s.cfg.Recorder.Emit(ref.j, EventPreemptRequest, map[string]any{"operator": true})
 	}
 	return nil
 }
@@ -613,8 +649,10 @@ type claim struct {
 	j       *Job
 	devices []int // lease targets; devices[0] is the dispatching device
 	lane    int
+	src     int // device whose lane the job came from
 	stolen  bool
 	wait    time.Duration
+	queued  time.Time // when the claimed job entered its lane
 }
 
 // dispatch is device d's scheduling loop: claim an eligible job (own
@@ -637,6 +675,8 @@ func (s *Scheduler) dispatch(d int) {
 		}
 		if c.stolen {
 			s.stealsC.Add(1)
+			s.cfg.Recorder.CountSteal(c.src, d)
+			s.cfg.Recorder.Emit(c.j, EventSteal, map[string]any{"src": c.src, "dst": d})
 		}
 		leases := make([]*gpu.Allocation, len(c.devices))
 		demand := c.j.Record().DeviceDemandBytes
@@ -661,6 +701,7 @@ func (s *Scheduler) dispatch(d int) {
 			continue
 		}
 		s.queueWaitMs.Observe(float64(c.wait.Milliseconds()))
+		s.recordClaim(c)
 		s.startJob(c, jobCtx, cancel, leases, sem)
 	}
 }
@@ -778,10 +819,11 @@ func (s *Scheduler) claimFromLocked(d, src int, stolen bool) (claim, bool) {
 			}
 			s.tenantInUse[rec.Params.Tenant] += demand * int64(shards)
 			j.mu.Lock()
-			wait := time.Since(j.enqueuedAt)
+			queued := j.enqueuedAt
 			j.mu.Unlock()
 			s.publishQueueGaugesLocked()
-			return claim{j: j, devices: devices, lane: lane, stolen: stolen, wait: wait}, true
+			return claim{j: j, devices: devices, lane: lane, src: src, stolen: stolen,
+				wait: time.Since(queued), queued: queued}, true
 		}
 	}
 	return claim{}, false
@@ -869,6 +911,8 @@ func (s *Scheduler) preemptForLocked(d int, need int64) {
 		}
 		if ref.j.requestPreempt() {
 			s.preemptionsC.Add(1)
+			s.cfg.Recorder.Emit(ref.j, EventPreemptRequest, map[string]any{
+				"device": d, "needBytes": need})
 			avail += ref.demand
 		}
 	}
@@ -894,6 +938,34 @@ func (s *Scheduler) releaseLeases(c claim, leases []*gpu.Allocation) {
 	delete(s.runningByID, c.j.Record().ID)
 	s.qcond.Broadcast()
 	s.qmu.Unlock()
+}
+
+// recordClaim emits the flight-recorder view of one successful claim: a
+// span on the job trace's scheduler track closing the lane time (named
+// for why the job was waiting), the claim (and shard-place) events, and
+// the per-lane/tenant queue-wait observation.
+func (s *Scheduler) recordClaim(c claim) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	rec := c.j.Record()
+	gap := "queued"
+	switch c.j.takeRequeueReason() {
+	case "preempt":
+		gap = "preempted gap"
+	case "drain":
+		gap = "drain gap"
+	}
+	c.j.Tracer().Complete(obs.Track{Pid: flightSchedulerPid}, "sched", gap,
+		c.queued, c.wait, map[string]any{"devices": c.devices, "stolen": c.stolen})
+	s.cfg.Recorder.Emit(c.j, EventClaim, map[string]any{
+		"devices": append([]int(nil), c.devices...), "waitMs": c.wait.Milliseconds(),
+		"lane": rec.Params.Lane(), "stolen": c.stolen, "attempt": rec.Attempts + 1})
+	if len(c.devices) > 1 {
+		s.cfg.Recorder.Emit(c.j, EventShardPlace, map[string]any{
+			"devices": append([]int(nil), c.devices...)})
+	}
+	s.cfg.Recorder.ObserveQueueWait(rec.Params.Lane(), rec.Params.Tenant, c.wait)
 }
 
 // startJob transitions the job to running and executes it on its own
@@ -951,6 +1023,17 @@ func (s *Scheduler) traceRun(j *Job, devices []int, start time.Time, wall time.D
 			map[string]any{"tenant": rec.Params.Tenant, "lane": rec.Params.Lane(),
 				"leaseBytes": rec.DeviceDemandBytes, "outcome": outcome})
 	}
+	// Mirror the attempt onto the job's own flight trace, one span per
+	// leased device track, so a migrated job shows its attempts on
+	// different device rows of a single Perfetto view.
+	if jt := j.Tracer(); jt != nil {
+		name := fmt.Sprintf("run attempt %d", rec.Attempts)
+		for _, d := range devices {
+			jt.Complete(obs.Track{Pid: int64(flightDevicePidBase + d)}, "sched", name,
+				start, wall, map[string]any{"device": d, "outcome": outcome,
+					"leaseBytes": rec.DeviceDemandBytes})
+		}
+	}
 }
 
 // finish settles a run's outcome into the job record.
@@ -958,6 +1041,7 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 	canceledByUser := j.CancelRequested()
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	now := time.Now()
+	rec := j.Record()
 	switch {
 	case err == nil:
 		j.Update(func(r *Record) {
@@ -969,6 +1053,11 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 		})
 		s.succeeded.Add(1)
 		s.recordServiceTime(runWall)
+		s.cfg.Recorder.Emit(j, EventTerminal, map[string]any{
+			"outcome": string(StateSucceeded), "attempts": rec.Attempts})
+		s.cfg.Recorder.ObserveRun(rec.Params.Lane(), rec.Params.Tenant, runWall)
+		s.cfg.Recorder.ObserveE2E(rec.Params.Lane(), rec.Params.Tenant,
+			now.Sub(rec.SubmittedAt))
 		s.notify(j)
 	case errors.Is(err, ErrPreempted) && !canceledByUser:
 		// The job drained at a stage commit to hand its leases to a
@@ -976,6 +1065,11 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 		// stages resumable. The transition notifies (and the server sweeps
 		// scratch) BEFORE the job re-enters the lanes, so no new attempt
 		// can be racing the cleanup.
+		drainLatency := j.preemptLatency()
+		s.cfg.Recorder.Emit(j, EventDrain, map[string]any{
+			"reason": "preempt", "drainMs": drainLatency.Milliseconds()})
+		s.cfg.Recorder.ObserveDrain(drainLatency)
+		j.setRequeueReason("preempt")
 		j.resetPreempt()
 		j.Update(func(r *Record) {
 			r.State = StateQueued
@@ -989,6 +1083,8 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 			r.FinishedAt = &now
 		})
 		s.canceledC.Add(1)
+		s.cfg.Recorder.Emit(j, EventTerminal, map[string]any{
+			"outcome": string(StateCanceled), "attempts": rec.Attempts})
 		s.notify(j)
 	case interrupted:
 		if s.killed.Load() {
@@ -997,6 +1093,8 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 		}
 		// Drain: the job goes back to queued on disk; the next server
 		// start resumes it through the run manifest.
+		s.cfg.Recorder.Emit(j, EventDrain, map[string]any{"reason": "shutdown"})
+		j.setRequeueReason("drain")
 		j.resetPreempt()
 		j.Update(func(r *Record) { r.State = StateQueued })
 		s.notify(j)
@@ -1007,6 +1105,8 @@ func (s *Scheduler) finish(j *Job, wait, runWall time.Duration, err error) {
 			r.Error = err.Error()
 		})
 		s.failed.Add(1)
+		s.cfg.Recorder.Emit(j, EventTerminal, map[string]any{
+			"outcome": string(StateFailed), "attempts": rec.Attempts, "error": err.Error()})
 		s.notify(j)
 	}
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +17,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dna"
@@ -66,17 +69,28 @@ type Config struct {
 	// server at a precise recovery point. For sharded jobs it fires per
 	// node-stage commit.
 	StageCommitHook func(ctx context.Context, jobID string, stage core.PhaseName) error
+	// FlightRecorderEvents enables the fleet flight recorder when
+	// positive: a bounded global log of that many scheduler lifecycle
+	// events (served at /debug/events and per job at
+	// /v1/jobs/{id}/events), a per-job flight trace merging lifecycle and
+	// pipeline spans (/v1/jobs/{id}/trace), and SLO latency histograms on
+	// the metrics registry. Zero — the library default — disables all of
+	// it; job output bytes and modeled costs are identical either way.
+	FlightRecorderEvents int
 }
 
 // Server is the multi-tenant assembly job service: HTTP API + scheduler +
 // store, sharing a fleet of bounded devices.
 type Server struct {
-	cfg   Config
-	store *Store
-	sched *Scheduler
-	fleet *gpu.Fleet
-	mux   *http.ServeMux
-	log   *slog.Logger
+	cfg     Config
+	store   *Store
+	sched   *Scheduler
+	fleet   *gpu.Fleet
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	flight  *FlightRecorder
+	started time.Time
 }
 
 // New opens the data directory, sweeps orphaned state from crashed runs,
@@ -118,10 +132,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		fleet: fleet,
-		log:   cfg.Obs.Log(),
+		cfg:     cfg,
+		store:   store,
+		fleet:   fleet,
+		log:     cfg.Obs.Log(),
+		started: time.Now(),
+	}
+	if cfg.FlightRecorderEvents > 0 {
+		s.flight = NewFlightRecorder(cfg.FlightRecorderEvents, cfg.Obs.Metrics())
 	}
 	tr := cfg.Obs.Tracer()
 	tr.NameProcess(0, "scheduler")
@@ -137,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		Run:           s.runJob,
 		OnTransition:  s.onTransition,
 		Obs:           cfg.Obs,
+		Recorder:      s.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -148,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.mux = s.buildMux()
+	s.handler = s.withRequestLog(s.mux)
 	return s, nil
 }
 
@@ -175,8 +195,12 @@ func (s *Server) recover() error {
 	return nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the API mux wrapped in the
+// request-logging middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// FlightRecorder exposes the flight recorder; nil when disabled.
+func (s *Server) FlightRecorder() *FlightRecorder { return s.flight }
 
 // Fleet exposes the device inventory (admission accounting, tests).
 func (s *Server) Fleet() *gpu.Fleet { return s.fleet }
@@ -268,7 +292,10 @@ func (s *Server) runJob(ctx context.Context, j *Job) error {
 	label := `job="` + rec.ID + `"`
 	parent.AttachChild(label, jobReg)
 	defer parent.DetachChild(label)
-	jobObs := obs.New(s.log.With("job", rec.ID), nil, jobReg)
+	// With the flight recorder on, the job's tracer (already carrying its
+	// scheduler lifecycle spans) also collects the run's pipeline spans,
+	// so /v1/jobs/{id}/trace shows both in one Perfetto view.
+	jobObs := obs.New(s.log.With("job", rec.ID), j.Tracer(), jobReg)
 
 	if rec.Params.ShardCount() > 1 {
 		return s.runShardedJob(ctx, j, reads, jobObs)
@@ -297,6 +324,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) error {
 		return err
 	}
 	p.FaultHook = func(stage core.PhaseName) error {
+		s.flight.Emit(j, EventStageCommit, map[string]any{"stage": string(stage)})
 		if err := s.checkPreempt(j); err != nil {
 			return err
 		}
@@ -386,6 +414,8 @@ func (s *Server) runShardedJob(ctx context.Context, j *Job, reads *dna.ReadSet, 
 		return err
 	}
 	cl.FaultHook = func(nodeID int, stage core.PhaseName) error {
+		s.flight.Emit(j, EventStageCommit, map[string]any{
+			"stage": string(stage), "node": nodeID})
 		if err := s.checkPreempt(j); err != nil {
 			return err
 		}
@@ -425,9 +455,50 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	return mux
+}
+
+// statusWriter remembers the status code a handler wrote, for the
+// request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// newRequestID returns a fresh random request identifier (16 hex chars).
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestLog logs one slog line per API call (method, path, status,
+// duration) and tags every response with a generated X-Request-Id so a
+// client report can be joined against the server log.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := newRequestID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("http request", "requestId", id, "method", r.Method,
+			"path", r.URL.Path, "status", sw.status,
+			"durMs", time.Since(start).Milliseconds())
+	})
 }
 
 // apiError is the JSON error envelope.
@@ -652,17 +723,105 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports liveness plus the per-device admission state:
 // every fleet card's capacity, leased bytes, queue, and running jobs,
-// alongside the fleet-wide steal/preemption counters.
+// alongside the fleet-wide steal/preemption counters, the binary's
+// build identity, and how long the server has been up.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
+	version, revision, modified := buildinfo.Info()
+	if modified {
+		revision += "-modified"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"queueDepth":  snap.QueueDepth,
-		"jobsRunning": snap.JobsRunning,
-		"fleet":       snap,
+		"status":        "ok",
+		"version":       version,
+		"revision":      revision,
+		"uptimeSeconds": math.Round(time.Since(s.started).Seconds()),
+		"queueDepth":    snap.QueueDepth,
+		"jobsRunning":   snap.JobsRunning,
+		"fleet":         snap,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Obs.Metrics().Snapshot())
+}
+
+// handlePrometheus renders the metrics registry — scheduler instruments,
+// SLO histograms, and any live jobs' child registries under their
+// job="<id>" label — in Prometheus text exposition format 0.0.4.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+	obs.WritePrometheus(w, s.cfg.Obs.Metrics().Snapshot())
+}
+
+// handleJobEvents serves a job's flight-recorder lifecycle history in
+// emission order. With the recorder disabled the list is empty.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	rec := j.Record()
+	events := rec.Events
+	if events == nil {
+		events = []obs.LogEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":         id,
+		"totalEvents": rec.TotalEvents,
+		"dropped":     rec.TotalEvents - uint64(len(events)),
+		"events":      events,
+	})
+}
+
+// handleJobTrace serves the job's flight trace as Chrome trace-event
+// JSON: scheduler lifecycle spans (queued gaps on the scheduler track,
+// run attempts on per-device tracks) merged with the run's own pipeline
+// spans. 404 while the flight recorder is disabled.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", id)
+		return
+	}
+	tr := j.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			"no flight trace for job %s: flight recorder is disabled", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteJSON(w)
+}
+
+// handleDebugEvents serves the global scheduler audit log, newest window
+// of FlightRecorderEvents entries, optionally filtered to sequence
+// numbers after ?since=N. 404 while the flight recorder is disabled.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder is disabled")
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid since %q", v)
+			return
+		}
+		since = n
+	}
+	log := s.flight.Log()
+	events := log.Since(since)
+	if events == nil {
+		events = []obs.LogEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   log.Total(),
+		"dropped": log.Dropped(),
+		"events":  events,
+	})
 }

@@ -73,6 +73,19 @@ metrics=$(curl -sf "$base/debug/metrics")
 printf '%s' "$metrics" | grep -q '"serve.jobs_admitted": *1' || { echo "metrics missing admitted=1: $metrics"; exit 1; }
 printf '%s' "$metrics" | grep -q '"serve.jobs_succeeded": *1' || { echo "metrics missing succeeded=1: $metrics"; exit 1; }
 
+echo "== prometheus exposition"
+prom=$(curl -sf "$base/metrics")
+[ -n "$prom" ] || { echo "/metrics returned an empty body"; exit 1; }
+printf '%s\n' "$prom" | grep -q '^# TYPE serve_jobs_succeeded counter$' || { echo "/metrics missing TYPE line for serve_jobs_succeeded"; exit 1; }
+printf '%s\n' "$prom" | grep -q '^serve_jobs_succeeded 1$' || { echo "/metrics missing serve_jobs_succeeded 1"; exit 1; }
+printf '%s\n' "$prom" | grep -q 'serve_e2e_seconds_bucket{.*le="+Inf"' || { echo "/metrics missing +Inf bucket for serve_e2e_seconds"; exit 1; }
+
+echo "== flight-recorder events"
+events=$(curl -sf "$base/v1/jobs/$job_id/events")
+printf '%s' "$events" | grep -q '"type": *"enqueue"' || { echo "job events missing enqueue: $events"; exit 1; }
+printf '%s' "$events" | grep -q '"type": *"terminal"' || { echo "job events missing terminal: $events"; exit 1; }
+curl -sf "$base/v1/jobs/$job_id/trace" | grep -q '"traceEvents"' || { echo "job trace is not trace-event JSON"; exit 1; }
+
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$server_pid"
 for i in $(seq 1 100); do

@@ -40,14 +40,17 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/fastq/
 	$(GO) test -run=NONE -fuzz=FuzzKVReader -fuzztime=10s ./internal/kvio/
 	$(GO) test -run=NONE -fuzz=FuzzSpmatFromEdgeRuns -fuzztime=10s ./internal/spmat/
+	$(GO) test -run=NONE -fuzz=FuzzSuccinctFromEdgeRuns -fuzztime=10s ./internal/succinct/
 
 # One benchmark per paper table/figure plus the ablations, then the job
 # service's end-to-end throughput (BENCH_serve.json: jobs/sec, queue
 # latency), the fleet scaling sweep (BENCH_fleet.json: jobs/sec and
 # p50/p99 queue latency at 1/2/4 devices, steal on/off), the
 # serial-vs-overlapped stream comparison (BENCH_streams.json: modeled and
-# wall seconds per phase), and the graph-backend comparison
-# (BENCH_graph.json: modeled seconds and edge counts per engine).
+# wall seconds per phase), the graph-backend comparison
+# (BENCH_graph.json: modeled seconds and edge counts per engine), and the
+# backend host-memory comparison (BENCH_mem.json: measured graph/host
+# peaks and modeled seconds per engine at two scales).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
@@ -58,12 +61,14 @@ bench:
 		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
 	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
+	BENCH_MEM_OUT=$(CURDIR)/BENCH_mem.json \
+		$(GO) test -run=NONE -bench=GraphBackendMemory -benchtime=1x .
 
-# Regenerate the JSON-emitting benchmarks and compare their modeled
-# metrics against the committed baselines under bench/, failing on any
-# >15% modeled-seconds regression. Wall-clock and throughput numbers are
+# Regenerate the JSON-emitting benchmarks and compare their modeled and
+# host-peak metrics against the committed baselines under bench/,
+# failing on any >15% regression. Wall-clock and throughput numbers are
 # machine-dependent and are not gated (BENCH_serve.json and
-# BENCH_fleet.json have no modeled fields, so their comparisons are
+# BENCH_fleet.json have no gated fields, so their comparisons are
 # structural no-ops by design).
 bench-gate:
 	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
@@ -74,10 +79,13 @@ bench-gate:
 		$(GO) test -run=NONE -bench=FleetThroughput -benchtime=1x ./internal/serve/
 	BENCH_GRAPH_OUT=$(CURDIR)/BENCH_graph.json \
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
+	BENCH_MEM_OUT=$(CURDIR)/BENCH_mem.json \
+		$(GO) test -run=NONE -bench=GraphBackendMemory -benchtime=1x .
 	$(GO) run ./scripts/bench_gate bench/BENCH_streams.json BENCH_streams.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_serve.json BENCH_serve.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_fleet.json BENCH_fleet.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_graph.json BENCH_graph.json
+	$(GO) run ./scripts/bench_gate bench/BENCH_mem.json BENCH_mem.json
 
 cover:
 	$(GO) test -cover ./...
@@ -107,6 +115,6 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_fleet.json BENCH_streams.json BENCH_graph.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_fleet.json BENCH_streams.json BENCH_graph.json BENCH_mem.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

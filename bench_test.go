@@ -298,6 +298,103 @@ func BenchmarkGraphBackends(b *testing.B) {
 	}
 }
 
+// memBenchRow is one (dataset, scale, backend) cell of BENCH_mem.json.
+// The modeled seconds and both host-peak fields participate in the
+// bench_gate regression check (keys containing "modeled" or "hostPeak");
+// wall seconds and edge counts are informational.
+type memBenchRow struct {
+	Dataset        string  `json:"dataset"`
+	Scale          float64 `json:"scale"`
+	Backend        string  `json:"backend"`
+	ModeledS       float64 `json:"modeledS"`
+	GraphHostPeakB int64   `json:"graphHostPeakB"`
+	HostPeakB      int64   `json:"hostPeakB"`
+	WallS          float64 `json:"wallS"`
+	AcceptedEdges  int64   `json:"acceptedEdges"`
+	ReducedEdges   int64   `json:"reducedEdges"`
+}
+
+type memBenchReport struct {
+	Rows []memBenchRow `json:"rows"`
+}
+
+// BenchmarkGraphBackendMemory compares the host-memory footprint of the
+// reduce/compress engines — greedy, the spmat edge-list/CSR backend, and
+// the succinct compressed store — on the largest profile at two scale
+// factors, reporting the graph-attributable host peak the MemTracker
+// measured alongside modeled seconds. The tentpole claim is pinned at
+// the larger scale: the succinct store's graph peak must be at least 2x
+// below the spmat edge-list path's. When BENCH_MEM_OUT names a file,
+// the comparison table is written there as JSON for the bench_gate
+// regression check and EXPERIMENTS.md.
+func BenchmarkGraphBackendMemory(b *testing.B) {
+	backends := []string{core.BackendGreedy, core.BackendSpmat, core.BackendSuccinct}
+	scales := []float64{0.05, 0.1}
+	var rep memBenchReport
+	for _, scale := range scales {
+		p := readsim.Profiles[3].Scaled(scale)
+		_, rs := p.Generate()
+		graphPeaks := map[string]int64{}
+		for _, backend := range backends {
+			backend := backend
+			b.Run(fmt.Sprintf("%s/scale=%.2f/%s", p.Name, scale, backend), func(b *testing.B) {
+				b.ReportAllocs()
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := benchConfig(b, gpu.K40, p.MinOverlap)
+					cfg.GraphBackend = backend
+					b.StartTimer()
+					var err error
+					res, err = Assemble(cfg, rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				var graphPeak, hostPeak int64
+				for _, ps := range res.Phases {
+					if ps.GraphHostPeak > graphPeak {
+						graphPeak = ps.GraphHostPeak
+					}
+					if ps.PeakHost > hostPeak {
+						hostPeak = ps.PeakHost
+					}
+				}
+				b.ReportMetric(float64(graphPeak), "graph-peak-B")
+				b.ReportMetric(res.TotalModeled.Seconds(), "modeled-s")
+				graphPeaks[backend] = graphPeak
+				rep.Rows = append(rep.Rows, memBenchRow{
+					Dataset:        p.Name,
+					Scale:          scale,
+					Backend:        backend,
+					ModeledS:       res.TotalModeled.Seconds(),
+					GraphHostPeakB: graphPeak,
+					HostPeakB:      hostPeak,
+					WallS:          res.TotalWall.Seconds(),
+					AcceptedEdges:  res.AcceptedEdges,
+					ReducedEdges:   res.ReducedEdges,
+				})
+			})
+		}
+		sp, succ := graphPeaks[core.BackendSpmat], graphPeaks[core.BackendSuccinct]
+		if scale == scales[len(scales)-1] && sp > 0 && succ > 0 && 2*succ > sp {
+			b.Fatalf("%s scale %.2f: succinct graph peak %d B is not 2x below spmat's %d B",
+				p.Name, scale, succ, sp)
+		}
+	}
+	out := os.Getenv("BENCH_MEM_OUT")
+	if out == "" || len(rep.Rows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkTable3 reproduces Table III (phase times, 64 GB + K20X).
 func BenchmarkTable3(b *testing.B) {
 	for i, p := range readsim.Profiles {

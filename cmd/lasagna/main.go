@@ -50,7 +50,7 @@ func main() {
 		dedupe     = flag.Bool("dedupe", false, "remove duplicate reads before assembly")
 		packed     = flag.Bool("packed", false, "store bulk reads 2-bit packed in host memory")
 		fullGraph  = flag.Bool("fullgraph", false, "full string graph with transitive reduction instead of greedy")
-		backend    = flag.String("graph-backend", "", "reduce/compress engine: greedy (default) or spmat (CSR sparse matrix with masked-SpGEMM transitive reduction)")
+		backend    = flag.String("graph-backend", "", "reduce/compress engine: greedy (default), spmat (CSR sparse matrix with masked-SpGEMM transitive reduction), or succinct (compressed rank/select adjacency built in one pass from sorted edge runs)")
 		bsp        = flag.Bool("parallel-traversal", false, "BSP pointer-jumping path traversal")
 		byFp       = flag.Bool("partition-by-fingerprint", false, "distributed shuffle by fingerprint range (with -nodes)")
 		workers    = flag.Int("workers", 0, "concurrent partition workers (0 = GOMAXPROCS, 1 = serial; output is identical)")

@@ -28,27 +28,52 @@ func New(n int) *Vector {
 // Len returns the number of bits.
 func (v *Vector) Len() int { return v.n }
 
-// Get reports whether bit i is set.
-func (v *Vector) Get(i uint32) bool {
-	return v.words[i>>6]&(1<<(i&63)) != 0
+// check validates a bit index against the vector length.
+func (v *Vector) check(i uint32) error {
+	if int64(i) >= int64(v.n) {
+		return fmt.Errorf("bitvec: index %d out of range [0, %d)", i, v.n)
+	}
+	return nil
+}
+
+// Get reports whether bit i is set. Out-of-range indices return a
+// descriptive error rather than panicking: the vector is load-bearing
+// under the succinct graph store, where indices come from decoded
+// (possibly corrupt) input.
+func (v *Vector) Get(i uint32) (bool, error) {
+	if err := v.check(i); err != nil {
+		return false, err
+	}
+	return v.words[i>>6]&(1<<(i&63)) != 0, nil
 }
 
 // Set sets bit i.
-func (v *Vector) Set(i uint32) {
+func (v *Vector) Set(i uint32) error {
+	if err := v.check(i); err != nil {
+		return err
+	}
 	v.words[i>>6] |= 1 << (i & 63)
+	return nil
 }
 
 // Clear clears bit i.
-func (v *Vector) Clear(i uint32) {
+func (v *Vector) Clear(i uint32) error {
+	if err := v.check(i); err != nil {
+		return err
+	}
 	v.words[i>>6] &^= 1 << (i & 63)
+	return nil
 }
 
 // TestAndSet sets bit i and reports whether it was already set.
-func (v *Vector) TestAndSet(i uint32) bool {
+func (v *Vector) TestAndSet(i uint32) (bool, error) {
+	if err := v.check(i); err != nil {
+		return false, err
+	}
 	w, m := i>>6, uint64(1)<<(i&63)
 	old := v.words[w]&m != 0
 	v.words[w] |= m
-	return old
+	return old, nil
 }
 
 // PopCount returns the number of set bits.

@@ -3,9 +3,26 @@ package bitvec
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
+
+func mustGet(t *testing.T, v *Vector, i uint32) bool {
+	t.Helper()
+	got, err := v.Get(i)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", i, err)
+	}
+	return got
+}
+
+func mustSet(t *testing.T, v *Vector, i uint32) {
+	t.Helper()
+	if err := v.Set(i); err != nil {
+		t.Fatalf("Set(%d): %v", i, err)
+	}
+}
 
 func TestSetGetClear(t *testing.T) {
 	v := New(200)
@@ -13,29 +30,72 @@ func TestSetGetClear(t *testing.T) {
 		t.Fatalf("Len = %d", v.Len())
 	}
 	for _, i := range []uint32{0, 1, 63, 64, 65, 127, 128, 199} {
-		if v.Get(i) {
+		if mustGet(t, v, i) {
 			t.Fatalf("bit %d should start clear", i)
 		}
-		v.Set(i)
-		if !v.Get(i) {
+		mustSet(t, v, i)
+		if !mustGet(t, v, i) {
 			t.Fatalf("bit %d should be set", i)
 		}
-		v.Clear(i)
-		if v.Get(i) {
+		if err := v.Clear(i); err != nil {
+			t.Fatalf("Clear(%d): %v", i, err)
+		}
+		if mustGet(t, v, i) {
 			t.Fatalf("bit %d should be clear again", i)
 		}
 	}
 }
 
+func TestOutOfRangeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		idx  uint32
+		ok   bool
+	}{
+		{"empty_zero", 0, 0, false},
+		{"first", 200, 0, true},
+		{"last", 200, 199, true},
+		{"one_past_end", 200, 200, false},
+		{"word_boundary_in", 64, 63, true},
+		{"word_boundary_out", 64, 64, false},
+		{"far_out", 64, 1 << 30, false},
+		{"max_uint32", 64, ^uint32(0), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := New(tc.n)
+			_, getErr := v.Get(tc.idx)
+			setErr := v.Set(tc.idx)
+			clearErr := v.Clear(tc.idx)
+			_, tasErr := v.TestAndSet(tc.idx)
+			for op, err := range map[string]error{
+				"Get": getErr, "Set": setErr, "Clear": clearErr, "TestAndSet": tasErr,
+			} {
+				if tc.ok && err != nil {
+					t.Errorf("%s(%d) on %d bits: unexpected error %v", op, tc.idx, tc.n, err)
+				}
+				if !tc.ok {
+					if err == nil {
+						t.Errorf("%s(%d) on %d bits: want out-of-range error", op, tc.idx, tc.n)
+					} else if !strings.Contains(err.Error(), "out of range") {
+						t.Errorf("%s(%d): error %q not descriptive", op, tc.idx, err)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestTestAndSet(t *testing.T) {
 	v := New(100)
-	if v.TestAndSet(42) {
-		t.Error("first TestAndSet should report clear")
+	if old, err := v.TestAndSet(42); err != nil || old {
+		t.Errorf("first TestAndSet = (%v, %v), want (false, nil)", old, err)
 	}
-	if !v.TestAndSet(42) {
-		t.Error("second TestAndSet should report set")
+	if old, err := v.TestAndSet(42); err != nil || !old {
+		t.Errorf("second TestAndSet = (%v, %v), want (true, nil)", old, err)
 	}
-	if !v.Get(42) {
+	if !mustGet(t, v, 42) {
 		t.Error("bit should be set after TestAndSet")
 	}
 }
@@ -47,7 +107,7 @@ func TestPopCountAndReset(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		b := uint32(rng.Intn(500))
 		want[b] = true
-		v.Set(b)
+		mustSet(t, v, b)
 	}
 	if v.PopCount() != len(want) {
 		t.Errorf("PopCount = %d, want %d", v.PopCount(), len(want))
@@ -60,13 +120,13 @@ func TestPopCountAndReset(t *testing.T) {
 
 func TestCloneIndependent(t *testing.T) {
 	v := New(64)
-	v.Set(3)
+	mustSet(t, v, 3)
 	c := v.Clone()
-	c.Set(7)
-	if v.Get(7) {
+	mustSet(t, c, 7)
+	if mustGet(t, v, 7) {
 		t.Error("Clone shares storage")
 	}
-	if !c.Get(3) {
+	if !mustGet(t, c, 3) {
 		t.Error("Clone lost bits")
 	}
 }
@@ -76,7 +136,9 @@ func TestSerializationRoundTrip(t *testing.T) {
 		n := int(n16)%3000 + 1
 		v := New(n)
 		for _, b := range bits {
-			v.Set(uint32(int(b) % n))
+			if err := v.Set(uint32(int(b) % n)); err != nil {
+				return false
+			}
 		}
 		var buf bytes.Buffer
 		if _, err := v.WriteTo(&buf); err != nil {
@@ -90,7 +152,9 @@ func TestSerializationRoundTrip(t *testing.T) {
 			return false
 		}
 		for i := 0; i < n; i++ {
-			if got.Get(uint32(i)) != v.Get(uint32(i)) {
+			a, errA := got.Get(uint32(i))
+			b, errB := v.Get(uint32(i))
+			if errA != nil || errB != nil || a != b {
 				return false
 			}
 		}
@@ -103,7 +167,7 @@ func TestSerializationRoundTrip(t *testing.T) {
 
 func TestReadFromTruncated(t *testing.T) {
 	v := New(128)
-	v.Set(100)
+	mustSet(t, v, 100)
 	var buf bytes.Buffer
 	if _, err := v.WriteTo(&buf); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,179 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveRank counts set bits in [0, i) by scanning.
+func naiveRank(v *Vector, i int) int {
+	count := 0
+	for p := 0; p < i; p++ {
+		set, err := v.Get(uint32(p))
+		if err != nil {
+			panic(err)
+		}
+		if set {
+			count++
+		}
+	}
+	return count
+}
+
+// naiveSelect finds the position of the k-th set bit by scanning.
+func naiveSelect(v *Vector, k int) int {
+	seen := 0
+	for p := 0; p < v.Len(); p++ {
+		set, _ := v.Get(uint32(p))
+		if set {
+			if seen == k {
+				return p
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+// TestRankSelectMatchesNaiveScan is the property test pinning the rank9
+// directory against a straightforward bit-scan on random vectors of
+// varied lengths and densities.
+func TestRankSelectMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lengths := []int{0, 1, 63, 64, 65, 511, 512, 513, 1000, 4096, 10000}
+	densities := []float64{0, 0.01, 0.3, 0.7, 1}
+	for _, n := range lengths {
+		for _, d := range densities {
+			v := New(n)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < d {
+					mustSet(t, v, uint32(i))
+				}
+			}
+			r := NewRankIndex(v)
+			if r.Ones() != v.PopCount() {
+				t.Fatalf("n=%d d=%g: Ones = %d, want %d", n, d, r.Ones(), v.PopCount())
+			}
+			// Rank at every position (plus the end).
+			for i := 0; i <= n; i++ {
+				got, err := r.Rank1(i)
+				if err != nil {
+					t.Fatalf("n=%d d=%g: Rank1(%d): %v", n, d, i, err)
+				}
+				if want := naiveRank(v, i); got != want {
+					t.Fatalf("n=%d d=%g: Rank1(%d) = %d, want %d", n, d, i, got, want)
+				}
+			}
+			// Select for every set bit.
+			for k := 0; k < r.Ones(); k++ {
+				got, err := r.Select1(k)
+				if err != nil {
+					t.Fatalf("n=%d d=%g: Select1(%d): %v", n, d, k, err)
+				}
+				if want := naiveSelect(v, k); got != want {
+					t.Fatalf("n=%d d=%g: Select1(%d) = %d, want %d", n, d, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRankSelectBounds(t *testing.T) {
+	v := New(100)
+	mustSet(t, v, 10)
+	r := NewRankIndex(v)
+	if _, err := r.Rank1(-1); err == nil {
+		t.Error("Rank1(-1) should error")
+	}
+	if _, err := r.Rank1(101); err == nil {
+		t.Error("Rank1(len+1) should error")
+	}
+	if _, err := r.Select1(-1); err == nil {
+		t.Error("Select1(-1) should error")
+	}
+	if _, err := r.Select1(1); err == nil {
+		t.Error("Select1(ones) should error")
+	}
+}
+
+func TestEliasFanoRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(2000)
+		universe := uint64(rng.Intn(1 << 20))
+		vals := make([]uint64, n)
+		var cur uint64
+		for i := range vals {
+			if universe > 0 {
+				cur += uint64(rng.Int63n(int64(universe)/int64(n+1) + 2))
+			}
+			if cur > universe {
+				cur = universe
+			}
+			vals[i] = cur
+		}
+		b, err := NewEliasFanoBuilder(n, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if err := b.Append(v); err != nil {
+				t.Fatalf("Append(%d): %v", v, err)
+			}
+		}
+		ef, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ef.Len() != n {
+			t.Fatalf("Len = %d, want %d", ef.Len(), n)
+		}
+		for i, want := range vals {
+			got, err := ef.Get(i)
+			if err != nil {
+				t.Fatalf("Get(%d): %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: Get(%d) = %d, want %d", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEliasFanoErrors(t *testing.T) {
+	if _, err := NewEliasFanoBuilder(-1, 10); err == nil {
+		t.Error("negative length should error")
+	}
+	b, err := NewEliasFanoBuilder(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(101); err == nil {
+		t.Error("value above universe should error")
+	}
+	if err := b.Append(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(49); err == nil {
+		t.Error("non-monotone append should error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("short build should error")
+	}
+	if err := b.Append(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(60); err == nil {
+		t.Error("append past declared length should error")
+	}
+	ef, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ef.Get(2); err == nil {
+		t.Error("Get past end should error")
+	}
+	if _, err := ef.Get(-1); err == nil {
+		t.Error("Get(-1) should error")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/sgraph"
 	"repro/internal/spmat"
 	"repro/internal/stats"
+	"repro/internal/succinct"
 )
 
 // Config parameterizes a cluster run. Block sizes have the same meaning
@@ -96,9 +97,12 @@ type Config struct {
 	// builds the CSR string graph there (the spmat Builder is
 	// order-independent, so the cluster's arrival order cannot change the
 	// matrix), and removes transitive edges with the masked SpGEMM pass on
-	// the master's device. Contig output is byte-identical to a
-	// single-node run under the same backend. Output-relevant: part of
-	// the per-node manifest fingerprints.
+	// the master's device. core.BackendSuccinct also serializes through
+	// the master but spills candidates to disk and streams the sorted
+	// runs into the compressed store, so the master's host peak stays at
+	// the compressed size instead of the CSR size. Contig output is
+	// byte-identical to a single-node run under the same backend.
+	// Output-relevant: part of the per-node manifest fingerprints.
 	GraphBackend string
 	// TransitiveFuzz is the overhang slack for the spmat transitive
 	// reduction, mirroring core.Config.TransitiveFuzz.
@@ -220,6 +224,9 @@ type Cluster struct {
 	// and compress phases when the spmat backend is selected; reset at the
 	// start of every reduce.
 	spmatRed *spmat.Reduction
+	// succRed is the succinct backend's analogue: the masked reduction
+	// over the master's compressed store.
+	succRed *succinct.Reduction
 
 	// FaultHook, when set, fires after a node commits a stage to its
 	// manifest, mirroring core.Pipeline.FaultHook. Returning an error
@@ -953,6 +960,8 @@ func (c *Cluster) reducePhase(ctx context.Context, rs *dna.ReadSet, res *Result)
 	var trTime time.Duration
 	if c.cfg.backend() == core.BackendSpmat {
 		trTime, serialErr = c.reduceSpmatOnMaster(ctx, rs, maxLen, candidates, res)
+	} else if c.cfg.backend() == core.BackendSuccinct {
+		trTime, serialErr = c.reduceSuccinctOnMaster(ctx, rs, maxLen, candidates, res)
 	} else {
 		token := bitvec.New(2 * rs.NumReads())
 		graphs := make(map[int]*graph.Graph, len(c.nodes))
@@ -1072,6 +1081,132 @@ func (c *Cluster) reduceSpmatOnMaster(ctx context.Context, rs *dna.ReadSet, maxL
 	return trTime, nil
 }
 
+// reduceSuccinctOnMaster is the succinct backend's serialized component:
+// candidate lists ship to the master (same network model as spmat), but
+// instead of assembling a CSR matrix in memory, the master spills the
+// directed edges (with complements) to a scratch kv file, external-sorts
+// them on its device, and streams the final merge straight into the
+// compressed builder — the full edge list never materializes in the
+// master's host memory. The masked reduction then runs spmat's exact
+// predicate over the compressed store, so cluster output remains
+// byte-identical to a single-node succinct (and spmat) run.
+func (c *Cluster) reduceSuccinctOnMaster(ctx context.Context, rs *dna.ReadSet, maxLen int,
+	candidates map[int][][]cand, res *Result) (time.Duration, error) {
+	master := c.nodes[0]
+	meterBefore := master.meter.Snapshot()
+	savedBefore := master.ledger.SavedSeconds()
+
+	tmpDir := filepath.Join(master.dir, "sort_succinct")
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmpDir)
+	spillPath := filepath.Join(tmpDir, "cand.kv")
+	w, err := kvio.NewWriter(spillPath, master.meter)
+	if err != nil {
+		return 0, err
+	}
+	writeEdge := func(u, v uint32, l uint16) error {
+		return w.Write(kv.Pair{Key: kv.Key{Hi: uint64(u)<<32 | uint64(v), Lo: uint64(l)}})
+	}
+	var wErr error
+	for l := maxLen - 1; l >= c.cfg.MinOverlap; l-- {
+		slots := candidates[l]
+		if slots == nil {
+			continue
+		}
+		for nodeID, list := range slots {
+			if len(list) == 0 {
+				continue
+			}
+			if nodeID != master.id {
+				// Candidate lists travel to the master: ~6 bytes per edge
+				// (4-byte vertex + overlap length, Section III-C's sizing).
+				c.serial.AddNet(int64(len(list)) * 6)
+			}
+			for _, cd := range list {
+				// The serialized host cost here is the spill append — one
+				// sequential cache line per candidate, not spmat's four
+				// random ones.
+				c.serial.AddHostMem(64)
+				if cd.u == cd.v || cd.u == dna.ComplementVertex(cd.v) {
+					continue
+				}
+				if wErr == nil {
+					wErr = writeEdge(cd.u, cd.v, uint16(l))
+				}
+				if wErr == nil {
+					wErr = writeEdge(dna.ComplementVertex(cd.v), dna.ComplementVertex(cd.u), uint16(l))
+				}
+			}
+		}
+		delete(candidates, l)
+	}
+	if cerr := w.Close(); wErr == nil {
+		wErr = cerr
+	}
+	if wErr != nil {
+		return 0, wErr
+	}
+
+	b, err := succinct.NewBuilder(2*rs.NumReads(), &master.hostMem)
+	if err != nil {
+		return 0, err
+	}
+	_, err = extsort.SortStream(ctx, extsort.Config{
+		Device:           master.dev,
+		Meter:            master.meter,
+		HostMem:          &master.hostMem,
+		HostBlockPairs:   c.cfg.HostBlockPairs,
+		DeviceBlockPairs: c.cfg.DeviceBlockPairs,
+		TempDir:          tmpDir,
+		Obs:              c.cfg.Obs,
+		Overlap:          master.ledger,
+	}, spillPath, func(batch []kv.Pair) error {
+		for _, pr := range batch {
+			e := succinct.Edge{U: uint32(pr.Key.Hi >> 32), V: uint32(pr.Key.Hi), Len: uint16(pr.Key.Lo)}
+			if err := b.Push(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Abandon()
+		return 0, err
+	}
+	g, err := b.Finish()
+	if err != nil {
+		b.Abandon()
+		return 0, err
+	}
+	// The compressed store stays charged until compress consumes it.
+	red, err := g.TransitiveReduce(ctx, succinct.ReduceConfig{
+		Device:           master.dev,
+		VertexLen:        rs.VertexLen,
+		Fuzz:             c.cfg.TransitiveFuzz,
+		MaxResidentBytes: 4 * int64(c.cfg.DeviceBlockPairs) * kv.PairBytes,
+		Overlap:          master.ledger,
+	})
+	if err != nil {
+		master.hostMem.Release(g.HostBytes())
+		return 0, err
+	}
+	trTime := master.meter.Snapshot().Sub(meterBefore).Time(c.cfg.profile()) -
+		time.Duration((master.ledger.SavedSeconds()-savedBefore)*float64(time.Second))
+	if trTime < 0 {
+		trTime = 0
+	}
+	c.succRed = red
+	res.ReducedEdges = red.Removed
+	res.AcceptedEdges = g.NNZ() - red.Removed
+	mtr := c.cfg.Obs.Metrics()
+	mtr.Counter(`graph.nnz{backend="succinct"}`).Add(g.NNZ())
+	mtr.Counter(`graph.removed_edges{backend="succinct"}`).Add(red.Removed)
+	mtr.Counter(`graph.spgemm_flops{backend="succinct"}`).Add(red.Flops)
+	return trTime, nil
+}
+
 // compressOnMaster merges the disjoint per-node edge sets and generates
 // contigs on node 0. Under the spmat backend the live (post-reduction)
 // matrix entries replace the per-node greedy edge sets, and contigs are
@@ -1086,6 +1221,14 @@ func (c *Cluster) compressOnMaster(rs *dna.ReadSet, res *Result) error {
 			fg.InstallEdge(e.U, e.V, e.Len)
 		})
 		paths = fg.Unitigs(rs.VertexLen, c.cfg.IncludeSingletons)
+	} else if c.cfg.backend() == core.BackendSuccinct {
+		// Unitigs spell directly off the masked compressed store — the
+		// live view iterates surviving edges in the same ascending order a
+		// rebuilt graph would, so the FASTA bytes match the single-node
+		// succinct (and spmat) output exactly.
+		paths = sgraph.UnitigsOf(c.succRed.LiveView(), rs.VertexLen, c.cfg.IncludeSingletons)
+		master.hostMem.Release(c.succRed.Graph().HostBytes())
+		c.succRed = nil
 	} else {
 		final := graph.New(rs.NumReads())
 		for _, n := range c.nodes {

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDistributedSuccinctMatchesSingleNode pins the succinct backend's
+// cluster/single-node parity: the master spills candidates, sorts, and
+// streams them into the compressed store, whose contents depend only on
+// the edge set — so the distributed run must produce byte-identical
+// contig FASTA to a single-node succinct run (and, transitively, to
+// spmat) at every node count.
+func TestDistributedSuccinctMatchesSingleNode(t *testing.T) {
+	_, reads := testData(t)
+	scfg := singleConfig(t)
+	scfg.GraphBackend = core.BackendSuccinct
+	single, err := core.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfasta, err := os.ReadFile(sres.ContigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spcfg := singleConfig(t)
+	spcfg.GraphBackend = core.BackendSpmat
+	spp, err := core.New(spcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spres, err := spp.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spfasta, err := os.ReadFile(spres.ContigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sfasta) != string(spfasta) {
+		t.Fatal("single-node succinct FASTA differs from single-node spmat FASTA")
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		cfg := clusterConfig(t, nodes)
+		cfg.GraphBackend = core.BackendSuccinct
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := cl.Assemble(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.AcceptedEdges != sres.AcceptedEdges || dres.ReducedEdges != sres.ReducedEdges {
+			t.Errorf("nodes=%d: accepted/reduced = %d/%d, single-node %d/%d",
+				nodes, dres.AcceptedEdges, dres.ReducedEdges,
+				sres.AcceptedEdges, sres.ReducedEdges)
+		}
+		dfasta, err := os.ReadFile(dres.ContigPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(dfasta) != string(sfasta) {
+			t.Fatalf("nodes=%d: cluster succinct FASTA differs from single-node succinct FASTA", nodes)
+		}
+	}
+}
+
+// TestClusterSuccinctFingerprint keeps per-node manifests from resuming
+// across a switch to (or from) the succinct engine.
+func TestClusterSuccinctFingerprint(t *testing.T) {
+	base := clusterConfig(t, 2)
+	succ := base
+	succ.GraphBackend = core.BackendSuccinct
+	if base.fingerprint(0) == succ.fingerprint(0) {
+		t.Error("succinct backend must change the node fingerprint")
+	}
+	sp := base
+	sp.GraphBackend = core.BackendSpmat
+	if sp.fingerprint(0) == succ.fingerprint(0) {
+		t.Error("spmat and succinct must fingerprint differently")
+	}
+}

@@ -106,6 +106,8 @@ func runBackendShape(t *testing.T, shape backendShape, engine string) (*Result, 
 		cfg.FullGraph = true
 	case "spmat":
 		cfg.GraphBackend = BackendSpmat
+	case "succinct":
+		cfg.GraphBackend = BackendSuccinct
 	default:
 		t.Fatalf("unknown engine %q", engine)
 	}
@@ -135,6 +137,19 @@ func TestBackendDifferential(t *testing.T) {
 			greedy, greedyFasta := runBackendShape(t, shape, "greedy")
 			full, fullFasta := runBackendShape(t, shape, "full")
 			sp, spFasta := runBackendShape(t, shape, "spmat")
+			succ, succFasta := runBackendShape(t, shape, "succinct")
+
+			// The succinct backend runs spmat's exact reduction predicate
+			// over the compressed store, so its counters and contigs must
+			// match spmat bit for bit — which transitively pins it against
+			// greedy (or the committed golden) below.
+			if succ.AcceptedEdges != sp.AcceptedEdges || succ.ReducedEdges != sp.ReducedEdges {
+				t.Errorf("succinct edges %d+%d differ from spmat %d+%d",
+					succ.AcceptedEdges, succ.ReducedEdges, sp.AcceptedEdges, sp.ReducedEdges)
+			}
+			if !bytes.Equal(succFasta, spFasta) {
+				t.Errorf("succinct FASTA differs from spmat FASTA")
+			}
 
 			// The masked SpGEMM removes a superset of the Myers sweep's
 			// transitive edges — never fewer.

@@ -85,8 +85,13 @@ type Config struct {
 	// superset of the Myers sweep's transitive edges while preserving
 	// reachability; contigs are spelled from the same unitig rule as
 	// FullGraph (see DESIGN.md, "Sparse-matrix graph backend").
-	// Output-relevant: part of the resume fingerprint. Mutually exclusive
-	// with FullGraph.
+	// BackendSuccinct runs the same reduction predicate over a
+	// delta-compressed adjacency store built streaming off the sorted
+	// candidate runs, trading decode work for a host peak several times
+	// below the CSR and edge-list layouts (see DESIGN.md, "Succinct
+	// overlap-graph store"). spmat and succinct produce byte-identical
+	// contigs. Output-relevant: part of the resume fingerprint. spmat and
+	// succinct are mutually exclusive with FullGraph.
 	GraphBackend string
 	// ParallelTraversal extracts paths with the BSP pointer-jumping
 	// traversal (the paper's future-work parallel graph processing)
@@ -156,10 +161,17 @@ const (
 	// BackendSpmat is the sparse-matrix engine: CSR adjacency, masked
 	// SpGEMM transitive reduction, unitig compression.
 	BackendSpmat = "spmat"
+	// BackendSuccinct is the compressed-store engine: the string graph's
+	// adjacency held as delta-compressed byte streams indexed by
+	// Elias–Fano offsets, constructed in a single streaming pass off the
+	// sorted candidate runs (the full edge list never materializes in
+	// host memory), with the same masked transitive-reduction predicate
+	// as spmat and the same unitig compression (see internal/succinct).
+	BackendSuccinct = "succinct"
 )
 
 // Backends lists the valid GraphBackend values, for CLI/API validation.
-var Backends = []string{BackendGreedy, BackendSpmat}
+var Backends = []string{BackendGreedy, BackendSpmat, BackendSuccinct}
 
 // The Config.Priority admission lanes, in descending scheduling priority.
 const (
@@ -237,14 +249,14 @@ func (c Config) Validate() error {
 	}
 	switch c.GraphBackend {
 	case "", BackendGreedy:
-	case BackendSpmat:
+	case BackendSpmat, BackendSuccinct:
 		if c.FullGraph {
 			return fmt.Errorf("core: GraphBackend %q and FullGraph are mutually exclusive graph engines",
-				BackendSpmat)
+				c.GraphBackend)
 		}
 	default:
-		return fmt.Errorf("core: unknown GraphBackend %q (want %q or %q)",
-			c.GraphBackend, BackendGreedy, BackendSpmat)
+		return fmt.Errorf("core: unknown GraphBackend %q (want %q, %q, or %q)",
+			c.GraphBackend, BackendGreedy, BackendSpmat, BackendSuccinct)
 	}
 	return nil
 }

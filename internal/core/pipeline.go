@@ -27,6 +27,7 @@ import (
 	"repro/internal/sgraph"
 	"repro/internal/spmat"
 	"repro/internal/stats"
+	"repro/internal/succinct"
 )
 
 // Pipeline is a single-node assembler instance.
@@ -35,6 +36,15 @@ type Pipeline struct {
 	dev     *gpu.Device
 	meter   *costmodel.Meter
 	hostMem stats.MemTracker
+	// graphMem tracks the host bytes attributable to the graph
+	// representation itself (builders plus sealed adjacency structures).
+	// Every graph charge also lands in hostMem; this tracker is the
+	// backend-comparable subset reported as PhaseStats.GraphHostPeak and
+	// the graph.host_peak_bytes gauge.
+	graphMem stats.MemTracker
+	// graphPeakSeen is the run-level high water of per-phase graph peaks,
+	// published to the gauge (graphMem's own peak resets per phase).
+	graphPeakSeen int64
 	// ledger accumulates modeled overlap savings from the streamed sort
 	// and reduce paths; nil when Config.Streams is off (every streamed
 	// call site degrades to the serial path on a nil ledger).
@@ -133,11 +143,36 @@ func (p *Pipeline) Meter() *costmodel.Meter { return p.meter }
 // HostMem exposes the host-memory tracker.
 func (p *Pipeline) HostMem() *stats.MemTracker { return &p.hostMem }
 
+// GraphMem exposes the graph-representation host tracker (for tests and
+// diagnostics).
+func (p *Pipeline) GraphMem() *stats.MemTracker { return &p.graphMem }
+
+// trackGraph charges n bytes of graph-representation memory to both the
+// host pool and the graph-attributable tracker; the returned func
+// releases both.
+func (p *Pipeline) trackGraph(n int64) func() {
+	p.hostMem.Add(n)
+	p.graphMem.Add(n)
+	return func() {
+		p.hostMem.Release(n)
+		p.graphMem.Release(n)
+	}
+}
+
+// graphSink adapts the pipeline's trackers to succinct.MemSink: the
+// succinct builder meters its own host bytes as they grow, and they
+// count against the host pool and the graph tracker alike.
+type graphSink struct{ p *Pipeline }
+
+func (s graphSink) Add(n int64)     { s.p.hostMem.Add(n); s.p.graphMem.Add(n) }
+func (s graphSink) Release(n int64) { s.p.hostMem.Release(n); s.p.graphMem.Release(n) }
+
 // runPhase measures fn as one pipeline phase. Stage spans run serially on
 // the driver lane, so their counter deltas sum exactly to the run's final
 // meter snapshot — the invariant the trace integration test asserts.
 func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error {
 	p.hostMem.ResetPeak()
+	p.graphMem.ResetPeak()
 	p.dev.MemTracker().ResetPeak()
 	p.progress(string(name), ProgressStart)
 	p.cfg.Obs.Log().Debug("stage start", "stage", string(name))
@@ -162,17 +197,25 @@ func (p *Pipeline) runPhase(name PhaseName, res *Result, fn func() error) error 
 		modeled = 0
 	}
 	ps := stats.PhaseStats{
-		Name:         string(name),
-		Wall:         timer.Elapsed(),
-		Modeled:      modeled,
-		PeakHost:     p.hostMem.Peak(),
-		PeakDevice:   p.dev.MemTracker().Peak(),
-		DiskRead:     delta.DiskReadBytes,
-		DiskWrite:    delta.DiskWriteBytes,
-		NetBytes:     delta.NetBytes,
-		PCIeBytes:    delta.PCIeBytes,
-		DeviceOps:    delta.DeviceOps,
-		OverlapSaved: saved,
+		Name:          string(name),
+		Wall:          timer.Elapsed(),
+		Modeled:       modeled,
+		PeakHost:      p.hostMem.Peak(),
+		PeakDevice:    p.dev.MemTracker().Peak(),
+		DiskRead:      delta.DiskReadBytes,
+		DiskWrite:     delta.DiskWriteBytes,
+		NetBytes:      delta.NetBytes,
+		PCIeBytes:     delta.PCIeBytes,
+		DeviceOps:     delta.DeviceOps,
+		GraphHostPeak: p.graphMem.Peak(),
+		OverlapSaved:  saved,
+	}
+	if ps.GraphHostPeak > p.graphPeakSeen {
+		p.graphPeakSeen = ps.GraphHostPeak
+	}
+	if name == PhaseReduce || name == PhaseCompress {
+		p.cfg.Obs.Metrics().Gauge(fmt.Sprintf("graph.host_peak_bytes{backend=%q}",
+			p.cfg.backend())).Set(p.graphPeakSeen)
 	}
 	res.Phases = append(res.Phases, ps)
 	res.TotalWall += ps.Wall
@@ -619,8 +662,11 @@ func (p *Pipeline) sortPhase(ctx context.Context, partDir string, counts map[int
 // string graph and transitive edges are removed before persisting.
 func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir string,
 	counts map[int]int64, edgePath string, res *Result) error {
-	if p.cfg.backend() == BackendSpmat {
+	switch p.cfg.backend() {
+	case BackendSpmat:
 		return p.reduceSpmat(ctx, rs, partDir, counts, edgePath, res)
+	case BackendSuccinct:
+		return p.reduceSuccinct(ctx, rs, partDir, counts, edgePath, res)
 	}
 	if p.cfg.FullGraph {
 		fg := sgraph.New(rs.NumReads())
@@ -630,8 +676,7 @@ func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir s
 		if err != nil {
 			return err
 		}
-		p.hostMem.Add(fg.ApproxBytes())
-		defer p.hostMem.Release(fg.ApproxBytes())
+		defer p.trackGraph(fg.ApproxBytes())()
 		res.ReducedEdges = fg.TransitiveReduce(rs.VertexLen, p.cfg.TransitiveFuzz)
 		res.AcceptedEdges = fg.NumEdges(false)
 		mtr := p.cfg.Obs.Metrics()
@@ -653,8 +698,7 @@ func (p *Pipeline) reducePhase(ctx context.Context, rs dna.ReadSource, partDir s
 	// Descending length order makes the greedy graph keep the longest
 	// overlap per read (Section III-C).
 	g := graph.New(rs.NumReads())
-	p.hostMem.Add(g.ApproxBytes())
-	defer p.hostMem.Release(g.ApproxBytes())
+	defer p.trackGraph(g.ApproxBytes())()
 	err := p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
 		g.AddCandidate(u, v, l)
 	})
@@ -689,11 +733,11 @@ func (p *Pipeline) reduceSpmat(ctx context.Context, rs dna.ReadSource, partDir s
 	if err != nil {
 		return err
 	}
-	p.hostMem.Add(b.ApproxBytes())
+	releaseB := p.trackGraph(b.ApproxBytes())
 	m := b.Build()
-	p.hostMem.Release(b.ApproxBytes())
-	p.hostMem.Add(m.ApproxBytes())
-	defer p.hostMem.Release(m.ApproxBytes())
+	releaseM := p.trackGraph(m.ApproxBytes())
+	releaseB()
+	defer releaseM()
 	red, err := m.TransitiveReduce(ctx, spmat.ReduceConfig{
 		Device:    p.dev,
 		VertexLen: rs.VertexLen,
@@ -712,6 +756,117 @@ func (p *Pipeline) reduceSpmat(ctx context.Context, rs dna.ReadSource, partDir s
 	mtr.Counter(`graph.nnz{backend="spmat"}`).Add(m.NNZ())
 	mtr.Counter(`graph.removed_edges{backend="spmat"}`).Add(red.Removed)
 	mtr.Counter(`graph.spgemm_flops{backend="spmat"}`).Add(red.Flops)
+	next := red.LiveEdges()
+	_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
+		e, ok := next()
+		return persistedEdge{U: e.U, V: e.V, Len: e.Len}, ok
+	})
+	return err
+}
+
+// reduceSuccinct is the compressed-store reduce: verified candidates
+// (and their complements) spill to a scratch kv file as they stream out
+// of the overlap reducer, the external sorter orders them by (U, V), and
+// the succinct builder consumes the final merge output directly — the
+// full edge list never materializes in host memory, on disk or off the
+// sort it exists only as sorted runs. A masked pass over the compressed
+// store then removes transitive edges with spmat's exact predicate, so
+// the surviving edge set — and the downstream contigs — is
+// byte-identical to the spmat backend's.
+func (p *Pipeline) reduceSuccinct(ctx context.Context, rs dna.ReadSource, partDir string,
+	counts map[int]int64, edgePath string, res *Result) error {
+	// The spill scratch rides the sort_* naming convention so a crashed
+	// run's leftovers are swept with the other sort debris.
+	tmpDir := filepath.Join(partDir, "sort_succinct")
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmpDir)
+	spillPath := filepath.Join(tmpDir, "cand.kv")
+	w, err := kvio.NewWriter(spillPath, p.meter)
+	if err != nil {
+		return err
+	}
+	var wErr error
+	err = p.runReduce(ctx, rs, partDir, counts, res, func(u, v uint32, l uint16) {
+		if wErr != nil {
+			return
+		}
+		// Reject self-loops and hairpins and add the complement edge,
+		// exactly as spmat.Builder.AddOverlap does.
+		if u == v || u == dna.ComplementVertex(v) {
+			return
+		}
+		if wErr = w.Write(persistedEdge{U: u, V: v, Len: l}.pair()); wErr != nil {
+			return
+		}
+		wErr = w.Write(persistedEdge{
+			U: dna.ComplementVertex(v), V: dna.ComplementVertex(u), Len: l}.pair())
+	})
+	if cerr := w.Close(); wErr == nil {
+		wErr = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if wErr != nil {
+		return wErr
+	}
+
+	b, err := succinct.NewBuilder(2*rs.NumReads(), graphSink{p})
+	if err != nil {
+		return err
+	}
+	// Sorted pairs order by (Key.Hi, Key.Lo) = (U<<32|V, Len): exactly
+	// the non-decreasing (U, V) runs the builder requires, duplicates
+	// adjacent for its keep-the-longest dedupe.
+	_, err = extsort.SortStream(ctx, extsort.Config{
+		Device:           p.dev,
+		Meter:            p.meter,
+		HostMem:          &p.hostMem,
+		HostBlockPairs:   p.cfg.HostBlockPairs,
+		DeviceBlockPairs: p.cfg.DeviceBlockPairs,
+		TempDir:          tmpDir,
+		Obs:              p.cfg.Obs,
+		Overlap:          p.ledger,
+	}, spillPath, func(batch []kv.Pair) error {
+		for _, pr := range batch {
+			e := edgeFromPair(pr)
+			if err := b.Push(succinct.Edge{U: e.U, V: e.V, Len: e.Len}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Abandon()
+		return err
+	}
+	g, err := b.Finish()
+	if err != nil {
+		b.Abandon()
+		return err
+	}
+	defer graphSink{p}.Release(g.HostBytes())
+
+	red, err := g.TransitiveReduce(ctx, succinct.ReduceConfig{
+		Device:    p.dev,
+		VertexLen: rs.VertexLen,
+		Fuzz:      p.cfg.TransitiveFuzz,
+		// The same device budget the sort phase works within, so the pass
+		// honors the DeviceDemandBytes lease multi-tenant admission uses.
+		MaxResidentBytes: 4 * int64(p.cfg.DeviceBlockPairs) * kv.PairBytes,
+		Overlap:          p.ledger,
+	})
+	if err != nil {
+		return err
+	}
+	res.ReducedEdges = red.Removed
+	res.AcceptedEdges = g.NNZ() - red.Removed
+	mtr := p.cfg.Obs.Metrics()
+	mtr.Counter(`graph.nnz{backend="succinct"}`).Add(g.NNZ())
+	mtr.Counter(`graph.removed_edges{backend="succinct"}`).Add(red.Removed)
+	mtr.Counter(`graph.spgemm_flops{backend="succinct"}`).Add(red.Flops)
 	next := red.LiveEdges()
 	_, err = writeEdgeFile(edgePath, p.meter, func() (persistedEdge, bool) {
 		e, ok := next()
@@ -966,6 +1121,32 @@ func (p *Pipeline) verifyOverlap(rs dna.ReadSource, u, v uint32, l int) bool {
 // code path shared by cold and resumed runs, so resumed output is
 // byte-identical by construction.
 func (p *Pipeline) compressPhase(rs dna.ReadSource, edgePath string, res *Result) error {
+	if p.cfg.backend() == BackendSuccinct {
+		// Rebuild the compressed store straight off the persisted sorted
+		// runs — the builder validates ordering and ranges as it streams,
+		// so a corrupted edge file fails here — and spell contigs from
+		// unitig chains directly over the compressed adjacency: no CSR
+		// matrix or pointer-based graph is ever materialized.
+		it, err := newEdgeFileIterator(edgePath, p.meter)
+		if err != nil {
+			return err
+		}
+		sink := graphSink{p}
+		g, err := succinct.FromEdgeRunsMetered(2*rs.NumReads(), sink,
+			func() (succinct.Edge, bool, error) {
+				e, ok, err := it.Next()
+				return succinct.Edge{U: e.U, V: e.V, Len: e.Len}, ok, err
+			})
+		if cerr := it.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		defer sink.Release(g.HostBytes())
+		paths := sgraph.UnitigsOf(g, rs.VertexLen, p.cfg.IncludeSingletons)
+		return p.writeContigs(rs, paths, res)
+	}
 	if p.cfg.backend() == BackendSpmat {
 		// Rebuild the CSR matrix from the persisted sorted runs —
 		// FromEdgeRuns validates ordering and ranges, so a corrupted edge
@@ -985,12 +1166,10 @@ func (p *Pipeline) compressPhase(rs dna.ReadSource, edgePath string, res *Result
 		if err != nil {
 			return err
 		}
-		p.hostMem.Add(m.ApproxBytes())
-		defer p.hostMem.Release(m.ApproxBytes())
+		defer p.trackGraph(m.ApproxBytes())()
 		fg := sgraph.New(rs.NumReads())
 		m.Edges(func(e spmat.Edge) { fg.InstallEdge(e.U, e.V, e.Len) })
-		p.hostMem.Add(fg.ApproxBytes())
-		defer p.hostMem.Release(fg.ApproxBytes())
+		defer p.trackGraph(fg.ApproxBytes())()
 		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
 		return p.writeContigs(rs, paths, res)
 	}
@@ -1002,14 +1181,12 @@ func (p *Pipeline) compressPhase(rs dna.ReadSource, edgePath string, res *Result
 		if err != nil {
 			return err
 		}
-		p.hostMem.Add(fg.ApproxBytes())
-		defer p.hostMem.Release(fg.ApproxBytes())
+		defer p.trackGraph(fg.ApproxBytes())()
 		paths := fg.Unitigs(rs.VertexLen, p.cfg.IncludeSingletons)
 		return p.writeContigs(rs, paths, res)
 	}
 	g := graph.New(rs.NumReads())
-	p.hostMem.Add(g.ApproxBytes())
-	defer p.hostMem.Release(g.ApproxBytes())
+	defer p.trackGraph(g.ApproxBytes())()
 	err := readEdgeFile(edgePath, p.meter, func(e persistedEdge) {
 		g.InstallEdge(graph.Edge{U: e.U, V: e.V, Len: e.Len})
 	})

@@ -117,90 +117,10 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 	defer ioS.Close()
 	cmp := cfg.Device.NewStream("sort-compute", tl.Line("compute"), false)
 
-	// Pass 1: form sorted runs of up to m_h pairs each. Small partitions
-	// get correspondingly small buffers — the run structure is identical,
-	// but concurrent sorts of many tiny partitions must not each pin a
-	// full host block. Streamed sorts double-buffer the block so the next
-	// read overlaps the current sort.
-	blockPairs := clampPairs(cfg.HostBlockPairs, in.Count())
-	nbufs := 1
-	if streams {
-		nbufs = 2
-	}
-	hostBytes := int64((nbufs+1)*blockPairs) * hostPairBytes // block buffer(s) + merge scratch
-	if cfg.HostMem != nil {
-		cfg.HostMem.Add(hostBytes)
-		defer cfg.HostMem.Release(hostBytes)
-	}
-	blocks := make([][]kv.Pair, nbufs)
-	for i := range blocks {
-		blocks[i] = make([]kv.Pair, blockPairs)
-	}
-	scratch := make([]kv.Pair, blockPairs)
-
-	// pending carries one block read's result across the async boundary;
-	// Stream.Sync is the happens-before edge that publishes it.
-	type readResult struct {
-		n   int
-		err error
-	}
-	var pending readResult
-	readInto := func(buf []kv.Pair, afterModeled float64) {
-		ioS.WaitModeled(afterModeled)
-		ioS.Enqueue("read-block", func() error {
-			n, err := readFull(in, buf)
-			pending = readResult{n, err}
-			ioS.Charge(costmodel.TierDiskRead, int64(n)*kv.PairBytes)
-			if err != nil && err != io.EOF {
-				return err
-			}
-			return nil
-		})
-	}
-
-	var runs []string
-	cur := 0
-	readInto(blocks[cur], 0)
-	for {
-		if err := ctx.Err(); err != nil {
-			return st, err
-		}
-		syncErr := ioS.Sync()
-		res := pending
-		if res.n == 0 {
-			break
-		}
-		if syncErr != nil {
-			return st, syncErr
-		}
-		readEnd := ioS.ModeledCursor()
-		data := blocks[cur][:res.n]
-		more := res.err != io.EOF
-		if streams && more {
-			// Prefetch the next block into the other buffer while this one
-			// sorts. That buffer held the block written two iterations ago,
-			// so in the model its read starts no earlier than the compute
-			// stream's current position (the moment the buffer was freed).
-			cur = 1 - cur
-			readInto(blocks[cur], cmp.ModeledCursor())
-		}
-		cmp.WaitModeled(readEnd)
-		sorted, serr := sortHostBlock(ctx, cfg, cmp, data, scratch[:res.n])
-		if serr != nil {
-			return st, serr
-		}
-		runPath := filepath.Join(cfg.TempDir, fmt.Sprintf("run_%06d.kv", len(runs)))
-		if err := writeRun(runPath, sorted, cfg.Meter); err != nil {
-			return st, err
-		}
-		cmp.Charge(costmodel.TierDiskWrite, int64(len(sorted))*kv.PairBytes)
-		runs = append(runs, runPath)
-		if !more {
-			break
-		}
-		if !streams {
-			readInto(blocks[cur], 0)
-		}
+	runs, release, err := sortRuns(ctx, cfg, ioS, cmp, in)
+	defer release()
+	if err != nil {
+		return st, err
 	}
 	st.Runs = len(runs)
 
@@ -246,6 +166,221 @@ func SortFile(ctx context.Context, cfg Config, inPath, outPath string) (Stats, e
 	}
 	cfg.recordStats(st)
 	return st, nil
+}
+
+// sortRuns is the shared first pass: form sorted runs of up to m_h
+// pairs each. Small partitions get correspondingly small buffers — the
+// run structure is identical, but concurrent sorts of many tiny
+// partitions must not each pin a full host block. Streamed sorts
+// double-buffer the block so the next read overlaps the current sort.
+// Host buffers charged to cfg.HostMem are released by the returned
+// func, which is non-nil even on error.
+func sortRuns(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, in *kvio.Reader) ([]string, func(), error) {
+	streams := ioS.Async()
+	blockPairs := clampPairs(cfg.HostBlockPairs, in.Count())
+	nbufs := 1
+	if streams {
+		nbufs = 2
+	}
+	hostBytes := int64((nbufs+1)*blockPairs) * hostPairBytes // block buffer(s) + merge scratch
+	release := func() {}
+	if cfg.HostMem != nil {
+		cfg.HostMem.Add(hostBytes)
+		release = func() { cfg.HostMem.Release(hostBytes) }
+	}
+	blocks := make([][]kv.Pair, nbufs)
+	for i := range blocks {
+		blocks[i] = make([]kv.Pair, blockPairs)
+	}
+	scratch := make([]kv.Pair, blockPairs)
+
+	// pending carries one block read's result across the async boundary;
+	// Stream.Sync is the happens-before edge that publishes it.
+	type readResult struct {
+		n   int
+		err error
+	}
+	var pending readResult
+	readInto := func(buf []kv.Pair, afterModeled float64) {
+		ioS.WaitModeled(afterModeled)
+		ioS.Enqueue("read-block", func() error {
+			n, err := readFull(in, buf)
+			pending = readResult{n, err}
+			ioS.Charge(costmodel.TierDiskRead, int64(n)*kv.PairBytes)
+			if err != nil && err != io.EOF {
+				return err
+			}
+			return nil
+		})
+	}
+
+	var runs []string
+	cur := 0
+	readInto(blocks[cur], 0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return runs, release, err
+		}
+		syncErr := ioS.Sync()
+		res := pending
+		if res.n == 0 {
+			break
+		}
+		if syncErr != nil {
+			return runs, release, syncErr
+		}
+		readEnd := ioS.ModeledCursor()
+		data := blocks[cur][:res.n]
+		more := res.err != io.EOF
+		if streams && more {
+			// Prefetch the next block into the other buffer while this one
+			// sorts. That buffer held the block written two iterations ago,
+			// so in the model its read starts no earlier than the compute
+			// stream's current position (the moment the buffer was freed).
+			cur = 1 - cur
+			readInto(blocks[cur], cmp.ModeledCursor())
+		}
+		cmp.WaitModeled(readEnd)
+		sorted, serr := sortHostBlock(ctx, cfg, cmp, data, scratch[:res.n])
+		if serr != nil {
+			return runs, release, serr
+		}
+		runPath := filepath.Join(cfg.TempDir, fmt.Sprintf("run_%06d.kv", len(runs)))
+		if err := writeRun(runPath, sorted, cfg.Meter); err != nil {
+			return runs, release, err
+		}
+		cmp.Charge(costmodel.TierDiskWrite, int64(len(sorted))*kv.PairBytes)
+		runs = append(runs, runPath)
+		if !more {
+			break
+		}
+		if !streams {
+			readInto(blocks[cur], 0)
+		}
+	}
+	return runs, release, nil
+}
+
+// SortStream externally sorts the pairs in inPath and hands the fully
+// merged output to emit in sorted batches instead of writing it back to
+// disk. Runs are pairwise merged as in SortFile while more than two
+// remain; the final merge (or the sole run) then streams straight into
+// emit, skipping the last disk write entirely. This is the feed for
+// consumers that build a compressed in-memory structure from the sorted
+// order — the succinct graph store — without ever materializing the
+// sorted edge list as a file or an array. Batches passed to emit are
+// only valid for the duration of the call.
+func SortStream(ctx context.Context, cfg Config, inPath string, emit func([]kv.Pair) error) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	in, err := kvio.NewReader(inPath, cfg.Meter)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer in.Close()
+	st := Stats{Pairs: in.Count()}
+
+	tl := cfg.Overlap.NewTimeline()
+	defer tl.Commit()
+	streams := tl != nil
+	ioS := cfg.Device.NewStream("sort-io", tl.Line("io"), streams)
+	defer ioS.Close()
+	cmp := cfg.Device.NewStream("sort-compute", tl.Line("compute"), false)
+
+	runs, release, err := sortRuns(ctx, cfg, ioS, cmp, in)
+	defer release()
+	if err != nil {
+		return st, err
+	}
+	st.Runs = len(runs)
+
+	if len(runs) == 0 {
+		st.DiskPasses = 1
+		cfg.recordStats(st)
+		return st, nil
+	}
+
+	// Merge pairwise until at most two runs remain.
+	gen := 0
+	for len(runs) > 2 {
+		st.MergeRounds++
+		var next []string
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				next = append(next, runs[i])
+				continue
+			}
+			gen++
+			merged := filepath.Join(cfg.TempDir, fmt.Sprintf("merge_%06d.kv", gen))
+			if err := mergeRunFiles(ctx, cfg, ioS, cmp, runs[i], runs[i+1], merged); err != nil {
+				return st, err
+			}
+			if err := os.Remove(runs[i]); err != nil {
+				return st, err
+			}
+			if err := os.Remove(runs[i+1]); err != nil {
+				return st, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+
+	// Final pass streams into the caller: a two-run merge through the
+	// device, or a plain sequential drain of the lone run.
+	st.MergeRounds++
+	if len(runs) == 2 {
+		if err := mergeRuns(ctx, cfg, ioS, cmp, runs[0], runs[1], emit); err != nil {
+			return st, err
+		}
+	} else {
+		if err := drainRun(ctx, cfg, ioS, cmp, runs[0], emit); err != nil {
+			return st, err
+		}
+	}
+	for _, r := range runs {
+		if err := os.Remove(r); err != nil {
+			return st, err
+		}
+	}
+	st.DiskPasses = 1 + st.MergeRounds
+	cfg.recordStats(st)
+	return st, nil
+}
+
+// drainRun streams a single sorted run file through emit in host-block
+// windows.
+func drainRun(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, path string, emit func([]kv.Pair) error) error {
+	r, err := kvio.NewReader(path, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ioS.WaitModeled(cmp.ModeledCursor())
+	capPairs := clampPairs(cfg.HostBlockPairs, r.Count())
+	if cfg.HostMem != nil {
+		hostBytes := int64(capPairs) * hostPairBytes
+		cfg.HostMem.Add(hostBytes)
+		defer cfg.HostMem.Release(hostBytes)
+	}
+	ws := newWindowStream(r, capPairs, false)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ws.fill(); err != nil {
+			return err
+		}
+		if len(ws.buf) == 0 {
+			return nil
+		}
+		ioS.Charge(costmodel.TierDiskRead, int64(len(ws.buf))*kv.PairBytes)
+		if err := emit(ws.buf); err != nil {
+			return err
+		}
+		ws.consume(len(ws.buf))
+	}
 }
 
 // recordStats publishes one completed sort's shape to the metrics
@@ -484,13 +619,36 @@ func window(ps []kv.Pair, n int) []kv.Pair {
 }
 
 // mergeRunFiles merges two sorted run files into one (Algorithm 1 at the
-// disk level, M = m_h). Windows of m_h/2 pairs stream from each run into
-// host memory; equalized windows are merged through the device via
-// mergeInMemory. With streaming enabled, each consumed window's
-// replacement is prefetched into a spare buffer on the async I/O stream
-// while the current windows merge and write, so disk reads hide behind
-// device work in the modeled timeline and in wall time.
+// disk level, M = m_h): mergeRuns streaming into a kvio.Writer, with the
+// disk write charged on the compute stream.
 func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA, pathB, outPath string) error {
+	w, err := kvio.NewWriter(outPath, cfg.Meter)
+	if err != nil {
+		return err
+	}
+	emit := func(ps []kv.Pair) error {
+		if err := w.WriteBatch(ps); err != nil {
+			return err
+		}
+		cmp.Charge(costmodel.TierDiskWrite, int64(len(ps))*kv.PairBytes)
+		return nil
+	}
+	if err := mergeRuns(ctx, cfg, ioS, cmp, pathA, pathB, emit); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// mergeRuns merges two sorted run files into emit. Windows of m_h/2
+// pairs stream from each run into host memory; equalized windows are
+// merged through the device via mergeInMemory. With streaming enabled,
+// each consumed window's replacement is prefetched into a spare buffer
+// on the async I/O stream while the current windows merge, so disk
+// reads hide behind device work in the modeled timeline and in wall
+// time. emit receives the merged output in sorted batches that are only
+// valid for the duration of the call.
+func mergeRuns(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA, pathB string, emit func([]kv.Pair) error) error {
 	ra, err := kvio.NewReader(pathA, cfg.Meter)
 	if err != nil {
 		return err
@@ -501,10 +659,6 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 		return err
 	}
 	defer rb.Close()
-	w, err := kvio.NewWriter(outPath, cfg.Meter)
-	if err != nil {
-		return err
-	}
 
 	streams := cfg.Overlap != nil
 	// This merge's reads depend on its input runs, which the compute
@@ -530,13 +684,6 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 	}
 	wa := newWindowStream(ra, aCap, streams)
 	wb := newWindowStream(rb, bCap, streams)
-	emit := func(ps []kv.Pair) error {
-		if err := w.WriteBatch(ps); err != nil {
-			return err
-		}
-		cmp.Charge(costmodel.TierDiskWrite, int64(len(ps))*kv.PairBytes)
-		return nil
-	}
 
 	if streams {
 		wa.advance(ioS, 0)
@@ -544,25 +691,21 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 	}
 	for {
 		if err := ctx.Err(); err != nil {
-			w.Close()
 			return err
 		}
 		syncErr := ioS.Sync()
 		wa.adopt()
 		wb.adopt()
 		if syncErr != nil {
-			w.Close()
 			return syncErr
 		}
 		// Merging a window consumes data the I/O stream produced: the
 		// compute stream starts no earlier than the prefetch finished.
 		cmp.WaitModeled(ioS.ModeledCursor())
 		if err := wa.fill(); err != nil {
-			w.Close()
 			return err
 		}
 		if err := wb.fill(); err != nil {
-			w.Close()
 			return err
 		}
 		a, b := wa.buf, wb.buf
@@ -588,7 +731,6 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 				wb.advance(ioS, len(b))
 			}
 			if err := mergeInMemory(ctx, cfg, cmp, a, b, emit); err != nil {
-				w.Close()
 				return err
 			}
 			if !streams {
@@ -603,7 +745,6 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 				wa.advance(ioS, len(a))
 			}
 			if err := emit(a); err != nil {
-				w.Close()
 				return err
 			}
 			if !streams {
@@ -614,7 +755,6 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 				wb.advance(ioS, len(b))
 			}
 			if err := emit(b); err != nil {
-				w.Close()
 				return err
 			}
 			if !streams {
@@ -628,20 +768,18 @@ func mergeRunFiles(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA,
 	for _, ws := range []*windowStream{wa, wb} {
 		for {
 			if err := ws.fill(); err != nil {
-				w.Close()
 				return err
 			}
 			if len(ws.buf) == 0 {
 				break
 			}
 			if err := emit(ws.buf); err != nil {
-				w.Close()
 				return err
 			}
 			ws.consume(len(ws.buf))
 		}
 	}
-	return w.Close()
+	return nil
 }
 
 // clampPairs caps a buffer size at the number of pairs actually present,

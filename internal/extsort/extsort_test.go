@@ -299,3 +299,78 @@ func TestSortedInputSingleBlockPreserved(t *testing.T) {
 		t.Fatalf("len = %d", len(got))
 	}
 }
+
+// TestSortStreamMatchesSortFile pins the streaming variant against the
+// file-writing one: identical pair sequence (keys and values), no final
+// output file, and one fewer disk write of the full data.
+func TestSortStreamMatchesSortFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		n, mh, md int
+	}{
+		{0, 64, 8},
+		{1, 64, 8},
+		{50, 64, 8},     // single run: drain path
+		{130, 64, 8},    // three runs: one merge round then 2-run stream
+		{1000, 128, 16}, // many runs
+		{777, 100, 10},
+		{2000, 64, 4},
+	}
+	for _, c := range cases {
+		input := randomPairs(rng, c.n, 1<<16)
+		cfg := Config{Device: bigDevice(), HostBlockPairs: c.mh, DeviceBlockPairs: c.md}
+		want, wantSt := runSort(t, cfg, input)
+
+		dir := t.TempDir()
+		scfg := cfg
+		scfg.TempDir = dir
+		in := filepath.Join(dir, "in.kv")
+		writePairs(t, in, input)
+		var got []kv.Pair
+		st, err := SortStream(context.Background(), scfg, in, func(ps []kv.Pair) error {
+			got = append(got, ps...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d pairs, want %d", c.n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d mh=%d md=%d: pair mismatch at %d: %+v vs %+v",
+					c.n, c.mh, c.md, i, got[i], want[i])
+			}
+		}
+		if st.Pairs != wantSt.Pairs || st.Runs != wantSt.Runs {
+			t.Errorf("n=%d: stats (pairs=%d runs=%d) vs SortFile (pairs=%d runs=%d)",
+				c.n, st.Pairs, st.Runs, wantSt.Pairs, wantSt.Runs)
+		}
+		// No run or merge scratch may survive.
+		left, err := filepath.Glob(filepath.Join(dir, "*.kv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(left) != 1 { // just in.kv
+			t.Errorf("n=%d: leftover scratch files: %v", c.n, left)
+		}
+	}
+}
+
+// TestSortStreamEmitError propagates a consumer error without hanging.
+func TestSortStreamEmitError(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	input := randomPairs(rng, 500, 1<<16)
+	dir := t.TempDir()
+	cfg := Config{Device: bigDevice(), HostBlockPairs: 64, DeviceBlockPairs: 8, TempDir: dir}
+	in := filepath.Join(dir, "in.kv")
+	writePairs(t, in, input)
+	wantErr := io.ErrClosedPipe
+	_, err := SortStream(context.Background(), cfg, in, func(ps []kv.Pair) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}

@@ -74,6 +74,10 @@ func (s *Stream) Device() *Device { return s.dev }
 // Line returns the stream's modeled timeline line (nil when unmodeled).
 func (s *Stream) Line() *costmodel.Line { return s.line }
 
+// Async reports whether the stream runs a background executor (versus
+// executing ops inline on the caller).
+func (s *Stream) Async() bool { return s.async }
+
 func (s *Stream) ensureStarted() {
 	s.mu.Lock()
 	if !s.started {

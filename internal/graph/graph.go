@@ -26,6 +26,18 @@ import (
 // NoVertex marks the absence of an out-edge.
 const NoVertex = ^uint32(0)
 
+// bget and bset wrap the error-returning bitvec accessors for the
+// vectors this package sizes itself (2*numReads bits at construction,
+// indexed by vertex id < 2*numReads), where out-of-range is impossible.
+func bget(v *bitvec.Vector, i uint32) bool {
+	set, _ := v.Get(i)
+	return set
+}
+
+func bset(v *bitvec.Vector, i uint32) {
+	_ = v.Set(i)
+}
+
 // Edge is one directed overlap edge: the Len-suffix of U matches the
 // Len-prefix of V.
 type Edge struct {
@@ -89,12 +101,12 @@ func (g *Graph) AddCandidate(u, v uint32, l uint16) bool {
 		return false
 	}
 	vc := dna.ComplementVertex(v)
-	if g.out.Get(u) || g.out.Get(vc) {
+	if bget(g.out, u) || bget(g.out, vc) {
 		return false
 	}
 	uc := dna.ComplementVertex(u)
-	g.out.Set(u)
-	g.out.Set(vc)
+	bset(g.out, u)
+	bset(g.out, vc)
 	g.next[u] = v
 	g.olen[u] = l
 	g.next[vc] = uc
@@ -110,7 +122,7 @@ func (g *Graph) AddCandidate(u, v uint32, l uint16) bool {
 // ship their disjoint edge sets to the master, which installs them
 // verbatim (Section III-E.3 stores the graph as disjoint edge sets).
 func (g *Graph) InstallEdge(e Edge) {
-	g.out.Set(e.U)
+	bset(g.out, e.U)
 	g.next[e.U] = e.V
 	g.olen[e.U] = e.Len
 	g.numEdges++
@@ -128,7 +140,7 @@ func (g *Graph) OutEdge(v uint32) (target uint32, overlap uint16, ok bool) {
 // HasIncoming reports whether v has an incoming edge, which by complement
 // symmetry is whether v' has an outgoing one.
 func (g *Graph) HasIncoming(v uint32) bool {
-	return g.out.Get(dna.ComplementVertex(v))
+	return bget(g.out, dna.ComplementVertex(v))
 }
 
 // Edges returns all directed edges in vertex order; intended for tests
@@ -185,9 +197,9 @@ func (g *Graph) Traverse(vertexLen func(uint32) int, opt TraverseOptions) []Path
 		var p Path
 		cur := seed
 		for {
-			visited.Set(dna.ReadOfVertex(cur))
+			bset(visited, dna.ReadOfVertex(cur))
 			nxt, l, ok := g.OutEdge(cur)
-			if !ok || visited.Get(dna.ReadOfVertex(nxt)) {
+			if !ok || bget(visited, dna.ReadOfVertex(nxt)) {
 				p = append(p, PathStep{V: cur, Overhang: uint16(vertexLen(cur))})
 				return p
 			}
@@ -201,7 +213,7 @@ func (g *Graph) Traverse(vertexLen func(uint32) int, opt TraverseOptions) []Path
 		if g.next[v] == NoVertex || g.HasIncoming(v) {
 			continue
 		}
-		if visited.Get(dna.ReadOfVertex(v)) {
+		if bget(visited, dna.ReadOfVertex(v)) {
 			continue
 		}
 		paths = append(paths, walk(v))
@@ -209,7 +221,7 @@ func (g *Graph) Traverse(vertexLen func(uint32) int, opt TraverseOptions) []Path
 	// Stage 2: residual cycles.
 	if opt.BreakCycles {
 		for v := uint32(0); v < uint32(g.NumVertices()); v++ {
-			if g.next[v] == NoVertex || visited.Get(dna.ReadOfVertex(v)) {
+			if g.next[v] == NoVertex || bget(visited, dna.ReadOfVertex(v)) {
 				continue
 			}
 			paths = append(paths, walk(v))
@@ -218,12 +230,12 @@ func (g *Graph) Traverse(vertexLen func(uint32) int, opt TraverseOptions) []Path
 	// Stage 3: singleton reads.
 	if opt.IncludeSingletons {
 		for r := uint32(0); r < uint32(g.numReads); r++ {
-			if visited.Get(r) {
+			if bget(visited, r) {
 				continue
 			}
 			fwd := dna.ForwardVertex(r)
 			paths = append(paths, Path{{V: fwd, Overhang: uint16(vertexLen(fwd))}})
-			visited.Set(r)
+			bset(visited, r)
 		}
 	}
 	return paths

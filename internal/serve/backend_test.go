@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -60,6 +62,121 @@ func TestSubmitGraphBackendSpmat(t *testing.T) {
 	}
 }
 
+// TestSubmitGraphBackendSuccinct runs a job under the succinct engine
+// over HTTP and pins its FASTA against a direct core run with the same
+// backend.
+func TestSubmitGraphBackendSuccinct(t *testing.T) {
+	scfg := testServerConfig(t.TempDir())
+	srv, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fq, reads := testFastq(t, 1403)
+
+	cfg := core.DefaultConfig(t.TempDir())
+	cfg.HostBlockPairs = scfg.HostBlockPairs
+	cfg.DeviceBlockPairs = scfg.DeviceBlockPairs
+	cfg.MapBatchReads = scfg.MapBatchReads
+	cfg.MinOverlap = 31
+	cfg.Workers = 1
+	cfg.GPU = scfg.GPU
+	cfg.GraphBackend = core.BackendSuccinct
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(res.ContigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := submitJob(t, ts.URL, fq, "?lmin=31&workers=1&graph-backend=succinct&name=succinct")
+	if rec.Params.GraphBackend != core.BackendSuccinct {
+		t.Fatalf("recorded backend = %q, want %q", rec.Params.GraphBackend, core.BackendSuccinct)
+	}
+	final := pollJob(t, ts.URL, rec.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	got := fetchResult(t, ts.URL, final.ID)
+	if !bytes.Equal(got, want) {
+		t.Errorf("succinct job FASTA differs from direct succinct assembly (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestSubmitHostAdmission pins the host-side admission gate: a server
+// with a tiny modeled host budget rejects the job with 422 and an error
+// naming the backend's maximum job size, while /healthz advertises the
+// per-backend envelope.
+func TestSubmitHostAdmission(t *testing.T) {
+	scfg := testServerConfig(t.TempDir())
+	scfg.HostMemBytes = 1 << 10
+	srv, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fq, _ := testFastq(t, 1404)
+	resp, err := http.Post(ts.URL+"/v1/jobs?graph-backend=succinct", "application/octet-stream", bytes.NewReader(fq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget submit: status %d, want %d: %s",
+			resp.StatusCode, http.StatusUnprocessableEntity, msg)
+	}
+	if !bytes.Contains(msg, []byte("host footprint")) || !bytes.Contains(msg, []byte("succinct")) {
+		t.Errorf("422 body does not explain the host admission failure: %s", msg)
+	}
+
+	var health struct {
+		Admission struct {
+			HostMemBytes       int64          `json:"hostMemBytes"`
+			ReferenceReadLen   int            `json:"referenceReadLen"`
+			MaxReadsPerBackend map[string]int `json:"maxReadsPerBackend"`
+		} `json:"admission"`
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := health.Admission
+	if adm.HostMemBytes != scfg.HostMemBytes {
+		t.Errorf("advertised budget %d, want %d", adm.HostMemBytes, scfg.HostMemBytes)
+	}
+	if adm.ReferenceReadLen != admissionReadLen {
+		t.Errorf("advertised read length %d, want %d", adm.ReferenceReadLen, admissionReadLen)
+	}
+	if len(adm.MaxReadsPerBackend) != len(core.Backends) {
+		t.Fatalf("admission lists %d backends, want %d: %v",
+			len(adm.MaxReadsPerBackend), len(core.Backends), adm.MaxReadsPerBackend)
+	}
+	// Denser representations admit fewer reads under the same budget.
+	gr, su, sp := adm.MaxReadsPerBackend[core.BackendGreedy],
+		adm.MaxReadsPerBackend[core.BackendSuccinct],
+		adm.MaxReadsPerBackend[core.BackendSpmat]
+	if !(gr >= su && su >= sp) {
+		t.Errorf("admission ordering greedy=%d succinct=%d spmat=%d, want non-increasing", gr, su, sp)
+	}
+}
+
 // TestSubmitGraphBackendValidation rejects malformed backend submissions
 // before a job record is ever created.
 func TestSubmitGraphBackendValidation(t *testing.T) {
@@ -75,6 +192,7 @@ func TestSubmitGraphBackendValidation(t *testing.T) {
 	for _, query := range []string{
 		"?graph-backend=bogus",
 		"?graph-backend=spmat&fullgraph=true",
+		"?graph-backend=succinct&fullgraph=true",
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs"+query, "application/octet-stream", bytes.NewReader(fq))
 		if err != nil {

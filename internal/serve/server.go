@@ -56,6 +56,13 @@ type Config struct {
 	MapBatchReads    int
 	// MaxBodyBytes caps a submission body (default 256 MiB).
 	MaxBodyBytes int64
+	// HostMemBytes is the host-memory budget one job may claim under the
+	// admission model (default 8 GiB). Submission is rejected with 422
+	// when core.GraphHostModel for the job's size and selected graph
+	// backend exceeds it; /healthz advertises the resulting per-backend
+	// maximum job sizes. The budget bounds the modeled footprint — reads
+	// plus graph representation — not the Go process RSS.
+	HostMemBytes int64
 	// RetryAfter floors the Retry-After advertised on 429 responses
 	// (default 2s). Once jobs have finished, the advertised value adapts:
 	// queue depth times the recent mean service time, never below this.
@@ -106,6 +113,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.HostMemBytes <= 0 {
+		cfg.HostMemBytes = 8 << 30
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 2 * time.Second
@@ -571,8 +581,8 @@ func parseParams(r *http.Request) (Params, error) {
 		}
 		p.GraphBackend = v
 	}
-	if p.GraphBackend == core.BackendSpmat && p.FullGraph {
-		return p, fmt.Errorf("graph-backend %q and fullgraph are mutually exclusive", core.BackendSpmat)
+	if (p.GraphBackend == core.BackendSpmat || p.GraphBackend == core.BackendSuccinct) && p.FullGraph {
+		return p, fmt.Errorf("graph-backend %q and fullgraph are mutually exclusive", p.GraphBackend)
 	}
 	if v := q.Get("priority"); v != "" {
 		if !slices.Contains(core.Priorities, v) {
@@ -638,6 +648,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity,
 			"job needs %d device(s) with %d bytes of memory, fleet has %d that large: lower workers or shards",
 			params.ShardCount(), rec.DeviceDemandBytes, fit)
+		return
+	}
+	backend := params.GraphBackend
+	if backend == "" {
+		backend = core.BackendGreedy
+	}
+	if demand := core.GraphHostModel(backend, reads.NumReads(), reads.MaxLen()); demand > s.cfg.HostMemBytes {
+		writeError(w, http.StatusUnprocessableEntity,
+			"job's modeled host footprint %d bytes exceeds the %d-byte budget: backend %q admits at most %d reads of length %d",
+			demand, s.cfg.HostMemBytes, backend,
+			core.MaxReadsForHostBudget(backend, s.cfg.HostMemBytes, reads.MaxLen()), reads.MaxLen())
 		return
 	}
 	if err := s.store.CreateJob(rec, body); err != nil {
@@ -721,15 +742,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// admissionReadLen is the reference read length /healthz quotes the
+// per-backend maximum job sizes at. Submissions are still admitted
+// against their actual MaxLen; this only anchors the advertised numbers.
+const admissionReadLen = 150
+
 // handleHealthz reports liveness plus the per-device admission state:
 // every fleet card's capacity, leased bytes, queue, and running jobs,
 // alongside the fleet-wide steal/preemption counters, the binary's
-// build identity, and how long the server has been up.
+// build identity, how long the server has been up, and the host-side
+// admission envelope — the modeled maximum reads each graph backend
+// admits under the configured host budget.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
 	version, revision, modified := buildinfo.Info()
 	if modified {
 		revision += "-modified"
+	}
+	maxReads := make(map[string]int, len(core.Backends))
+	for _, b := range core.Backends {
+		maxReads[b] = core.MaxReadsForHostBudget(b, s.cfg.HostMemBytes, admissionReadLen)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
@@ -739,6 +771,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queueDepth":    snap.QueueDepth,
 		"jobsRunning":   snap.JobsRunning,
 		"fleet":         snap,
+		"admission": map[string]any{
+			"hostMemBytes":       s.cfg.HostMemBytes,
+			"referenceReadLen":   admissionReadLen,
+			"maxReadsPerBackend": maxReads,
+		},
 	})
 }
 

@@ -234,29 +234,31 @@ func (g *Graph) liveInDegrees() []int32 {
 	return indeg
 }
 
-// liveOutDegree returns the number of non-reduced out-edges of v.
-func (g *Graph) liveOutDegree(v uint32) int {
-	n := 0
+// EachOut calls fn for each live (non-reduced) out-edge of v in
+// adjacency order, stopping early when fn returns false. It implements
+// Traversable.
+func (g *Graph) EachOut(v uint32, fn func(to uint32, l uint16) bool) {
 	for _, e := range g.adj[v] {
-		if !e.reduced {
-			n++
+		if e.reduced {
+			continue
+		}
+		if !fn(e.To, e.Len) {
+			return
 		}
 	}
-	return n
 }
 
-// soleOut returns the only live out-edge of v; ok is false when v has
-// zero or multiple live out-edges.
-func (g *Graph) soleOut(v uint32) (Edge, bool) {
-	var found Edge
-	n := 0
-	for _, e := range g.adj[v] {
-		if !e.reduced {
-			found = e
-			n++
-		}
-	}
-	return found, n == 1
+// Traversable is the read-only contract unitig extraction needs from a
+// reduced string graph. Both this package's adjacency-list Graph and
+// the compressed store in package succinct satisfy it, so the same
+// walk (and hence byte-identical contigs) runs over either
+// representation.
+type Traversable interface {
+	NumReads() int
+	NumVertices() int
+	// EachOut visits the live out-edges of v in ascending target order,
+	// stopping early when fn returns false.
+	EachOut(v uint32, fn func(to uint32, l uint16) bool)
 }
 
 // Unitigs extracts maximal unambiguous chains from the reduced graph:
@@ -265,8 +267,55 @@ func (g *Graph) soleOut(v uint32) (Edge, bool) {
 // unitig (a unitig and its reverse complement count once), so the paths
 // feed contig generation exactly like the greedy traversal does.
 func (g *Graph) Unitigs(vertexLen func(uint32) int, includeSingletons bool) []graph.Path {
-	indeg := g.liveInDegrees()
-	visited := bitvec.New(g.numReads)
+	return UnitigsOf(g, vertexLen, includeSingletons)
+}
+
+// bget and bset wrap the error-returning bitvec accessors for the
+// visited vector, which is sized to NumReads here so read indices are
+// always in range.
+func bget(v *bitvec.Vector, i uint32) bool {
+	set, _ := v.Get(i)
+	return set
+}
+
+func bset(v *bitvec.Vector, i uint32) {
+	_ = v.Set(i)
+}
+
+// UnitigsOf runs the unitig walk over any Traversable graph. The logic
+// is identical to the historical Graph.Unitigs; it is factored over the
+// interface so alternative graph stores produce byte-identical paths.
+func UnitigsOf(g Traversable, vertexLen func(uint32) int, includeSingletons bool) []graph.Path {
+	numVerts := uint32(g.NumVertices())
+	indeg := make([]int32, numVerts)
+	for v := uint32(0); v < numVerts; v++ {
+		g.EachOut(v, func(to uint32, l uint16) bool {
+			indeg[to]++
+			return true
+		})
+	}
+
+	liveOutDegree := func(v uint32) int {
+		n := 0
+		g.EachOut(v, func(to uint32, l uint16) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	// soleOut returns the only live out-edge of v; ok is false when v
+	// has zero or multiple live out-edges.
+	soleOut := func(v uint32) (to uint32, l uint16, ok bool) {
+		n := 0
+		g.EachOut(v, func(t uint32, ln uint16) bool {
+			to, l = t, ln
+			n++
+			return n < 2
+		})
+		return to, l, n == 1
+	}
+
+	visited := bitvec.New(g.NumReads())
 	var paths []graph.Path
 
 	// isChainStart reports whether v begins a maximal chain: it cannot be
@@ -279,33 +328,32 @@ func (g *Graph) Unitigs(vertexLen func(uint32) int, includeSingletons bool) []gr
 		// has out-degree 1. Find it via the complement graph: u->v exists
 		// iff v'->u' exists, so v's predecessors are the complements of
 		// v''s successors' complements.
-		vc := dna.ComplementVertex(v)
-		for _, e := range g.adj[vc] {
-			if !e.reduced {
-				pred := dna.ComplementVertex(e.To)
-				return g.liveOutDegree(pred) != 1
-			}
-		}
-		return true
+		start := true
+		g.EachOut(dna.ComplementVertex(v), func(to uint32, l uint16) bool {
+			pred := dna.ComplementVertex(to)
+			start = liveOutDegree(pred) != 1
+			return false
+		})
+		return start
 	}
 
 	walk := func(start uint32) graph.Path {
 		var p graph.Path
 		cur := start
 		for {
-			visited.Set(dna.ReadOfVertex(cur))
-			e, ok := g.soleOut(cur)
-			if !ok || indeg[e.To] != 1 || visited.Get(dna.ReadOfVertex(e.To)) {
+			bset(visited, dna.ReadOfVertex(cur))
+			to, l, ok := soleOut(cur)
+			if !ok || indeg[to] != 1 || bget(visited, dna.ReadOfVertex(to)) {
 				p = append(p, graph.PathStep{V: cur, Overhang: uint16(vertexLen(cur))})
 				return p
 			}
-			p = append(p, graph.PathStep{V: cur, Overhang: uint16(vertexLen(cur) - int(e.Len))})
-			cur = e.To
+			p = append(p, graph.PathStep{V: cur, Overhang: uint16(vertexLen(cur) - int(l))})
+			cur = to
 		}
 	}
 
-	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
-		if visited.Get(dna.ReadOfVertex(v)) || g.liveOutDegree(v) == 0 {
+	for v := uint32(0); v < numVerts; v++ {
+		if bget(visited, dna.ReadOfVertex(v)) || liveOutDegree(v) == 0 {
 			continue
 		}
 		if !isChainStart(v) {
@@ -315,20 +363,20 @@ func (g *Graph) Unitigs(vertexLen func(uint32) int, includeSingletons bool) []gr
 	}
 	// Residual cycles: every remaining vertex with edges sits on a cycle
 	// of simple edges; break each arbitrarily.
-	for v := uint32(0); v < uint32(g.NumVertices()); v++ {
-		if visited.Get(dna.ReadOfVertex(v)) || g.liveOutDegree(v) == 0 {
+	for v := uint32(0); v < numVerts; v++ {
+		if bget(visited, dna.ReadOfVertex(v)) || liveOutDegree(v) == 0 {
 			continue
 		}
 		paths = append(paths, walk(v))
 	}
 	if includeSingletons {
-		for r := uint32(0); r < uint32(g.numReads); r++ {
-			if visited.Get(r) {
+		for r := uint32(0); r < uint32(g.NumReads()); r++ {
+			if bget(visited, r) {
 				continue
 			}
 			fwd := dna.ForwardVertex(r)
 			paths = append(paths, graph.Path{{V: fwd, Overhang: uint16(vertexLen(fwd))}})
-			visited.Set(r)
+			bset(visited, r)
 		}
 	}
 	return paths

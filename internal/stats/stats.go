@@ -52,6 +52,12 @@ type PhaseStats struct {
 	NetBytes   int64         // bytes crossing the network during the phase
 	PCIeBytes  int64         // bytes over PCIe during the phase
 	DeviceOps  int64         // device compute operations during the phase
+	// GraphHostPeak is the peak host-memory bytes attributable to the
+	// graph representation itself (builder + adjacency structure) during
+	// the phase — the quantity the backend choice moves, reported
+	// separately from PeakHost so representation wins are visible next
+	// to sort-buffer noise.
+	GraphHostPeak int64
 	// OverlapSaved is the modeled time hidden by stream overlap during the
 	// phase; Modeled already has it subtracted (Modeled + OverlapSaved is
 	// the additive no-overlap figure).
@@ -60,9 +66,10 @@ type PhaseStats struct {
 
 // String renders a single-line summary.
 func (p PhaseStats) String() string {
-	return fmt.Sprintf("%-9s wall=%-12s modeled=%-12s hostPeak=%-9s devPeak=%-9s diskR=%-9s diskW=%-9s net=%-9s pcie=%-9s devOps=%s",
+	return fmt.Sprintf("%-9s wall=%-12s modeled=%-12s hostPeak=%-9s graphPeak=%-9s devPeak=%-9s diskR=%-9s diskW=%-9s net=%-9s pcie=%-9s devOps=%s",
 		p.Name, FormatDuration(p.Wall), FormatDuration(p.Modeled),
-		FormatBytes(p.PeakHost), FormatBytes(p.PeakDevice),
+		FormatBytes(p.PeakHost), FormatBytes(p.GraphHostPeak),
+		FormatBytes(p.PeakDevice),
 		FormatBytes(p.DiskRead), FormatBytes(p.DiskWrite),
 		FormatBytes(p.NetBytes), FormatBytes(p.PCIeBytes),
 		FormatCount(p.DeviceOps))

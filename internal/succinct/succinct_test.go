@@ -1,0 +1,304 @@
+package succinct
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/spmat"
+	"repro/internal/stats"
+)
+
+func testDevice() *gpu.Device { return gpu.NewDevice(gpu.K40, nil) }
+
+func sliceIter(edges []Edge) func() (Edge, bool, error) {
+	i := 0
+	return func() (Edge, bool, error) {
+		if i >= len(edges) {
+			return Edge{}, false, nil
+		}
+		e := edges[i]
+		i++
+		return e, true, nil
+	}
+}
+
+// randomSortedEdges produces a CSR-ordered edge stream with duplicates.
+func randomSortedEdges(rng *rand.Rand, numVertices, n int) []Edge {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		u := uint32(rng.Intn(numVertices))
+		v := uint32(rng.Intn(numVertices))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, Len: uint16(rng.Intn(500) + 1)})
+		if rng.Intn(4) == 0 { // duplicate with another length
+			edges = append(edges, Edge{U: u, V: v, Len: uint16(rng.Intn(500) + 1)})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		if edges[i].V != edges[j].V {
+			return edges[i].V < edges[j].V
+		}
+		return edges[i].Len < edges[j].Len
+	})
+	return edges
+}
+
+func collect(g *Graph) []Edge {
+	var out []Edge
+	g.Edges(func(e Edge) { out = append(out, e) })
+	return out
+}
+
+// TestFromEdgeRunsMatchesSpmat pins the compressed store's contents
+// against the CSR matrix built from the same stream.
+func TestFromEdgeRunsMatchesSpmat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		nv := rng.Intn(200) + 2
+		edges := randomSortedEdges(rng, nv, rng.Intn(600))
+		g, err := FromEdgeRuns(nv, sliceIter(edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := make([]spmat.Edge, len(edges))
+		for i, e := range edges {
+			sp[i] = spmat.Edge{U: e.U, V: e.V, Len: e.Len}
+		}
+		i := 0
+		m, err := spmat.FromEdgeRuns(nv, func() (spmat.Edge, bool, error) {
+			if i >= len(sp) {
+				return spmat.Edge{}, false, nil
+			}
+			e := sp[i]
+			i++
+			return e, true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NNZ() != m.NNZ() {
+			t.Fatalf("trial %d: nnz %d vs spmat %d", trial, g.NNZ(), m.NNZ())
+		}
+		var want []Edge
+		m.Edges(func(e spmat.Edge) { want = append(want, Edge{U: e.U, V: e.V, Len: e.Len}) })
+		got := collect(g)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d edges vs %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: edge %d: %+v vs %+v", trial, k, got[k], want[k])
+			}
+		}
+		// Degrees via the Elias–Fano rowPtr match.
+		for u := 0; u < nv; u++ {
+			cols, _ := m.Row(uint32(u))
+			d, err := g.Degree(uint32(u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(d) != len(cols) {
+				t.Fatalf("trial %d: degree(%d) = %d, want %d", trial, u, d, len(cols))
+			}
+		}
+	}
+}
+
+func TestFromEdgeRunsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		nv    int
+		edges []Edge
+		want  string
+	}{
+		{"negative_vertices", -1, nil, "negative vertex count"},
+		{"out_of_range_u", 4, []Edge{{U: 4, V: 1, Len: 3}}, "out of range"},
+		{"out_of_range_v", 4, []Edge{{U: 1, V: 9, Len: 3}}, "out of range"},
+		{"self_loop", 4, []Edge{{U: 2, V: 2, Len: 3}}, "self-loop"},
+		{"zero_length", 4, []Edge{{U: 1, V: 2, Len: 0}}, "zero overlap length"},
+		{"unsorted_u", 4, []Edge{{U: 2, V: 1, Len: 3}, {U: 1, V: 2, Len: 3}}, "not sorted"},
+		{"unsorted_v", 4, []Edge{{U: 1, V: 3, Len: 3}, {U: 1, V: 2, Len: 3}}, "not sorted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromEdgeRuns(tc.nv, sliceIter(tc.edges))
+			if err == nil {
+				t.Fatalf("want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "succinct:") {
+				t.Fatalf("error %q not namespaced", err)
+			}
+		})
+	}
+}
+
+func TestDuplicatesKeepLongest(t *testing.T) {
+	g, err := FromEdgeRuns(4, sliceIter([]Edge{
+		{U: 1, V: 2, Len: 10},
+		{U: 1, V: 2, Len: 30},
+		{U: 1, V: 2, Len: 20},
+		{U: 1, V: 3, Len: 5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(g)
+	want := []Edge{{U: 1, V: 2, Len: 30}, {U: 1, V: 3, Len: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransitiveReduceMatchesSpmat builds the same graph in both
+// backends and checks the masked pass removes the identical edge set —
+// the property that makes the succinct backend's contigs byte-identical
+// to spmat's.
+func TestTransitiveReduceMatchesSpmat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vertexLen := func(v uint32) int { return 120 + int(v%9) }
+	for trial := 0; trial < 15; trial++ {
+		numReads := rng.Intn(40) + 4
+		nv := 2 * numReads
+		sb := spmat.NewBuilder(numReads)
+		for i := 0; i < 6*numReads; i++ {
+			u := uint32(rng.Intn(nv))
+			v := uint32(rng.Intn(nv))
+			sb.AddOverlap(u, v, uint16(rng.Intn(100)+10))
+		}
+		m := sb.Build()
+		var stream []Edge
+		m.Edges(func(e spmat.Edge) { stream = append(stream, Edge{U: e.U, V: e.V, Len: e.Len}) })
+		g, err := FromEdgeRuns(nv, sliceIter(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzz := rng.Intn(3)
+		mr, err := m.TransitiveReduce(context.Background(), spmat.ReduceConfig{
+			Device: testDevice(), VertexLen: vertexLen, Fuzz: fuzz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := g.TransitiveReduce(context.Background(), ReduceConfig{
+			Device: testDevice(), VertexLen: vertexLen, Fuzz: fuzz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Removed != mr.Removed || gr.Flops != mr.Flops {
+			t.Fatalf("trial %d: removed/flops %d/%d vs spmat %d/%d",
+				trial, gr.Removed, gr.Flops, mr.Removed, mr.Flops)
+		}
+		var wantLive []Edge
+		mr.Live(func(e spmat.Edge) { wantLive = append(wantLive, Edge{U: e.U, V: e.V, Len: e.Len}) })
+		var gotLive []Edge
+		next := gr.LiveEdges()
+		for {
+			e, ok := next()
+			if !ok {
+				break
+			}
+			gotLive = append(gotLive, e)
+		}
+		if len(gotLive) != len(wantLive) {
+			t.Fatalf("trial %d: %d live vs %d", trial, len(gotLive), len(wantLive))
+		}
+		for k := range wantLive {
+			if gotLive[k] != wantLive[k] {
+				t.Fatalf("trial %d: live %d: %+v vs %+v", trial, k, gotLive[k], wantLive[k])
+			}
+		}
+		// LiveView must agree with LiveEdges.
+		var viewLive []Edge
+		lv := gr.LiveView()
+		for u := uint32(0); u < uint32(nv); u++ {
+			lv.EachOut(u, func(to uint32, l uint16) bool {
+				viewLive = append(viewLive, Edge{U: u, V: to, Len: l})
+				return true
+			})
+		}
+		if len(viewLive) != len(gotLive) {
+			t.Fatalf("trial %d: LiveView %d edges vs %d", trial, len(viewLive), len(gotLive))
+		}
+		for k := range gotLive {
+			if viewLive[k] != gotLive[k] {
+				t.Fatalf("trial %d: LiveView %d: %+v vs %+v", trial, k, viewLive[k], gotLive[k])
+			}
+		}
+	}
+}
+
+// TestBuilderSinglePass pins the streaming construction: the peak bytes
+// the builder charges stay below the uncompressed edge list (10 B/entry,
+// the raw COO footprint spmat's builder accumulates) and below the CSR
+// layout, because the builder never materializes either.
+func TestBuilderSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nv := 4000
+	edges := randomSortedEdges(rng, nv, 30000)
+	var mem stats.MemTracker
+	b, err := NewBuilder(nv, &mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := b.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeList := 10 * g.NNZ()
+	csr := 8*int64(nv+1) + 6*g.NNZ()
+	if b.MaxChargedBytes() >= edgeList {
+		t.Fatalf("builder peak %d not below edge-list %d bytes", b.MaxChargedBytes(), edgeList)
+	}
+	if mem.Peak() >= edgeList {
+		t.Fatalf("tracker peak %d not below edge-list %d bytes", mem.Peak(), edgeList)
+	}
+	if g.Bytes() >= csr {
+		t.Fatalf("sealed graph %d bytes not below CSR %d", g.Bytes(), csr)
+	}
+	if mem.Current() != g.HostBytes() {
+		t.Fatalf("tracker current %d != HostBytes %d", mem.Current(), g.HostBytes())
+	}
+	mem.Release(g.HostBytes())
+	if mem.Current() != 0 {
+		t.Fatalf("tracker leaks %d bytes after release", mem.Current())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdgeRuns(0, sliceIter(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NNZ() != 0 || g.NumVertices() != 0 {
+		t.Fatalf("empty graph: nnz=%d n=%d", g.NNZ(), g.NumVertices())
+	}
+	r, err := g.TransitiveReduce(context.Background(), ReduceConfig{
+		Device: testDevice(), VertexLen: func(uint32) int { return 100 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Removed != 0 {
+		t.Fatalf("removed = %d", r.Removed)
+	}
+}

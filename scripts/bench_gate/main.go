@@ -1,15 +1,17 @@
 // Command bench_gate compares a committed benchmark baseline JSON
-// against a freshly generated one and fails when any modeled-seconds
-// metric regressed by more than the threshold (default 15%).
+// against a freshly generated one and fails when any gated metric
+// regressed by more than the threshold (default 15%).
 //
 //	go run ./scripts/bench_gate [-threshold 0.15] baseline.json current.json
 //
 // The gate is intentionally narrow: it walks both documents and compares
-// only numeric fields whose key contains "modeled" (case-insensitive) —
-// the deterministic cost-model outputs. Wall-clock fields, edge counts,
-// and throughput numbers are machine- or load-dependent and are ignored,
-// as are paths present in only one file (new benchmarks don't fail the
-// gate until their baseline is committed).
+// only numeric fields whose key contains "modeled" or "hostpeak"
+// (case-insensitive) — the deterministic cost-model outputs and the
+// tracker-measured host memory peaks, both of which are reproducible
+// across machines. Wall-clock fields, edge counts, and throughput
+// numbers are machine- or load-dependent and are ignored, as are paths
+// present in only one file (new benchmarks don't fail the gate until
+// their baseline is committed).
 package main
 
 import (
@@ -77,7 +79,8 @@ func main() {
 }
 
 // loadMetrics flattens the JSON document at path into dotted-path ->
-// value for every numeric leaf whose final key contains "modeled".
+// value for every numeric leaf whose final key contains "modeled" or
+// "hostpeak".
 func loadMetrics(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -106,7 +109,8 @@ func walk(v any, prefix string, out map[string]float64) {
 				p = prefix + "." + k
 			}
 			if f, ok := node[k].(float64); ok {
-				if strings.Contains(strings.ToLower(k), "modeled") {
+				lk := strings.ToLower(k)
+				if strings.Contains(lk, "modeled") || strings.Contains(lk, "hostpeak") {
 					out[p] = f
 				}
 				continue

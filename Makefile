@@ -31,6 +31,7 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=3 -run 'TestStreamStress|TestAllocPeakNeverExceedsCapacity|TestAllocationConcurrentFreeIdempotent' ./internal/gpu/
 	$(GO) test -race -count=3 -run 'TestFleetSchedulerStress|TestSchedulerWorkStealing|TestSchedulerPreemptionDrain' ./internal/serve/
+	$(GO) test -race -count=3 -run 'TestPooledBufferConcurrentSorts|TestBlockPoolConcurrentRoundTrips' ./internal/extsort/ ./internal/kvio/
 
 # Short fuzz passes over the parsers and the packed encoding; the seed
 # corpora live under testdata/fuzz/.
@@ -63,13 +64,18 @@ bench:
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
 	BENCH_MEM_OUT=$(CURDIR)/BENCH_mem.json \
 		$(GO) test -run=NONE -bench=GraphBackendMemory -benchtime=1x .
+	BENCH_WALL_OUT=$(CURDIR)/BENCH_wall.json \
+		$(GO) test -run=NONE -bench=HotPaths -benchtime=1x .
 
 # Regenerate the JSON-emitting benchmarks and compare their modeled and
 # host-peak metrics against the committed baselines under bench/,
 # failing on any >15% regression. Wall-clock and throughput numbers are
 # machine-dependent and are not gated (BENCH_serve.json and
 # BENCH_fleet.json have no gated fields, so their comparisons are
-# structural no-ops by design).
+# structural no-ops by design) — except the hot-path loops in
+# BENCH_wall.json, whose ns/op is gated at a deliberately generous 40%
+# and whose allocs/op is gated absolutely (a zero-alloc loop must stay
+# zero-alloc).
 bench-gate:
 	BENCH_STREAMS_OUT=$(CURDIR)/BENCH_streams.json \
 		$(GO) test -run=NONE -bench=PipelineStreams -benchtime=1x .
@@ -81,11 +87,14 @@ bench-gate:
 		$(GO) test -run=NONE -bench=GraphBackends -benchtime=1x .
 	BENCH_MEM_OUT=$(CURDIR)/BENCH_mem.json \
 		$(GO) test -run=NONE -bench=GraphBackendMemory -benchtime=1x .
+	BENCH_WALL_OUT=$(CURDIR)/BENCH_wall.json \
+		$(GO) test -run=NONE -bench=HotPaths -benchtime=1x .
 	$(GO) run ./scripts/bench_gate bench/BENCH_streams.json BENCH_streams.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_serve.json BENCH_serve.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_fleet.json BENCH_fleet.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_graph.json BENCH_graph.json
 	$(GO) run ./scripts/bench_gate bench/BENCH_mem.json BENCH_mem.json
+	$(GO) run ./scripts/bench_gate bench/BENCH_wall.json BENCH_wall.json
 
 cover:
 	$(GO) test -cover ./...
@@ -115,6 +124,6 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 clean:
-	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_fleet.json BENCH_streams.json BENCH_graph.json BENCH_mem.json
+	rm -f test_output.txt bench_output.txt trace.json BENCH_serve.json BENCH_fleet.json BENCH_streams.json BENCH_graph.json BENCH_mem.json BENCH_wall.json
 	rm -rf work workspace scratch lasagna-workspace
 	$(GO) clean -fuzzcache

@@ -1,0 +1,303 @@
+// Wall-clock micro-benchmarks for the three real hot loops of the
+// pipeline — the Rabin-Karp fingerprint scan, kvio pair serialization,
+// and the external sort's device chunk sort — plus the BENCH_wall.json
+// emission the bench_gate wall-clock rule consumes.
+//
+// Unlike the modeled-seconds benchmarks (BenchmarkTable2 etc.), these
+// measure raw host nanoseconds and allocations per operation: the cost
+// model is deliberately identical before and after any hot-path rework,
+// so wall time is the only signal that the loops actually got faster.
+//
+// BenchmarkHotPaths does its own calibration (warmup, then grow the
+// iteration count until a loop runs long enough to time stably) instead
+// of relying on b.N, because the gate needs steady-state numbers — in
+// particular allocs/op after buffer pools are warm — even under
+// -benchtime=1x. testing.Benchmark cannot be used from inside a running
+// benchmark (it deadlocks on the global benchmark lock), so the
+// measurement is explicit:
+//
+//	BENCH_WALL_OUT=BENCH_wall.json go test -run=NONE -bench='^BenchmarkHotPaths$' -benchtime=1x .
+package lasagna
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/fingerprint"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+	"repro/internal/kvio"
+)
+
+// Workload shapes for the hot loops. The kvio loop rotates its files
+// every hotFileBatches operations so file open/close cost amortizes to
+// nothing and the steady-state inner loop dominates.
+const (
+	hotReadLen     = 100  // bases per read in the fingerprint scan
+	hotReadCount   = 64   // distinct reads cycled through per scan op
+	hotBatchPairs  = 1024 // pairs per kvio read/write batch
+	hotFileBatches = 512  // batches written per kvio file rotation
+	hotChunkPairs  = 2048 // m_d-sized device chunk for the sort loop
+)
+
+// wallRow is one hot loop's measurement in BENCH_wall.json. The nsPerOp
+// and allocsPerOp fields are gated by scripts/bench_gate (nsPerOp with
+// the generous wall-clock threshold, allocsPerOp absolutely); bytesPerOp
+// is informational.
+type wallRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+}
+
+type wallReport struct {
+	Loops []wallRow `json:"loops"`
+}
+
+// wallLoop is one benchmarked hot loop: setup returns the operation to
+// be timed and a cleanup. The op may keep internal state (open files,
+// rotation counters); it must be safe to call any number of times.
+type wallLoop struct {
+	name  string
+	setup func() (op func() error, cleanup func(), err error)
+}
+
+// hotPathLoops returns the gated hot loops. TestBenchWallBaseline pins
+// the committed baseline against exactly this list, so the gate can
+// never silently compare an empty intersection.
+func hotPathLoops() []wallLoop {
+	return []wallLoop{
+		{"fingerprint_scan", setupFingerprintScan},
+		{"kvio_roundtrip", setupKVIORoundtrip},
+		{"extsort_chunk_sort", setupChunkSort},
+	}
+}
+
+// setupFingerprintScan times one read's prefix+suffix fingerprint scan
+// (the map phase's inner kernel pair), cycling through a fixed set of
+// random reads so branch history cannot memorize one sequence.
+func setupFingerprintScan() (func() error, func(), error) {
+	rng := rand.New(rand.NewSource(42))
+	reads := make([]dna.Seq, hotReadCount)
+	for i := range reads {
+		s := make(dna.Seq, hotReadLen)
+		for j := range s {
+			s[j] = byte(rng.Intn(4))
+		}
+		reads[i] = s
+	}
+	dev := gpu.NewDevice(gpu.K40, nil)
+	table := fingerprint.NewTable(hotReadLen)
+	kern := fingerprint.NewKernel(table)
+	pf := make([]kv.Key, hotReadLen)
+	sf := make([]kv.Key, hotReadLen)
+	i := 0
+	op := func() error {
+		s := reads[i%hotReadCount]
+		i++
+		p := kern.Prefixes(dev, s, pf)
+		kern.Suffixes(dev, p, sf)
+		return nil
+	}
+	return op, func() {}, nil
+}
+
+// setupKVIORoundtrip times one batch of pair serialization in each
+// direction: a WriteBatch into an open writer plus a ReadBatch from an
+// independent pre-written file. Files rotate every hotFileBatches ops.
+func setupKVIORoundtrip() (func() error, func(), error) {
+	dir, err := os.MkdirTemp("", "hotpaths-kvio-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	rng := rand.New(rand.NewSource(43))
+	batch := make([]kv.Pair, hotBatchPairs)
+	for i := range batch {
+		batch[i] = kv.Pair{Key: kv.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, Val: rng.Uint32()}
+	}
+	readPath := filepath.Join(dir, "read.kv")
+	writePath := filepath.Join(dir, "write.kv")
+	w, err := kvio.NewWriter(readPath, nil)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	for i := 0; i < hotFileBatches; i++ {
+		if err := w.WriteBatch(batch); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if w, err = kvio.NewWriter(writePath, nil); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	r, err := kvio.NewReader(readPath, nil)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	dst := make([]kv.Pair, hotBatchPairs)
+	ops := 0
+	op := func() error {
+		if ops > 0 && ops%hotFileBatches == 0 {
+			// Rotate: reopen both files so neither grows without bound
+			// nor drains to EOF. Amortized over hotFileBatches ops.
+			if err := w.Close(); err != nil {
+				return err
+			}
+			if err := r.Close(); err != nil {
+				return err
+			}
+			if w, err = kvio.NewWriter(writePath, nil); err != nil {
+				return err
+			}
+			if r, err = kvio.NewReader(readPath, nil); err != nil {
+				return err
+			}
+		}
+		ops++
+		if err := w.WriteBatch(batch); err != nil {
+			return err
+		}
+		_, err := r.ReadBatch(dst)
+		return err
+	}
+	fullCleanup := func() {
+		w.Close()
+		r.Close()
+		cleanup()
+	}
+	return op, fullCleanup, nil
+}
+
+// setupChunkSort times the device radix sort of one m_d-sized chunk,
+// the innermost kernel of the external sort's run-formation pass. Each
+// op re-copies the chunk from a pristine shuffle so every sort does the
+// same work.
+func setupChunkSort() (func() error, func(), error) {
+	rng := rand.New(rand.NewSource(44))
+	pristine := make([]kv.Pair, hotChunkPairs)
+	for i := range pristine {
+		pristine[i] = kv.Pair{Key: kv.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, Val: rng.Uint32()}
+	}
+	work := make([]kv.Pair, hotChunkPairs)
+	dev := gpu.NewDevice(gpu.K40, nil)
+	op := func() error {
+		copy(work, pristine)
+		dev.SortPairs(work)
+		return nil
+	}
+	return op, func() {}, nil
+}
+
+// Measurement knobs: each loop warms up (filling buffer pools and
+// caches), then the iteration count grows until one timed run lasts at
+// least measureTarget, so the ns/op resolution is far below the gate's
+// threshold and pool warmup allocations amortize to zero.
+const (
+	wallWarmupOps = 8
+	measureTarget = 200 * time.Millisecond
+	measureMaxOps = 1 << 20
+)
+
+// measureLoop runs one hot loop to a steady-state measurement. minOps
+// lets the smoke test bound the work; pass 0 for the full calibration.
+func measureLoop(l wallLoop, minOps int) (wallRow, error) {
+	op, cleanup, err := l.setup()
+	if err != nil {
+		return wallRow{}, fmt.Errorf("%s: setup: %w", l.name, err)
+	}
+	defer cleanup()
+	for i := 0; i < wallWarmupOps; i++ {
+		if err := op(); err != nil {
+			return wallRow{}, fmt.Errorf("%s: warmup: %w", l.name, err)
+		}
+	}
+	n := 64
+	if minOps > 0 {
+		n = minOps
+	}
+	var ms0, ms1 runtime.MemStats
+	for {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := op(); err != nil {
+				return wallRow{}, fmt.Errorf("%s: op: %w", l.name, err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if minOps > 0 || elapsed >= measureTarget || n >= measureMaxOps {
+			return wallRow{
+				Name:        l.name,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+				BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+			}, nil
+		}
+		// Grow toward the target in a few steps.
+		grow := int(float64(n) * float64(measureTarget) / float64(elapsed+1) * 1.2)
+		if grow < 2*n {
+			grow = 2 * n
+		}
+		if grow > measureMaxOps {
+			grow = measureMaxOps
+		}
+		n = grow
+	}
+}
+
+// writeWallReport writes the measured loops as BENCH_wall.json.
+func writeWallReport(path string, rows []wallRow) error {
+	data, err := json.MarshalIndent(wallReport{Loops: rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchmarkHotPaths measures every hot loop at steady state and reports
+// ns/op and allocs/op per loop. When BENCH_WALL_OUT names a file, the
+// table is written there for the bench_gate wall-clock rule. The
+// measurement is self-calibrating and independent of b.N (see the
+// package comment), so -benchtime=1x gives full-quality numbers.
+func BenchmarkHotPaths(b *testing.B) {
+	var rows []wallRow
+	for _, l := range hotPathLoops() {
+		row, err := measureLoop(l, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+		b.ReportMetric(row.NsPerOp, l.name+"-ns/op")
+		b.Logf("%s: %.0f ns/op, %.2f allocs/op, %.0f B/op",
+			l.name, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+	}
+	// Keep the conventional loop so `go test -bench` accounting stays
+	// sane; the real measurement happened above.
+	for i := 0; i < b.N; i++ {
+	}
+	out := os.Getenv("BENCH_WALL_OUT")
+	if out == "" {
+		return
+	}
+	if err := writeWallReport(out, rows); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d loops)\n", out, len(rows))
+}

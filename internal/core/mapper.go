@@ -271,10 +271,11 @@ func (m *Mapper) writeBatch(tuples []mapTuple, sfxW, pfxW *kvio.PartitionWriters
 }
 
 // fpKernel is the subset of the fingerprint kernels the mapper needs,
-// satisfied by both the Hillis-Steele and the naive formulation.
+// satisfied by both the Hillis-Steele and the naive formulation. The
+// batched entry point computes both fingerprint arrays of a read at once
+// so the scan kernel can amortize its metering over the pair.
 type fpKernel interface {
-	Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key
-	Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key
+	ScanRead(dev *gpu.Device, s dna.Seq, pout, sout []kv.Key) (pf, sf []kv.Key)
 }
 
 // runBlock executes one simulated thread block over reads [lo, hi).
@@ -298,8 +299,7 @@ func (m *Mapper) runBlock(rs dna.ReadSource, lo, hi int) []mapTuple {
 				seq = rc
 			}
 			v := dna.ForwardVertex(uint32(r)) | strand
-			pf := kern.Prefixes(m.Dev, seq, pfps)
-			sf := kern.Suffixes(m.Dev, pf, sfps)
+			pf, sf := kern.ScanRead(m.Dev, seq, pfps, sfps)
 			// Keep lengths [lmin, len); the full-length partition is
 			// dropped to avoid self-loops (Section III-A).
 			for l := m.MinOverlap; l < len(seq); l++ {

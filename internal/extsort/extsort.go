@@ -183,16 +183,28 @@ func sortRuns(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, in *kvio.Re
 		nbufs = 2
 	}
 	hostBytes := int64((nbufs+1)*blockPairs) * hostPairBytes // block buffer(s) + merge scratch
-	release := func() {}
+	memRelease := func() {}
 	if cfg.HostMem != nil {
 		cfg.HostMem.Add(hostBytes)
-		release = func() { cfg.HostMem.Release(hostBytes) }
+		memRelease = func() { cfg.HostMem.Release(hostBytes) }
 	}
 	blocks := make([][]kv.Pair, nbufs)
 	for i := range blocks {
-		blocks[i] = make([]kv.Pair, blockPairs)
+		blocks[i] = getPairs(blockPairs)
 	}
-	scratch := make([]kv.Pair, blockPairs)
+	scratch := getPairs(blockPairs)
+	release := func() {
+		// An early return can leave a block read in flight on the async
+		// I/O stream; barrier it before the buffers go back to the pool,
+		// or a concurrent sort could be handed a buffer the executor is
+		// still filling.
+		ioS.Sync()
+		for _, b := range blocks {
+			putPairs(b)
+		}
+		putPairs(scratch)
+		memRelease()
+	}
 
 	// pending carries one block read's result across the async boundary;
 	// Stream.Sync is the happens-before edge that publishes it.
@@ -365,6 +377,7 @@ func drainRun(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, path string
 		defer cfg.HostMem.Release(hostBytes)
 	}
 	ws := newWindowStream(r, capPairs, false)
+	defer ws.release()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -558,7 +571,8 @@ func mergeInMemory(ctx context.Context, cfg Config, cmp *gpu.Stream, a, b []kv.P
 	if half < 1 {
 		half = 1
 	}
-	out := make([]kv.Pair, 0, 2*half)
+	out := getPairs(2 * half)[:0]
+	defer putPairs(out)
 	for len(a) > 0 && len(b) > 0 {
 		wa, wb := window(a, half), window(b, half)
 		// Entirely ordered windows short-circuit without a device trip
@@ -684,6 +698,13 @@ func mergeRuns(ctx context.Context, cfg Config, ioS, cmp *gpu.Stream, pathA, pat
 	}
 	wa := newWindowStream(ra, aCap, streams)
 	wb := newWindowStream(rb, bCap, streams)
+	defer func() {
+		// An early return can leave prefetch ops in flight; barrier the
+		// I/O stream before the window buffers go back to the pool.
+		ioS.Sync()
+		wa.release()
+		wb.release()
+	}()
 
 	if streams {
 		wa.advance(ioS, 0)
@@ -814,11 +835,22 @@ type windowStream struct {
 }
 
 func newWindowStream(r *kvio.Reader, capPairs int, spare bool) *windowStream {
-	ws := &windowStream{r: r, buf: make([]kv.Pair, 0, capPairs), cap: capPairs}
+	ws := &windowStream{r: r, buf: getPairs(capPairs)[:0], cap: capPairs}
 	if spare {
-		ws.spare = make([]kv.Pair, 0, capPairs)
+		ws.spare = getPairs(capPairs)[:0]
 	}
 	return ws
+}
+
+// release returns the stream's buffers to the pool. buf and spare are
+// always distinct arrays (adopt swaps, never merges them), and pendingBuf
+// only ever aliases spare, so each backing array is recycled exactly once.
+func (ws *windowStream) release() {
+	putPairs(ws.buf)
+	if ws.spare != nil {
+		putPairs(ws.spare)
+	}
+	ws.buf, ws.spare, ws.pendingBuf = nil, nil, nil
 }
 
 // fill tops the window up to capacity.

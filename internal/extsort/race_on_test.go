@@ -1,0 +1,7 @@
+//go:build race
+
+package extsort
+
+// raceEnabled lets allocation-sensitive tests skip byte-exact assertions
+// when the race detector's instrumentation inflates every allocation.
+const raceEnabled = true

@@ -16,6 +16,24 @@
 //
 // Both moduli are large primes; base codes are offset by one so that the
 // all-A prefix family does not collapse to a single fingerprint value.
+//
+// # Hot-path arithmetic
+//
+// The scan kernels run once per base per doubling step for every read in
+// the dataset, so the modular multiply is the single hottest operation in
+// the map phase. Both primes were chosen (by the paper, conveniently) to
+// admit division-free reduction, and the kernels exploit that instead of
+// the generic 128/64 hardware divide:
+//
+//   - PrimeA = 2^61-1 is Mersenne: 2^64 ≡ 8 and 2^61 ≡ 1, so a 128-bit
+//     product folds into the 61-bit residue with shifts and adds
+//     (mulmodA).
+//   - PrimeB = 2^64-59: 2^64 ≡ 59, so the high product word folds in via
+//     one extra 64x64 multiply by 59 (mulmodB).
+//
+// The generic division-based mulmod is kept as the reference the tests
+// compare against. Base digits are 1..4, strictly below both primes, so
+// the per-base encode needs no reduction at all.
 package fingerprint
 
 import (
@@ -45,11 +63,51 @@ var (
 // partitioning of the fingerprint space divides this interval.
 const KeySpaceHi = 2305843009213693951
 
-// mulmod returns a*b mod m using a 128-bit intermediate product.
+const (
+	mersenne61 = uint64(1)<<61 - 1    // ParamsA.Prime
+	primeB     = 18446744073709551557 // ParamsB.Prime = 2^64 - 59
+	primeBFold = 59                   // 2^64 mod primeB
+)
+
+// mulmod returns a*b mod m using a 128-bit intermediate product and a
+// hardware divide. It is the generic reference path: the kernels use the
+// shift-free reductions below, which the tests pin against this one.
 func mulmod(a, b, m uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	_, rem := bits.Div64(hi%m, lo, m)
 	return rem
+}
+
+// mulmodA returns a*b mod 2^61-1 for a,b < 2^61-1 without dividing.
+// With p = 2^61-1, 2^64 ≡ 8 and 2^61 ≡ 1 (mod p), so the 128-bit product
+// hi·2^64 + lo folds to hi·8 + (lo>>61) + (lo&p). hi < 2^58, so
+// hi<<3 | lo>>61 is exact and below 2^61; one conditional subtract
+// finishes the reduction.
+func mulmodA(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	t := (hi<<3 | lo>>61) + (lo & mersenne61)
+	if t >= mersenne61 {
+		t -= mersenne61
+	}
+	return t
+}
+
+// mulmodB returns a*b mod 2^64-59 for a,b < 2^64-59 without dividing.
+// With p = 2^64-59, 2^64 ≡ 59 (mod p): the product hi·2^64 + lo folds to
+// hi·59 + lo, and hi·59 (itself up to 2^70) folds once more through its
+// own high word, which is at most 58 — so the second fold adds at most
+// 59·59 and two conditional fixups complete the reduction.
+func mulmodB(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	h2, l2 := bits.Mul64(hi, primeBFold)
+	s, c := bits.Add64(lo, l2, 0)
+	t, c2 := bits.Add64(s, (h2+c)*primeBFold, 0)
+	if c2 != 0 {
+		t += primeBFold
+	} else if t >= primeB {
+		t -= primeB
+	}
+	return t
 }
 
 // addmod returns a+b mod m for a,b < m.
@@ -71,7 +129,7 @@ func submod(a, b, m uint64) uint64 {
 
 // encode maps a 2-bit base code to its hash digit. The +1 keeps prefixes
 // of different lengths from colliding when the leading bases encode to
-// zero.
+// zero. Digits are 1..4, below both primes, so no reduction is needed.
 func encode(code byte) uint64 { return uint64(code) + 1 }
 
 // Table holds the precomputed place values M[i] = radix^i mod prime for
@@ -106,16 +164,26 @@ func (t *Table) MaxLen() int { return t.maxLen }
 // the scan kernels are tested against, and is also used by substrates that
 // hash one string at a time.
 func (t *Table) Fingerprint(s dna.Seq) kv.Key {
-	var out [2]uint64
-	for h := 0; h < 2; h++ {
-		p := t.params[h]
-		var acc uint64
-		for _, c := range s {
-			acc = addmod(mulmod(acc, p.Radix, p.Prime), encode(c)%p.Prime, p.Prime)
+	// Component A: acc < 2^61-1, so acc*5 + digit fits in 64 bits and
+	// folds shift-free (2^61 ≡ 1 mod p).
+	var a uint64
+	for _, c := range s {
+		v := a*5 + encode(c)
+		a = (v & mersenne61) + (v >> 61)
+		if a >= mersenne61 {
+			a -= mersenne61
 		}
-		out[h] = acc
 	}
-	return kv.Key{Hi: out[0], Lo: out[1]}
+	// Component B: acc*7 overflows 64 bits, so fold through mulmodB. The
+	// digit add cannot carry (acc ≤ p-1 = 2^64-60, digit ≤ 4).
+	var b uint64
+	for _, c := range s {
+		b = mulmodB(b, 7) + encode(c)
+		if b >= primeB {
+			b -= primeB
+		}
+	}
+	return kv.Key{Hi: a, Lo: b}
 }
 
 // Kernel computes prefix and suffix fingerprints for one read at a time
@@ -138,9 +206,117 @@ func NewKernel(t *Table) *Kernel {
 	return k
 }
 
+// sizedKeys returns out resized to n, allocating only when out (nil or
+// short) cannot hold n keys. This is the out-slice contract of every
+// kernel entry point: the result is out[:n] when cap(out) >= n, a fresh
+// slice otherwise, and the contents are fully overwritten either way.
+func sizedKeys(out []kv.Key, n int) []kv.Key {
+	if cap(out) < n {
+		return make([]kv.Key, n)
+	}
+	return out[:n]
+}
+
+// scanStepA is one Hillis-Steele doubling step of the PrimeA component:
+// next[i] = cur[i-offset]*m + cur[i] mod 2^61-1 for i in [offset, n).
+func scanStepA(next, cur []uint64, offset int, m uint64) {
+	for i := offset; i < len(cur); i++ {
+		hi, lo := bits.Mul64(cur[i-offset], m)
+		t := (hi<<3 | lo>>61) + (lo & mersenne61)
+		if t >= mersenne61 {
+			t -= mersenne61
+		}
+		t += cur[i] // both < 2^61: no overflow
+		if t >= mersenne61 {
+			t -= mersenne61
+		}
+		next[i] = t
+	}
+}
+
+// scanStepB is the same step for the PrimeB component, with the 2^64-59
+// fold and a carry-aware add.
+func scanStepB(next, cur []uint64, offset int, m uint64) {
+	for i := offset; i < len(cur); i++ {
+		v := mulmodB(cur[i-offset], m)
+		s, carry := bits.Add64(v, cur[i], 0)
+		if carry != 0 {
+			s += primeBFold
+		} else if s >= primeB {
+			s -= primeB
+		}
+		next[i] = s
+	}
+}
+
+// scanComponent runs the full doubling scan for hash component h over s,
+// leaving the prefix values in the returned slice (one of the kernel's
+// double buffers). It returns the number of doubling steps executed.
+func (k *Kernel) scanComponent(h int, s dna.Seq) ([]uint64, int) {
+	n := len(s)
+	place := k.table.place[h]
+	cur, next := k.cur[h][:n], k.next[h][:n]
+	// Each thread encodes its base (array E in the paper). Digits are
+	// 1..4 < prime, so no reduction.
+	for i, c := range s {
+		cur[i] = encode(c)
+	}
+	steps := 0
+	// Iterative doubling with a barrier between steps.
+	for offset := 1; offset < n; offset *= 2 {
+		steps++
+		m := place[offset]
+		copy(next[:offset], cur[:offset])
+		if h == 0 {
+			scanStepA(next, cur, offset, m)
+		} else {
+			scanStepB(next, cur, offset, m)
+		}
+		cur, next = next, cur
+	}
+	return cur, steps
+}
+
+// prefixScan fills out with the prefix fingerprints of s and returns the
+// scan's step count (for the caller to charge).
+func (k *Kernel) prefixScan(s dna.Seq, out []kv.Key) ([]kv.Key, int) {
+	n := len(s)
+	if n > k.table.maxLen {
+		panic("fingerprint: read longer than table maxLen")
+	}
+	out = sizedKeys(out, n)
+	a, steps := k.scanComponent(0, s)
+	for i, v := range a {
+		out[i].Hi = v
+	}
+	b, stepsB := k.scanComponent(1, s)
+	for i, v := range b {
+		out[i].Lo = v
+	}
+	return out, steps + stepsB
+}
+
+// suffixDerive fills out with the suffix fingerprints derived from the
+// prefix fingerprints (Fig. 6), without charging.
+func (k *Kernel) suffixDerive(prefixes []kv.Key, out []kv.Key) []kv.Key {
+	n := len(prefixes)
+	out = sizedKeys(out, n)
+	placeA, placeB := k.table.place[0], k.table.place[1]
+	wholeA := prefixes[n-1].Hi
+	wholeB := prefixes[n-1].Lo
+	out[0].Hi = wholeA
+	out[0].Lo = wholeB
+	for i := 1; i < n; i++ {
+		out[i].Hi = submod(wholeA, mulmodA(prefixes[i-1].Hi, placeA[n-i]), mersenne61)
+		out[i].Lo = submod(wholeB, mulmodB(prefixes[i-1].Lo, placeB[n-i]), primeB)
+	}
+	return out
+}
+
 // Prefixes fills out[i] with the fingerprint of s[0:i+1] for every i,
-// using the Hillis-Steele scan of Fig. 5. out must have len(s) capacity;
-// the filled prefix is returned.
+// using the Hillis-Steele scan of Fig. 5. When cap(out) >= len(s) the
+// result aliases out; a nil or shorter slice is grown. The filled prefix
+// is returned.
 //
 // Each doubling step reads the previous step's values and writes fresh
 // ones (double buffering), which is the lock-step barrier semantics of a
@@ -150,38 +326,8 @@ func NewKernel(t *Table) *Kernel {
 //
 // where M is the place-value array.
 func (k *Kernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key {
+	out, steps := k.prefixScan(s, out)
 	n := len(s)
-	if n > k.table.maxLen {
-		panic("fingerprint: read longer than table maxLen")
-	}
-	out = out[:n]
-	steps := 0
-	for h := 0; h < 2; h++ {
-		p := k.table.params[h]
-		place := k.table.place[h]
-		cur, next := k.cur[h][:n], k.next[h][:n]
-		// Each thread encodes its base (array E in the paper).
-		for i, c := range s {
-			cur[i] = encode(c) % p.Prime
-		}
-		// Iterative doubling with a barrier between steps.
-		for offset := 1; offset < n; offset *= 2 {
-			steps++
-			m := place[offset]
-			copy(next[:offset], cur[:offset])
-			for i := offset; i < n; i++ {
-				next[i] = addmod(mulmod(cur[i-offset], m, p.Prime), cur[i], p.Prime)
-			}
-			cur, next = next, cur
-		}
-		for i := 0; i < n; i++ {
-			if h == 0 {
-				out[i].Hi = cur[i]
-			} else {
-				out[i].Lo = cur[i]
-			}
-		}
-	}
 	// Each step touches every thread's element once (read + write).
 	dev.ChargeKernel(int64(steps)*int64(n)*16, int64(steps)*int64(n))
 	return out
@@ -189,30 +335,27 @@ func (k *Kernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key {
 
 // Suffixes fills out[i] with the fingerprint of s[i:] for every i, derived
 // from the prefix fingerprints as in Fig. 6. prefixes must be the output
-// of Prefixes for the same read. out must have len(s) capacity.
+// of Prefixes for the same read. When cap(out) >= len(prefixes) the
+// result aliases out; a nil or shorter slice is grown.
 func (k *Kernel) Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key {
+	out = k.suffixDerive(prefixes, out)
 	n := len(prefixes)
-	out = out[:n]
-	for h := 0; h < 2; h++ {
-		p := k.table.params[h]
-		place := k.table.place[h]
-		whole := componentOf(prefixes[n-1], h)
-		for i := 0; i < n; i++ {
-			var v uint64
-			if i == 0 {
-				v = whole
-			} else {
-				v = submod(whole, mulmod(componentOf(prefixes[i-1], h), place[n-i], p.Prime), p.Prime)
-			}
-			if h == 0 {
-				out[i].Hi = v
-			} else {
-				out[i].Lo = v
-			}
-		}
-	}
 	dev.ChargeKernel(int64(n)*2*16, int64(n)*2)
 	return out
+}
+
+// ScanRead computes both the prefix and the suffix fingerprints of one
+// read with a single combined device charge, amortizing the metering of
+// the per-read kernel pair in the map phase's inner loop. The charged
+// totals are exactly the sum of a Prefixes call and a Suffixes call, so
+// modeled counters are identical either way; only the number of meter
+// updates shrinks. The out-slice contract matches Prefixes/Suffixes.
+func (k *Kernel) ScanRead(dev *gpu.Device, s dna.Seq, pout, sout []kv.Key) (pf, sf []kv.Key) {
+	pf, steps := k.prefixScan(s, pout)
+	sf = k.suffixDerive(pf, sout)
+	n := int64(len(s))
+	dev.ChargeKernel(int64(steps)*n*16+n*2*16, int64(steps)*n+n*2)
+	return pf, sf
 }
 
 func componentOf(key kv.Key, h int) uint64 {

@@ -1,0 +1,165 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/dna"
+	"repro/internal/gpu"
+	"repro/internal/kv"
+)
+
+// TestFastMulmodMatchesGeneric pins the shift-free reductions against the
+// generic division-based mulmod across edge cases and random operands.
+func TestFastMulmodMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edgeA := []uint64{0, 1, 2, 4, 5, mersenne61 - 1, mersenne61 / 2, 1 << 60}
+	edgeB := []uint64{0, 1, 2, 7, 59, primeB - 1, primeB / 2, 1 << 63}
+	for i := 0; i < 100000; i++ {
+		var a, b uint64
+		if i < len(edgeA)*len(edgeA) {
+			a, b = edgeA[i/len(edgeA)], edgeA[i%len(edgeA)]
+		} else {
+			a, b = rng.Uint64()%mersenne61, rng.Uint64()%mersenne61
+		}
+		if got, want := mulmodA(a, b), mulmod(a, b, mersenne61); got != want {
+			t.Fatalf("mulmodA(%d, %d) = %d, want %d", a, b, got, want)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		var a, b uint64
+		if i < len(edgeB)*len(edgeB) {
+			a, b = edgeB[i/len(edgeB)], edgeB[i%len(edgeB)]
+		} else {
+			a, b = rng.Uint64()%primeB, rng.Uint64()%primeB
+		}
+		if got, want := mulmodB(a, b), mulmod(a, b, primeB); got != want {
+			t.Fatalf("mulmodB(%d, %d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func randomRead(rng *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+// TestOutSliceContract pins the out-slice behavior of every kernel entry
+// point: nil, shorter-than-needed, exact-size, and oversized out slices
+// all yield the same correct fingerprints; exact-size and oversized
+// slices are reused in place.
+func TestOutSliceContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	table := NewTable(64)
+	s := randomRead(rng, 48)
+	n := len(s)
+	dev := gpu.NewDevice(gpu.K40, nil)
+
+	kernels := map[string]interface {
+		Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Key
+		Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key
+	}{
+		"scan":  NewKernel(table),
+		"naive": NewNaiveKernel(table),
+	}
+	for name, kern := range kernels {
+		want := kern.Prefixes(dev, s, nil)
+		if len(want) != n {
+			t.Fatalf("%s: nil out: got len %d, want %d", name, len(want), n)
+		}
+		wantSfx := kern.Suffixes(dev, want, nil)
+
+		cases := map[string][]kv.Key{
+			"nil":       nil,
+			"short":     make([]kv.Key, n/2),
+			"exact":     make([]kv.Key, n),
+			"oversized": make([]kv.Key, 2*n),
+		}
+		for cname, out := range cases {
+			pf := kern.Prefixes(dev, s, out)
+			if len(pf) != n {
+				t.Fatalf("%s/%s: Prefixes len = %d, want %d", name, cname, len(pf), n)
+			}
+			for i := range pf {
+				if pf[i] != want[i] {
+					t.Fatalf("%s/%s: Prefixes[%d] = %v, want %v", name, cname, i, pf[i], want[i])
+				}
+			}
+			if cap(out) >= n && &pf[0] != &out[:1][0] {
+				t.Fatalf("%s/%s: Prefixes did not reuse caller's slice", name, cname)
+			}
+			sf := kern.Suffixes(dev, pf, out2Copy(cases[cname]))
+			if len(sf) != n {
+				t.Fatalf("%s/%s: Suffixes len = %d, want %d", name, cname, len(sf), n)
+			}
+			for i := range sf {
+				if sf[i] != wantSfx[i] {
+					t.Fatalf("%s/%s: Suffixes[%d] = %v, want %v", name, cname, i, sf[i], wantSfx[i])
+				}
+			}
+		}
+	}
+}
+
+// out2Copy gives Suffixes its own out slice with the same shape so the
+// prefix input is never aliased.
+func out2Copy(out []kv.Key) []kv.Key {
+	if out == nil {
+		return nil
+	}
+	return make([]kv.Key, len(out))
+}
+
+// TestScanReadMatchesSeparateCalls pins the batched entry point: same
+// fingerprints, and — for the scan kernel — identical metered totals to a
+// Prefixes call followed by a Suffixes call, in one charge.
+func TestScanReadMatchesSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	table := NewTable(80)
+	for _, n := range []int{1, 2, 3, 17, 80} {
+		s := randomRead(rng, n)
+
+		mSep := costmodel.NewMeter()
+		devSep := gpu.NewDevice(gpu.K40, mSep)
+		kSep := NewKernel(table)
+		pf := kSep.Prefixes(devSep, s, nil)
+		sf := kSep.Suffixes(devSep, pf, nil)
+
+		mBat := costmodel.NewMeter()
+		devBat := gpu.NewDevice(gpu.K40, mBat)
+		kBat := NewKernel(table)
+		pf2, sf2 := kBat.ScanRead(devBat, s, nil, nil)
+
+		for i := range pf {
+			if pf[i] != pf2[i] || sf[i] != sf2[i] {
+				t.Fatalf("n=%d: ScanRead fingerprints diverge at %d", n, i)
+			}
+		}
+		sep, bat := mSep.Snapshot(), mBat.Snapshot()
+		if sep != bat {
+			t.Fatalf("n=%d: ScanRead meter %+v, want %+v", n, bat, sep)
+		}
+	}
+}
+
+// TestScanKernelAllocFree pins the hot loop's zero-allocation property:
+// after warmup, a prefix+suffix scan of one read allocates nothing.
+func TestScanKernelAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	table := NewTable(100)
+	kern := NewKernel(table)
+	dev := gpu.NewDevice(gpu.K40, nil)
+	s := randomRead(rng, 100)
+	pf := make([]kv.Key, 100)
+	sf := make([]kv.Key, 100)
+	allocs := testing.AllocsPerRun(50, func() {
+		kern.ScanRead(dev, s, pf, sf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanRead allocates %.1f times per read, want 0", allocs)
+	}
+}

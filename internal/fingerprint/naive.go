@@ -35,7 +35,7 @@ func (k *NaiveKernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Ke
 	if n > k.table.maxLen {
 		panic("fingerprint: read longer than table maxLen")
 	}
-	out = out[:n]
+	out = sizedKeys(out, n)
 	for h := 0; h < 2; h++ {
 		p := k.table.params[h]
 		var acc uint64
@@ -53,6 +53,16 @@ func (k *NaiveKernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Ke
 	return out
 }
 
+// ScanRead computes both fingerprint arrays of one read. The naive kernel
+// has no metering to amortize — its two kernel launches stay separate
+// charges, exactly as before — so this is just the two calls in sequence,
+// provided so both kernels satisfy the mapper's interface.
+func (k *NaiveKernel) ScanRead(dev *gpu.Device, s dna.Seq, pout, sout []kv.Key) (pf, sf []kv.Key) {
+	pf = k.Prefixes(dev, s, pout)
+	sf = k.Suffixes(dev, pf, sout)
+	return pf, sf
+}
+
 // Suffixes fills out[i] with the fingerprint of s[i:], recomputing each
 // hash from scratch per position the way a per-thread kernel without the
 // prefix-derivation trick would; the arithmetic is O(n) per suffix start
@@ -61,7 +71,7 @@ func (k *NaiveKernel) Prefixes(dev *gpu.Device, s dna.Seq, out []kv.Key) []kv.Ke
 // "avoids scattered writes during suffix fingerprint generation").
 func (k *NaiveKernel) Suffixes(dev *gpu.Device, prefixes []kv.Key, out []kv.Key) []kv.Key {
 	n := len(prefixes)
-	out = out[:n]
+	out = sizedKeys(out, n)
 	for h := 0; h < 2; h++ {
 		p := k.table.params[h]
 		place := k.table.place[h]

@@ -1,6 +1,10 @@
 package gpu
 
-import "repro/internal/kv"
+import (
+	"sync"
+
+	"repro/internal/kv"
+)
 
 // SortPairs sorts ps in place by (128-bit key, 32-bit value) using an LSD
 // radix sort, the algorithm class the paper adopts from Merrill & Grimshaw
@@ -31,29 +35,83 @@ func (d *Device) SortPairsCost(ps []kv.Pair) (memBytes, ops int64) {
 	return memBytes, ops
 }
 
+// radixCols is the number of 8-bit digit columns in the 160-bit composite
+// sort key (Hi ‖ Lo ‖ Val); column 0 is the least significant byte of Val.
+const radixCols = 20
+
+// sortScratchPool recycles the double-buffer scratch across kernel calls.
+// The Device is shared by concurrent worker goroutines, so the pool is a
+// sync.Pool; a pooled buffer too small for the request is simply dropped.
+var sortScratchPool sync.Pool
+
+func getSortScratch(n int) *[]kv.Pair {
+	if v := sortScratchPool.Get(); v != nil {
+		s := v.(*[]kv.Pair)
+		if cap(*s) >= n {
+			*s = (*s)[:n]
+			return s
+		}
+	}
+	s := make([]kv.Pair, n)
+	return &s
+}
+
 // sortPairsKernel executes the radix sort and returns the device-memory
 // bytes and scalar ops it cost, so both the direct Device entry point and
 // the Stream entry point charge the meter and the modeled timeline from
 // the same actual pass count (passes vary with the skip-uniform-digit
 // optimization, so the cost is only known after execution).
+//
+// All 20 digit histograms are built in one sweep over the input before
+// any scatter pass: histograms are permutation-invariant, so counting up
+// front over the original order yields byte-for-byte the same counts —
+// and the same uniform-column skips, and therefore the same executed pass
+// count and modeled charge — as recounting the current permutation before
+// each pass, while touching the array once instead of twenty times. The
+// scatter itself dispatches on which word holds the column's byte rather
+// than calling a per-element extractor closure.
 func sortPairsKernel(ps []kv.Pair) (memBytes, ops int64) {
 	n := len(ps)
-	scratch := make([]kv.Pair, n)
+	scratchPtr := getSortScratch(n)
+	scratch := *scratchPtr
+
+	var counts [radixCols][256]int
+	for i := range ps {
+		p := &ps[i]
+		v, lo, hi := p.Val, p.Key.Lo, p.Key.Hi
+		counts[0][byte(v)]++
+		counts[1][byte(v>>8)]++
+		counts[2][byte(v>>16)]++
+		counts[3][byte(v>>24)]++
+		counts[4][byte(lo)]++
+		counts[5][byte(lo>>8)]++
+		counts[6][byte(lo>>16)]++
+		counts[7][byte(lo>>24)]++
+		counts[8][byte(lo>>32)]++
+		counts[9][byte(lo>>40)]++
+		counts[10][byte(lo>>48)]++
+		counts[11][byte(lo>>56)]++
+		counts[12][byte(hi)]++
+		counts[13][byte(hi>>8)]++
+		counts[14][byte(hi>>16)]++
+		counts[15][byte(hi>>24)]++
+		counts[16][byte(hi>>32)]++
+		counts[17][byte(hi>>40)]++
+		counts[18][byte(hi>>48)]++
+		counts[19][byte(hi>>56)]++
+	}
+
 	src, dst := ps, scratch
 	passes := 0
-	var counts [256]int
-	for shift := 0; shift < 160; shift += 8 {
-		digit := digitFunc(shift)
-		for i := range counts {
-			counts[i] = 0
-		}
-		first := digit(src[0])
-		uniform := true
-		for _, p := range src {
-			dg := digit(p)
-			counts[dg]++
-			if dg != first {
-				uniform = false
+	for col := 0; col < radixCols; col++ {
+		c := &counts[col]
+		// A column whose first nonzero bucket holds every element is
+		// uniform; the pass is skipped (early-exit optimization).
+		uniform := false
+		for _, cnt := range c {
+			if cnt != 0 {
+				uniform = cnt == n
+				break
 			}
 		}
 		if uniform {
@@ -62,39 +120,44 @@ func sortPairsKernel(ps []kv.Pair) (memBytes, ops int64) {
 		passes++
 		// Exclusive prefix sum over digit counts (the scatter offsets).
 		sum := 0
-		for i := range counts {
-			c := counts[i]
-			counts[i] = sum
-			sum += c
+		for i := range c {
+			cnt := c[i]
+			c[i] = sum
+			sum += cnt
 		}
-		for _, p := range src {
-			dg := digit(p)
-			dst[counts[dg]] = p
-			counts[dg]++
+		switch {
+		case col < 4:
+			shift := uint(col * 8)
+			for i := range src {
+				p := src[i]
+				dg := byte(p.Val >> shift)
+				dst[c[dg]] = p
+				c[dg]++
+			}
+		case col < 12:
+			shift := uint((col - 4) * 8)
+			for i := range src {
+				p := src[i]
+				dg := byte(p.Key.Lo >> shift)
+				dst[c[dg]] = p
+				c[dg]++
+			}
+		default:
+			shift := uint((col - 12) * 8)
+			for i := range src {
+				p := src[i]
+				dg := byte(p.Key.Hi >> shift)
+				dst[c[dg]] = p
+				c[dg]++
+			}
 		}
 		src, dst = dst, src
 	}
 	if &src[0] != &ps[0] {
 		copy(ps, src)
 	}
+	sortScratchPool.Put(scratchPtr)
 	return int64(passes) * 2 * int64(n) * kv.PairBytes, int64(passes) * int64(n)
-}
-
-// digitFunc returns an extractor for the 8-bit digit at the given shift
-// within the 160-bit composite (Hi ‖ Lo ‖ Val); shift 0 is the least
-// significant byte of Val.
-func digitFunc(shift int) func(kv.Pair) byte {
-	switch {
-	case shift < 32:
-		s := uint(shift)
-		return func(p kv.Pair) byte { return byte(p.Val >> s) }
-	case shift < 96:
-		s := uint(shift - 32)
-		return func(p kv.Pair) byte { return byte(p.Key.Lo >> s) }
-	default:
-		s := uint(shift - 96)
-		return func(p kv.Pair) byte { return byte(p.Key.Hi >> s) }
-	}
 }
 
 // MergePairs merges two key-sorted slices into a single sorted output,

@@ -1,0 +1,49 @@
+package gpu
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+// TestSortScratchPoolReuse pins the radix sort's allocation behavior:
+// once the scratch pool is warm, sorting allocates nothing.
+func TestSortScratchPoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := testDevice()
+	pristine := randomPairs(rng, 2048, 1<<62)
+	work := make([]kv.Pair, len(pristine))
+	copy(work, pristine)
+	d.SortPairs(work) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		copy(work, pristine)
+		d.SortPairs(work)
+	})
+	// The sync.Pool may be drained by a GC mid-run; tolerate a stray
+	// refill but not per-call scratch allocation.
+	if allocs > 1 {
+		t.Fatalf("warm SortPairs allocates %.2f times per call, want ~0", allocs)
+	}
+}
+
+// TestSortScratchPoolSizes pins correctness when differently sized sorts
+// interleave: a pooled scratch from a large sort must be clamped for a
+// smaller one, and a too-small scratch must be replaced, with the sorted
+// output (keys and values) identical to the reference either way.
+func TestSortScratchPoolSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := testDevice()
+	for _, n := range []int{3000, 7, 1024, 2, 4096, 100} {
+		ps := randomPairs(rng, n, 8) // heavy duplicates exercise stability
+		want := append([]kv.Pair(nil), ps...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		d.SortPairs(ps)
+		for i := range ps {
+			if ps[i] != want[i] {
+				t.Fatalf("n=%d: pair %d = %v, want %v", n, i, ps[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package kvio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func randPairs(seed int64, n int) []kv.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]kv.Pair, n)
+	for i := range ps {
+		ps[i] = kv.Pair{Key: kv.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, Val: rng.Uint32()}
+	}
+	return ps
+}
+
+// TestBlockBoundaryRoundTrip exercises the block codec at and around its
+// block size: files of exactly one block, one record less, and one record
+// more must round-trip byte-identically through both Write and WriteBatch,
+// and through batch reads that straddle block refills.
+func TestBlockBoundaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int{1, blockPairs - 1, blockPairs, blockPairs + 1, 2*blockPairs + 3} {
+		want := randPairs(int64(n), n)
+		for _, mode := range []string{"single", "batch"} {
+			path := filepath.Join(dir, fmt.Sprintf("rt_%d_%s.kv", n, mode))
+			w, err := NewWriter(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == "single" {
+				for _, p := range want {
+					if err := w.Write(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if err := w.WriteBatch(want); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewReader(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]kv.Pair, 0, n)
+			// An odd batch size forces reads that straddle refills.
+			buf := make([]kv.Pair, 777)
+			for {
+				m, err := r.ReadBatch(buf)
+				got = append(got, buf[:m]...)
+				if err != nil {
+					break
+				}
+			}
+			r.Close()
+			if len(got) != n {
+				t.Fatalf("n=%d mode=%s: read %d pairs", n, mode, len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d mode=%s: pair %d = %v, want %v", n, mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWriterCloseSyncsBeforeClose pins the Close ordering of the fsync
+// bugfix: the final block must be flushed to the file before the sync
+// hook runs, and the sync must happen before the descriptor closes.
+func TestWriterCloseSyncsBeforeClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(randPairs(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	orig := fileSync
+	defer func() { fileSync = orig }()
+	synced := false
+	fileSync = func(f *os.File) error {
+		synced = true
+		// The flush must already have reached the file: fsync of a
+		// buffered-but-unflushed tail would persist a torn file.
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		if got, want := info.Size(), int64(3*kv.PairBytes); got != want {
+			return fmt.Errorf("sync saw %d bytes on disk, want %d (flush must precede fsync)", got, want)
+		}
+		return orig(f)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !synced {
+		t.Fatal("Close did not fsync")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestWriterCloseReportsSyncError pins that a failing fsync is reported
+// with the path, not swallowed into a successful close.
+func TestWriterCloseReportsSyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syncerr.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(kv.Pair{Val: 1}); err != nil {
+		t.Fatal(err)
+	}
+	orig := fileSync
+	defer func() { fileSync = orig }()
+	injected := errors.New("device lost power")
+	fileSync = func(f *os.File) error { return injected }
+	err = w.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the fsync error")
+	}
+	if !errors.Is(err, injected) {
+		t.Fatalf("Close error %v does not wrap the fsync error", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("Close error %q does not name the file", err)
+	}
+}
+
+// TestWriterCloseReportsFlushError pins that a failing final-block flush
+// is reported descriptively. The underlying descriptor is closed out from
+// under the writer so the flush write fails.
+func TestWriterCloseReportsFlushError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flusherr.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(kv.Pair{Val: 7}); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // sabotage: the buffered pair can no longer be written
+	err = w.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the flush error")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("flush error %q does not name the file", err)
+	}
+}
+
+// TestWriteAfterCloseFails pins that a closed writer rejects writes
+// instead of corrupting the pooled block it no longer owns.
+func TestWriteAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(kv.Pair{}); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+	if err := w.WriteBatch(make([]kv.Pair, 2)); err == nil {
+		t.Fatal("WriteBatch after Close succeeded")
+	}
+}
+
+// TestMappedReaderRoundTrip pins the mmap read path (where available)
+// against the block reader: same pairs, same EOF behavior, and Close
+// releases the mapping without error.
+func TestMappedReaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapped.kv")
+	want := randPairs(5, 3*blockPairs/2)
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReaderMapped(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []kv.Pair
+	buf := make([]kv.Pair, 1000)
+	for {
+		m, err := r.ReadBatch(buf)
+		got = append(got, buf[:m]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mapped read %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mapped pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMappedReaderEmptyFile pins the zero-length fallback: an empty file
+// cannot be mapped and must behave exactly like the block reader.
+func TestMappedReaderEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.kv")
+	w, err := NewWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReaderMapped(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Mapped() {
+		t.Fatal("zero-length file reported as mapped")
+	}
+	if n, err := r.ReadBatch(make([]kv.Pair, 4)); n != 0 || err == nil {
+		t.Fatalf("empty file ReadBatch = (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+// TestBlockPoolConcurrentRoundTrips is the pooled-buffer contention
+// stress pass: many goroutines write and read distinct files through the
+// shared block pool. Run under -race this catches any block that is
+// recycled while still referenced.
+func TestBlockPoolConcurrentRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Unequal sizes so pooled blocks cross goroutines mid-fill.
+			n := 100 + g*1777
+			want := randPairs(int64(100+g), n)
+			path := filepath.Join(dir, fmt.Sprintf("w%d.kv", g))
+			for iter := 0; iter < 3; iter++ {
+				w, err := NewWriter(path, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.WriteBatch(want); err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Close(); err != nil {
+					errs <- err
+					return
+				}
+				r, err := NewReader(path, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				buf := make([]kv.Pair, 313)
+				i := 0
+				for {
+					m, err := r.ReadBatch(buf)
+					for j := 0; j < m; j++ {
+						if buf[j] != want[i] {
+							errs <- fmt.Errorf("worker %d iter %d: pair %d corrupt", g, iter, i)
+							r.Close()
+							return
+						}
+						i++
+					}
+					if err != nil {
+						break
+					}
+				}
+				r.Close()
+				if i != n {
+					errs <- fmt.Errorf("worker %d iter %d: read %d of %d pairs", g, iter, i, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux
+
+package kvio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. A zero-length or oversized file, or
+// any mmap failure, reports ok=false and the caller falls back to the
+// block reader.
+func mapFile(f *os.File, size int64) (data []byte, ok bool) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

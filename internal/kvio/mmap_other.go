@@ -1,0 +1,10 @@
+//go:build !linux
+
+package kvio
+
+import "os"
+
+// mapFile always falls back to the block reader off Linux.
+func mapFile(f *os.File, size int64) (data []byte, ok bool) { return nil, false }
+
+func unmapFile(b []byte) error { return nil }

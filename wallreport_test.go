@@ -1,0 +1,91 @@
+package lasagna
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchWallBaseline pins the committed bench/BENCH_wall.json against
+// the hot-loop registry: the gate compares only paths present in both
+// files, so a baseline with a renamed or missing loop would silently
+// gate nothing. The baseline must carry exactly the loops hotPathLoops
+// returns, each with a positive wall measurement and the field names the
+// bench_gate rules match on.
+func TestBenchWallBaseline(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("bench", "BENCH_wall.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wallReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench/BENCH_wall.json: %v", err)
+	}
+	loops := hotPathLoops()
+	if len(rep.Loops) != len(loops) {
+		t.Fatalf("baseline has %d loops, want %d", len(rep.Loops), len(loops))
+	}
+	for i, l := range loops {
+		row := rep.Loops[i]
+		if row.Name != l.name {
+			t.Errorf("loop %d named %q, want %q", i, row.Name, l.name)
+		}
+		if row.NsPerOp <= 0 {
+			t.Errorf("%s: nsPerOp = %v, want > 0", row.Name, row.NsPerOp)
+		}
+		if row.AllocsPerOp < 0 {
+			t.Errorf("%s: allocsPerOp = %v, want >= 0", row.Name, row.AllocsPerOp)
+		}
+	}
+	// The gate matches keys by substring ("nsperop", "allocsperop"); the
+	// raw document must spell them the way the rules expect.
+	for _, key := range []string{`"name"`, `"nsPerOp"`, `"allocsPerOp"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("baseline JSON lacks %s field; bench_gate would gate nothing", key)
+		}
+	}
+}
+
+// TestWallReportRoundTrip runs every hot loop for a handful of bounded
+// iterations and round-trips the report through writeWallReport, pinning
+// that the emission path produces a document the gate (and the baseline
+// test above) can consume. Measurement quality is irrelevant here; only
+// shape and field names are.
+func TestWallReportRoundTrip(t *testing.T) {
+	var rows []wallRow
+	for _, l := range hotPathLoops() {
+		row, err := measureLoop(l, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Name != l.name {
+			t.Fatalf("measureLoop named row %q, want %q", row.Name, l.name)
+		}
+		if row.NsPerOp <= 0 {
+			t.Fatalf("%s: nsPerOp = %v, want > 0", row.Name, row.NsPerOp)
+		}
+		rows = append(rows, row)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_wall.json")
+	if err := writeWallReport(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wallReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != len(rows) {
+		t.Fatalf("round-trip kept %d loops, want %d", len(rep.Loops), len(rows))
+	}
+	for i := range rows {
+		if rep.Loops[i].Name != rows[i].Name {
+			t.Fatalf("loop %d round-tripped as %q, want %q", i, rep.Loops[i].Name, rows[i].Name)
+		}
+	}
+}
